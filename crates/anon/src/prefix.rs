@@ -1,0 +1,151 @@
+//! Prefix-preserving IPv4 address anonymization (the Crypto-PAn / TSA
+//! construction used by tcpmkpub): each output bit is the input bit XOR a
+//! PRF of all higher-order input bits, so shared prefixes — subnet
+//! structure, the property the paper's locality analyses depend on — are
+//! preserved exactly, and nothing else is.
+
+use crate::siphash::{siphash24, Key};
+use ent_wire::ethernet::MacAddr;
+use ent_wire::ipv4;
+use std::collections::HashMap;
+
+/// A keyed, deterministic, prefix-preserving anonymizer with memoization.
+#[derive(Debug)]
+pub struct Anonymizer {
+    key: Key,
+    cache: HashMap<u32, u32>,
+    mac_cache: HashMap<MacAddr, MacAddr>,
+}
+
+impl Anonymizer {
+    /// Create an anonymizer from a seed phrase.
+    pub fn new(seed: &str) -> Anonymizer {
+        Anonymizer {
+            key: Key::from_seed(seed),
+            cache: HashMap::new(),
+            mac_cache: HashMap::new(),
+        }
+    }
+
+    /// Anonymize an IPv4 address, preserving prefix relationships.
+    pub fn ip(&mut self, addr: ipv4::Addr) -> ipv4::Addr {
+        if let Some(&a) = self.cache.get(&addr.0) {
+            return ipv4::Addr(a);
+        }
+        let x = addr.0;
+        let mut out = 0u32;
+        for bit in 0..32 {
+            // PRF over the (bit)-bit prefix of x.
+            let prefix = if bit == 0 { 0 } else { x >> (32 - bit) };
+            let mut data = [0u8; 9];
+            data[0] = bit as u8;
+            data[1..5].copy_from_slice(&prefix.to_be_bytes());
+            data[5..9].copy_from_slice(&(bit as u32).to_be_bytes());
+            let f = (siphash24(&self.key, &data) & 1) as u32;
+            let in_bit = (x >> (31 - bit)) & 1;
+            out = (out << 1) | (in_bit ^ f);
+        }
+        self.cache.insert(x, out);
+        ipv4::Addr(out)
+    }
+
+    /// Anonymize a MAC address: the OUI (vendor) part is replaced by a
+    /// fixed locally-administered prefix, the host part by a PRF value.
+    pub fn mac(&mut self, mac: MacAddr) -> MacAddr {
+        if mac.is_multicast() {
+            return mac; // group addresses carry no identity
+        }
+        if let Some(&m) = self.mac_cache.get(&mac) {
+            return m;
+        }
+        let h = siphash24(&self.key, &mac.0).to_le_bytes();
+        let out = MacAddr([0x02, 0xAA, h[0], h[1], h[2], h[3]]);
+        self.mac_cache.insert(mac, out);
+        out
+    }
+
+    /// Number of distinct addresses mapped so far.
+    pub fn mapped_count(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Length of the longest common prefix of two addresses, in bits.
+pub fn common_prefix_len(a: ipv4::Addr, b: ipv4::Addr) -> u32 {
+    (a.0 ^ b.0).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_key_dependent() {
+        let a = ipv4::Addr::new(131, 243, 7, 9);
+        let mut an1 = Anonymizer::new("k1");
+        let mut an2 = Anonymizer::new("k1");
+        let mut an3 = Anonymizer::new("k2");
+        assert_eq!(an1.ip(a), an2.ip(a));
+        assert_ne!(an1.ip(a), an3.ip(a));
+        assert_ne!(an1.ip(a), a, "identity mapping would not anonymize");
+    }
+
+    #[test]
+    fn prefix_preservation_exact() {
+        let mut an = Anonymizer::new("seed");
+        let cases = [
+            (ipv4::Addr::new(131, 243, 7, 9), ipv4::Addr::new(131, 243, 7, 200)),
+            (ipv4::Addr::new(131, 243, 7, 9), ipv4::Addr::new(131, 243, 99, 1)),
+            (ipv4::Addr::new(131, 243, 7, 9), ipv4::Addr::new(8, 8, 8, 8)),
+            (ipv4::Addr::new(10, 0, 0, 1), ipv4::Addr::new(10, 0, 0, 0)),
+        ];
+        for (x, y) in cases {
+            let px = common_prefix_len(x, y);
+            let (ax, ay) = (an.ip(x), an.ip(y));
+            assert_eq!(
+                common_prefix_len(ax, ay),
+                px,
+                "prefix length must be preserved exactly for {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn injective_over_a_subnet() {
+        let mut an = Anonymizer::new("seed");
+        let mut seen = std::collections::HashSet::new();
+        for host in 0..=255u8 {
+            let mapped = an.ip(ipv4::Addr::new(10, 20, 30, host));
+            assert!(seen.insert(mapped.0), "collision at host {host}");
+        }
+        assert_eq!(an.mapped_count(), 256);
+    }
+
+    #[test]
+    fn mac_anonymization() {
+        let mut an = Anonymizer::new("seed");
+        let m = MacAddr([0x00, 0x0D, 0x60, 0x11, 0x22, 0x33]);
+        let out = an.mac(m);
+        assert_ne!(out, m);
+        assert_eq!(out, an.mac(m));
+        assert!(!out.is_multicast());
+        // Broadcast/multicast left alone.
+        assert_eq!(an.mac(MacAddr::BROADCAST), MacAddr::BROADCAST);
+    }
+
+    #[test]
+    fn common_prefix_len_sanity() {
+        assert_eq!(
+            common_prefix_len(ipv4::Addr::new(10, 0, 0, 0), ipv4::Addr::new(10, 0, 0, 0)),
+            32
+        );
+        assert_eq!(
+            common_prefix_len(ipv4::Addr::new(0, 0, 0, 0), ipv4::Addr::new(128, 0, 0, 0)),
+            0
+        );
+        assert_eq!(
+            common_prefix_len(ipv4::Addr::new(10, 0, 0, 0), ipv4::Addr::new(10, 0, 0, 128)),
+            24
+        );
+    }
+}

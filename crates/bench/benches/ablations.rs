@@ -1,0 +1,145 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ent_bench::{bench_gen_config, raw_trace};
+use ent_core::run::{run_dataset, StudyConfig};
+use ent_core::{analyze_trace, PipelineConfig};
+use ent_gen::dataset::all_datasets;
+use ent_pcap::{Tap, Trace};
+use std::hint::black_box;
+
+/// Scanner removal on vs off: cost of the heuristic, and (asserted once)
+/// its effect on connection counts — the paper's 4-18% removal band is
+/// checked in EXPERIMENTS.md; here we require a nonzero effect.
+fn ablation_scanner_removal(c: &mut Criterion) {
+    let trace = ent_bench::scanned_trace();
+    let with = analyze_trace(trace, &PipelineConfig::default());
+    let without = analyze_trace(
+        trace,
+        &PipelineConfig {
+            keep_scanners: true,
+            ..Default::default()
+        },
+    );
+    assert!(
+        without.conns.len() > with.conns.len(),
+        "scanner removal must drop connections ({} vs {})",
+        without.conns.len(),
+        with.conns.len()
+    );
+    let mut g = c.benchmark_group("ablation_scanners");
+    g.bench_function("removal_on", |b| {
+        b.iter(|| black_box(analyze_trace(trace, &PipelineConfig::default()).conns.len()))
+    });
+    g.bench_function("removal_off", |b| {
+        b.iter(|| {
+            black_box(
+                analyze_trace(
+                    trace,
+                    &PipelineConfig {
+                        keep_scanners: true,
+                        ..Default::default()
+                    },
+                )
+                .conns
+                .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Host-pair de-duplication vs raw connection counting for failure rates
+/// (the paper's §5 methodology point about automated retries).
+fn ablation_host_pair_counting(c: &mut Criterion) {
+    let trace = raw_trace();
+    let analysis = analyze_trace(trace, &PipelineConfig::default());
+    let conns = analysis.conns;
+    let mut g = c.benchmark_group("ablation_counting");
+    g.bench_function("raw_connection_success", |b| {
+        b.iter(|| {
+            let total = conns.iter().filter(|c| c.proto() == ent_flow::Proto::Tcp).count();
+            let ok = conns
+                .iter()
+                .filter(|c| c.proto() == ent_flow::Proto::Tcp && c.successful())
+                .count();
+            black_box(ok as f64 / total.max(1) as f64)
+        })
+    });
+    g.bench_function("host_pair_success", |b| {
+        b.iter(|| {
+            let mut pairs: std::collections::HashMap<(u32, u32), bool> = Default::default();
+            for c in conns.iter().filter(|c| c.proto() == ent_flow::Proto::Tcp) {
+                let hp = c.summary.key.host_pair();
+                let e = pairs.entry((hp.0 .0, hp.1 .0)).or_insert(false);
+                *e = *e || c.successful();
+            }
+            let ok = pairs.values().filter(|v| **v).count();
+            black_box(ok as f64 / pairs.len().max(1) as f64)
+        })
+    });
+    g.finish();
+}
+
+/// Snaplen 68 vs full capture: which analyses survive header-only traces,
+/// and what the truncation costs/saves in analysis time.
+fn ablation_snaplen(c: &mut Criterion) {
+    let full = raw_trace();
+    let mut tap = Tap::new(68);
+    let truncated = Trace {
+        meta: ent_pcap::TraceMeta {
+            snaplen: 68,
+            ..full.meta.clone()
+        },
+        packets: tap.capture_all(full.packets.iter().cloned()),
+    };
+    let a = analyze_trace(full, &PipelineConfig::default());
+    let b = analyze_trace(&truncated, &PipelineConfig::default());
+    assert!(!a.http.is_empty() && b.http.is_empty(), "payload analyses need snaplen");
+    assert!(
+        !b.conns.is_empty(),
+        "transport analyses must survive header-only capture"
+    );
+    let mut g = c.benchmark_group("ablation_snaplen");
+    g.bench_function("full_payload", |bch| {
+        bch.iter(|| black_box(analyze_trace(full, &PipelineConfig::default()).conns.len()))
+    });
+    g.bench_function("snaplen_68", |bch| {
+        bch.iter(|| black_box(analyze_trace(&truncated, &PipelineConfig::default()).conns.len()))
+    });
+    g.finish();
+}
+
+/// Parallel vs serial dataset analysis (the merge-correctness cost model).
+fn ablation_parallelism(c: &mut Criterion) {
+    let mut spec = all_datasets().remove(0);
+    let start = spec.monitored.start;
+    spec.monitored = start..start + 6;
+    let mut g = c.benchmark_group("ablation_parallelism");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let da = run_dataset(
+                    &spec,
+                    &StudyConfig {
+                        gen: bench_gen_config(),
+                        threads,
+                        ..Default::default()
+                    },
+                );
+                black_box(da.traces.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_scanner_removal,
+    ablation_host_pair_counting,
+    ablation_snaplen,
+    ablation_parallelism
+);
+criterion_main!(ablations);

@@ -1,0 +1,158 @@
+//! One Criterion bench per paper *figure*, with once-per-process shape
+//! assertions mirroring EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ent_bench::{datasets, payload_datasets};
+use ent_core::analyses::*;
+use ent_proto::AppProtocol;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let ds = datasets();
+    // Shape: name services lead connections but not bytes.
+    let mix = appmix::appmix(&ds[1].traces);
+    let name = mix.shares.iter().find(|(k, _)| *k == ent_proto::Category::Name).unwrap().1;
+    assert!(name.conns_pct() > 30.0 && name.bytes_pct() < 3.0);
+    c.bench_function("fig1_application_mix", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, appmix::appmix(&d.traces)))
+                .collect();
+            black_box((appmix::figure1(&rows, true), appmix::figure1(&rows, false)))
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let ds = datasets();
+    let loc = locality::locality(&ds[2].traces);
+    // Most hosts have a modest fan-out (the SrvLoc directory-agent tail is
+    // probabilistic at bench scale, so only the body is asserted).
+    assert!(loc.fan_out_ent.quantile(0.9).unwrap_or(0.0) < 60.0);
+    c.bench_function("fig2_fan_in_out", |b| {
+        b.iter(|| {
+            let l2 = locality::locality(&ds[2].traces);
+            let l3 = locality::locality(&ds[3].traces);
+            let refs = vec![("D2", &l2), ("D3", &l3)];
+            black_box(locality::figure2(&refs))
+        })
+    });
+}
+
+fn bench_fig3_fig4(c: &mut Criterion) {
+    let ds = payload_datasets();
+    // WAN fan-out exceeds enterprise fan-out (paper: ~an order of magnitude).
+    let (ent, wan) = web::http_fanout(&ds[2].traces);
+    if let (Some(e), Some(w)) = (ent.quantile(0.9), wan.quantile(0.9)) {
+        assert!(w > e, "wan fan-out {w} must exceed ent {e}");
+    }
+    c.bench_function("fig3_http_fanout", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| {
+                    (
+                        d.spec.name,
+                        web::http_fanout(&d.traces),
+                        web::reply_sizes(&d.traces),
+                    )
+                })
+                .collect();
+            black_box(web::figures34(&rows))
+        })
+    });
+}
+
+fn bench_fig5_fig6(c: &mut Criterion) {
+    let ds = datasets();
+    // WAN SMTP lasts much longer than internal (RTT-bound, paper ~10x).
+    let d1 = email::durations_and_sizes(&ds[1].traces, AppProtocol::Smtp, true);
+    if let (Some(e), Some(w)) = (d1.dur_ent.median(), d1.dur_wan.median()) {
+        assert!(w > e * 2.0, "wan SMTP {w}s !>> ent {e}s");
+    }
+    c.bench_function("fig5_fig6_email_durations_sizes", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| {
+                    (
+                        d.spec.name,
+                        email::durations_and_sizes(&d.traces, AppProtocol::Smtp, true),
+                    )
+                })
+                .collect();
+            black_box(email::figures56("F5", "F6", &rows))
+        })
+    });
+}
+
+fn bench_fig7_fig8(c: &mut Criterion) {
+    let ds = payload_datasets();
+    // Dual-mode NFS sizes: requests cluster small, replies reach ~8 KB.
+    let dist = netfile::netfile_distributions(&ds[0].traces);
+    if dist.nfs_reply_sizes.n() > 50 {
+        assert!(dist.nfs_reply_sizes.quantile(0.95).unwrap() > 4_000.0);
+        assert!(dist.nfs_req_sizes.quantile(0.5).unwrap() < 500.0);
+    }
+    c.bench_function("fig7_fig8_netfile_distributions", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, netfile::netfile_distributions(&d.traces)))
+                .collect();
+            black_box(netfile::figures78(&rows))
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let ds = datasets();
+    let d4 = ds.iter().find(|d| d.spec.name == "D4").expect("D4 present");
+    let u = load::utilization(&d4.traces);
+    // Peaks shrink as the averaging window grows; typical usage is far
+    // below peak (the paper's §6 point).
+    for t in &u.per_trace {
+        assert!(t.peak_1s >= t.peak_10s && t.peak_10s >= t.peak_60s);
+    }
+    c.bench_function("fig9_utilization", |b| {
+        b.iter(|| {
+            let u = load::utilization(&d4.traces);
+            black_box((u.figure9a(), u.figure9b()))
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let ds = datasets();
+    c.bench_function("fig10_retransmission_rates", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, load::retx_rates(&d.traces, 100)))
+                .collect();
+            black_box(load::figure10(&rows))
+        })
+    });
+}
+
+fn bench_findings(c: &mut Criterion) {
+    let ds = payload_datasets();
+    let traces: Vec<_> = ds.iter().flat_map(|d| d.traces.iter()).cloned().collect();
+    c.bench_function("table5_findings", |b| {
+        b.iter(|| black_box(findings::render(&findings::findings(&traces))))
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3_fig4,
+    bench_fig5_fig6,
+    bench_fig7_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_findings
+);
+criterion_main!(figures);

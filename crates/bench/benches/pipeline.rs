@@ -1,0 +1,116 @@
+//! Pipeline-throughput benchmarks: generation, packet parsing, flow
+//! tracking, full per-trace analysis, pcap I/O and anonymization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ent_bench::{bench_gen_config, raw_trace};
+use ent_core::{analyze_trace, PipelineConfig};
+use ent_flow::{CollectSummaries, ConnTable, TableConfig};
+use ent_gen::build::{build_site, generate_trace};
+use ent_gen::dataset::all_datasets;
+use ent_wire::{Packet, Timestamp};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let specs = all_datasets();
+    let config = bench_gen_config();
+    let (site, wan) = build_site(&specs[0], &config);
+    let pkts = raw_trace().packets.len() as u64;
+    let mut g = c.benchmark_group("generation");
+    g.throughput(Throughput::Elements(pkts));
+    g.bench_function("synthesize_trace", |b| {
+        b.iter(|| black_box(generate_trace(&site, &wan, &specs[0], 3, 1, &config)))
+    });
+    g.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let trace = raw_trace();
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Elements(trace.packets.len() as u64));
+    g.bench_function("parse_packets", |b| {
+        b.iter(|| {
+            let mut ok = 0u64;
+            for p in &trace.packets {
+                if Packet::parse(&p.frame).is_ok() {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_tracking(c: &mut Criterion) {
+    let trace = raw_trace();
+    let mut g = c.benchmark_group("flow");
+    g.throughput(Throughput::Elements(trace.packets.len() as u64));
+    g.bench_function("connection_tracking", |b| {
+        b.iter(|| {
+            let mut table = ConnTable::new(TableConfig::default());
+            let mut h = CollectSummaries::default();
+            for p in &trace.packets {
+                if let Ok(pkt) = Packet::parse(&p.frame) {
+                    table.ingest(&pkt, p.ts, &mut h);
+                }
+            }
+            table.finish(Timestamp::from_secs(4_000), &mut h);
+            black_box(h.summaries.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let trace = raw_trace();
+    let mut g = c.benchmark_group("analysis");
+    g.throughput(Throughput::Elements(trace.packets.len() as u64));
+    g.bench_function("analyze_trace_full", |b| {
+        b.iter(|| black_box(analyze_trace(trace, &PipelineConfig::default())))
+    });
+    g.finish();
+}
+
+fn bench_pcap_io(c: &mut Criterion) {
+    let trace = raw_trace();
+    let mut buf = Vec::new();
+    trace.write_pcap(&mut buf).expect("write");
+    let mut g = c.benchmark_group("pcap");
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            trace.write_pcap(&mut out).expect("write");
+            black_box(out.len())
+        })
+    });
+    g.bench_function("read", |b| {
+        b.iter(|| {
+            let t =
+                ent_pcap::Trace::read_pcap(&buf[..], trace.meta.clone()).expect("read");
+            black_box(t.packets.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_anonymize(c: &mut Criterion) {
+    let trace = raw_trace();
+    let mut g = c.benchmark_group("anonymize");
+    g.throughput(Throughput::Elements(trace.packets.len() as u64));
+    g.bench_function("prefix_preserving_trace", |b| {
+        b.iter(|| black_box(ent_anon::anonymize_trace(trace, "bench-key").packets.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    pipeline,
+    bench_generation,
+    bench_parse,
+    bench_flow_tracking,
+    bench_full_analysis,
+    bench_pcap_io,
+    bench_anonymize
+);
+criterion_main!(pipeline);

@@ -1,0 +1,214 @@
+//! One Criterion bench per paper *table*: each measures regenerating the
+//! table's data from the per-trace analyses (the paper's own aggregation
+//! step), and asserts the headline shape once per process so a silent
+//! regression cannot hide behind timing noise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ent_bench::{datasets, payload_datasets};
+use ent_core::analyses::*;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let ds = datasets();
+    c.bench_function("table1_dataset_characteristics", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| summary::dataset_summary(d.spec.name, &d.traces, d.spec.snaplen))
+                .collect();
+            black_box(summary::table1(&rows))
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let ds = datasets();
+    // Shape check: IP dominates every dataset, IPX leads the non-IP mix
+    // in D0-D2 (paper Table 2).
+    for d in ds.iter().take(3) {
+        let b = netlayer::netlayer(&d.traces);
+        assert!(b.ip_pct > 90.0, "{}: IP {:.0}%", d.spec.name, b.ip_pct);
+        assert!(b.ipx_pct > b.arp_pct, "{}: IPX must lead non-IP", d.spec.name);
+    }
+    c.bench_function("table2_network_layer", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, netlayer::netlayer(&d.traces)))
+                .collect();
+            black_box(netlayer::table2(&rows))
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let ds = datasets();
+    // Shape: UDP dominates connections everywhere; TCP dominates bytes in
+    // aggregate (individual subnet-reduced slices can be swung by one
+    // UDP-NFS heavy hitter, as real vantage points are).
+    let (mut tcp_b, mut udp_b) = (0.0, 0.0);
+    for d in ds.iter() {
+        let t = transport::transport(&d.traces);
+        assert!(t.udp_conns_pct > t.tcp_conns_pct, "{}: UDP conns", d.spec.name);
+        tcp_b += t.tcp_bytes_pct / 100.0 * t.bytes as f64;
+        udp_b += t.udp_bytes_pct / 100.0 * t.bytes as f64;
+    }
+    assert!(tcp_b > udp_b, "TCP must dominate bytes in aggregate");
+    c.bench_function("table3_transport_breakdown", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, transport::transport(&d.traces)))
+                .collect();
+            black_box(transport::table3(&rows))
+        })
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let ds = payload_datasets();
+    c.bench_function("table6_automated_http_clients", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, web::automated_clients(&d.traces)))
+                .collect();
+            black_box(web::table6(&rows))
+        })
+    });
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let ds = payload_datasets();
+    let traces: Vec<_> = ds.iter().flat_map(|d| d.traces.iter()).cloned().collect();
+    c.bench_function("table7_http_content_types", |b| {
+        b.iter(|| black_box(web::table7(&web::content_types(&traces))))
+    });
+}
+
+fn bench_table8(c: &mut Criterion) {
+    let ds = datasets();
+    // D0 shows cleartext IMAP; later datasets must not (the policy change).
+    let v0 = email::email_volumes(&ds[0].traces);
+    let v1 = email::email_volumes(&ds[1].traces);
+    assert!(v0.imap4 > 0 && v1.imap4 == 0, "IMAP policy change");
+    c.bench_function("table8_email_volumes", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, email::email_volumes(&d.traces)))
+                .collect();
+            black_box(email::table8(&rows))
+        })
+    });
+}
+
+fn bench_table9(c: &mut Criterion) {
+    let ds = payload_datasets();
+    for d in &ds {
+        let svc = windows::windows_success(&d.traces);
+        let nbssn = svc[0].1.successful_pct;
+        let cifs = svc[1].1.successful_pct;
+        assert!(
+            nbssn > cifs,
+            "{}: NBSSN ({nbssn:.0}%) must beat CIFS ({cifs:.0}%)",
+            d.spec.name
+        );
+    }
+    c.bench_function("table9_windows_success", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, windows::windows_success(&d.traces)))
+                .collect();
+            black_box(windows::table9(&rows))
+        })
+    });
+}
+
+fn bench_table10(c: &mut Criterion) {
+    let ds = payload_datasets();
+    c.bench_function("table10_cifs_commands", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, windows::cifs_breakdown(&d.traces)))
+                .collect();
+            black_box(windows::table10(&rows))
+        })
+    });
+}
+
+fn bench_table11(c: &mut Criterion) {
+    let ds = payload_datasets();
+    c.bench_function("table11_dcerpc_functions", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, windows::rpc_breakdown(&d.traces)))
+                .collect();
+            black_box(windows::table11(&rows))
+        })
+    });
+}
+
+fn bench_table12_13_14(c: &mut Criterion) {
+    let ds = datasets();
+    let pds = payload_datasets();
+    c.bench_function("table12_netfile_sizes", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = ds
+                .iter()
+                .map(|d| (d.spec.name, netfile::netfile_sizes(&d.traces)))
+                .collect();
+            black_box(netfile::table12(&rows))
+        })
+    });
+    c.bench_function("table13_nfs_requests", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = pds
+                .iter()
+                .map(|d| (d.spec.name, netfile::nfs_breakdown(&d.traces)))
+                .collect();
+            black_box(netfile::op_table("Table 13", &rows))
+        })
+    });
+    c.bench_function("table14_ncp_requests", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = pds
+                .iter()
+                .map(|d| (d.spec.name, netfile::ncp_breakdown(&d.traces)))
+                .collect();
+            black_box(netfile::op_table("Table 14", &rows))
+        })
+    });
+}
+
+fn bench_table15(c: &mut Criterion) {
+    let ds = datasets();
+    let traces: Vec<_> = ds.iter().flat_map(|d| d.traces.iter()).cloned().collect();
+    let a = backup::backup_analysis(&traces);
+    assert!(a.veritas_ctrl.0 >= a.veritas_data.0, "ctrl conns outnumber data conns");
+    if a.veritas_data.0 > 0 {
+        assert!(a.veritas_data.1 > a.veritas_ctrl.1 * 20, "data bytes dwarf ctrl bytes");
+    }
+    c.bench_function("table15_backup", |b| {
+        b.iter(|| black_box(backup::table15(&backup::backup_analysis(&traces))))
+    });
+}
+
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table6,
+    bench_table7,
+    bench_table8,
+    bench_table9,
+    bench_table10,
+    bench_table11,
+    bench_table12_13_14,
+    bench_table15
+);
+criterion_main!(tables);

@@ -1,0 +1,100 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Benchmarks regenerate every table and figure of the paper; fixtures are
+//! built once per process and shared across benches, so the measured cost
+//! is the *analysis*, separated from generation (which has its own
+//! throughput benches).
+
+use ent_core::run::{run_dataset, DatasetAnalysis, StudyConfig};
+use ent_gen::build::{build_site, generate_trace};
+use ent_gen::dataset::all_datasets;
+use ent_gen::GenConfig;
+use ent_pcap::Trace;
+use std::sync::OnceLock;
+
+/// Generation scale used by the bench fixtures.
+pub const BENCH_SCALE: f64 = 0.006;
+
+/// The generator config used by all fixtures.
+pub fn bench_gen_config() -> GenConfig {
+    GenConfig {
+        scale: BENCH_SCALE,
+        seed: 2_005,
+        hosts_per_subnet: Some(12),
+    }
+}
+
+/// Analyzed miniatures of all five datasets (subnet-reduced), built once.
+pub fn datasets() -> &'static Vec<DatasetAnalysis> {
+    static CELL: OnceLock<Vec<DatasetAnalysis>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let config = StudyConfig {
+            gen: bench_gen_config(),
+            ..Default::default()
+        };
+        all_datasets()
+            .into_iter()
+            .map(|mut spec| {
+                // Keep 8 subnets per dataset: enough to cover every server
+                // vantage the analyses depend on.
+                let start = spec.monitored.start;
+                spec.monitored = start..(start + 8).min(spec.monitored.end);
+                run_dataset(&spec, &config)
+            })
+            .collect()
+    })
+}
+
+/// The full-payload datasets among [`datasets`].
+pub fn payload_datasets() -> Vec<&'static DatasetAnalysis> {
+    datasets()
+        .iter()
+        .filter(|d| d.spec.snaplen >= 1500)
+        .collect()
+}
+
+/// One raw (unanalyzed) trace for pipeline-throughput benches: D0's
+/// NFS/NCP subnet, full payload.
+pub fn raw_trace() -> &'static Trace {
+    static CELL: OnceLock<Trace> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let specs = all_datasets();
+        let config = bench_gen_config();
+        let (site, wan) = build_site(&specs[0], &config);
+        generate_trace(&site, &wan, &specs[0], 3, 1, &config)
+    })
+}
+
+/// A trace guaranteed to contain detectable scanner traffic (scan sweeps
+/// are probabilistic per trace, so this searches D1's subnets/passes and
+/// memoizes the first hit).
+pub fn scanned_trace() -> &'static Trace {
+    static CELL: OnceLock<Trace> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let specs = all_datasets();
+        let config = bench_gen_config();
+        let (site, wan) = build_site(&specs[1], &config);
+        for pass in 1..=2u8 {
+            for subnet in 0..22u16 {
+                let t = generate_trace(&site, &wan, &specs[1], subnet, pass, &config);
+                let a = ent_core::analyze_trace(&t, &ent_core::PipelineConfig::default());
+                if a.scanner_conns_removed > 0 {
+                    return t;
+                }
+            }
+        }
+        panic!("no swept trace in 44 attempts — scanner rates broken");
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_materialize() {
+        assert_eq!(datasets().len(), 5);
+        assert_eq!(payload_datasets().len(), 3);
+        assert!(!raw_trace().packets.is_empty());
+    }
+}

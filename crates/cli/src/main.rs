@@ -1,0 +1,316 @@
+//! `entreport` — end-to-end reproduction driver.
+//!
+//! Subcommands:
+//! * `study`     — generate all five datasets, run every analysis, print
+//!   every table and figure of the paper (optionally export CSVs).
+//! * `generate`  — write one synthetic trace as a pcap file.
+//! * `analyze`   — analyze a pcap file (ours or any Ethernet capture).
+//! * `anonymize` — prefix-preserving anonymization of a pcap file.
+
+use ent_core::run::{run_dataset, StudyConfig};
+use ent_core::study::build_report;
+use ent_core::PipelineConfig;
+use ent_gen::build::{build_site, generate_trace};
+use ent_gen::dataset::{all_datasets, dataset};
+use ent_gen::GenConfig;
+use ent_pcap::{Trace, TraceMeta};
+use ent_wire::Timestamp;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  entreport study [--scale S] [--seed N] [--datasets D0,D3] [--only 'table 9'] [--csv-dir DIR] [--keep-scanners]
+  entreport generate --dataset D0 --subnet 3 [--pass 1] [--scale S] [--seed N] --out FILE.pcap
+  entreport analyze FILE.pcap [--subnet N] [--name D0]
+  entreport anonymize IN.pcap OUT.pcap --key SEED"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut a = Args {
+        positional: Vec::new(),
+        flags: Default::default(),
+        switches: Default::default(),
+    };
+    let mut it = raw.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    a.flags
+                        .insert(name.to_string(), it.next().expect("peeked").clone());
+                }
+                _ => {
+                    a.switches.insert(name.to_string());
+                }
+            }
+        } else {
+            a.positional.push(arg.clone());
+        }
+    }
+    a
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        return usage();
+    };
+    let args = parse_args(&raw[1..]);
+    match cmd.as_str() {
+        "study" => cmd_study(&args),
+        "generate" => cmd_generate(&args),
+        "analyze" => cmd_analyze(&args),
+        "anonymize" => cmd_anonymize(&args),
+        _ => usage(),
+    }
+}
+
+fn gen_config(args: &Args) -> GenConfig {
+    GenConfig {
+        scale: args
+            .flags
+            .get("scale")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.01),
+        seed: args
+            .flags
+            .get("seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1),
+        hosts_per_subnet: args.flags.get("hosts").and_then(|s| s.parse().ok()),
+    }
+}
+
+fn cmd_study(args: &Args) -> ExitCode {
+    let config = StudyConfig {
+        gen: gen_config(args),
+        pipeline: PipelineConfig {
+            keep_scanners: args.switches.contains("keep-scanners"),
+            ..Default::default()
+        },
+        threads: args
+            .flags
+            .get("threads")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
+    };
+    let wanted: Option<Vec<String>> = args
+        .flags
+        .get("datasets")
+        .map(|s| s.split(',').map(|x| x.trim().to_string()).collect());
+    let specs: Vec<_> = all_datasets()
+        .into_iter()
+        .filter(|d| {
+            wanted
+                .as_ref()
+                .map(|w| w.iter().any(|x| x == d.name))
+                .unwrap_or(true)
+        })
+        .collect();
+    eprintln!(
+        "running study: scale={} seed={} datasets={:?}",
+        config.gen.scale,
+        config.gen.seed,
+        specs.iter().map(|d| d.name).collect::<Vec<_>>()
+    );
+    let mut studies = Vec::new();
+    for spec in &specs {
+        let t0 = std::time::Instant::now();
+        let da = run_dataset(spec, &config);
+        let pkts: u64 = da.traces.iter().map(|t| t.packets).sum();
+        eprintln!(
+            "  {}: {} traces, {} packets analyzed in {:.1}s",
+            spec.name,
+            da.traces.len(),
+            pkts,
+            t0.elapsed().as_secs_f64()
+        );
+        studies.push(da);
+    }
+    let mut report = build_report(&studies);
+    if let Some(only) = args.flags.get("only") {
+        let needle = only.to_ascii_lowercase();
+        report
+            .tables
+            .retain(|t| t.title.to_ascii_lowercase().contains(&needle));
+        report
+            .figures
+            .retain(|f| f.title.to_ascii_lowercase().contains(&needle));
+        report
+            .notes
+            .retain(|n| n.to_ascii_lowercase().contains(&needle));
+    }
+    println!("{}", report.render());
+    if let Some(dir) = args.flags.get("csv-dir") {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        for t in &report.tables {
+            let fname = slug(&t.title);
+            std::fs::write(format!("{dir}/{fname}.csv"), t.to_csv()).expect("write csv");
+        }
+        for f in &report.figures {
+            let fname = slug(&f.title);
+            std::fs::write(format!("{dir}/{fname}.csv"), f.to_csv(64)).expect("write csv");
+        }
+        eprintln!("CSV exports written to {dir}/");
+    }
+    ExitCode::SUCCESS
+}
+
+fn slug(title: &str) -> String {
+    title
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect::<String>()
+        .trim_matches('_')
+        .chars()
+        .take(48)
+        .collect()
+}
+
+fn cmd_generate(args: &Args) -> ExitCode {
+    let Some(name) = args.flags.get("dataset") else {
+        return usage();
+    };
+    let Some(spec) = dataset(name) else {
+        eprintln!("unknown dataset {name} (use D0..D4)");
+        return ExitCode::from(2);
+    };
+    let subnet: u16 = args
+        .flags
+        .get("subnet")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(spec.monitored.start);
+    let pass: u8 = args
+        .flags
+        .get("pass")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let Some(out) = args.flags.get("out") else {
+        return usage();
+    };
+    let config = gen_config(args);
+    let (site, wan) = build_site(&spec, &config);
+    let trace = generate_trace(&site, &wan, &spec, subnet, pass, &config);
+    let f = File::create(out).expect("create output file");
+    trace.write_pcap(BufWriter::new(f)).expect("write pcap");
+    eprintln!(
+        "wrote {}: {} packets, {} wire bytes, snaplen {}",
+        out,
+        trace.packets.len(),
+        trace.wire_bytes(),
+        trace.meta.snaplen
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.first() else {
+        return usage();
+    };
+    let f = File::open(path).expect("open pcap");
+    let meta = TraceMeta {
+        dataset: args
+            .flags
+            .get("name")
+            .cloned()
+            .unwrap_or_else(|| "pcap".into()),
+        subnet: args
+            .flags
+            .get("subnet")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
+        pass: 1,
+        duration: Timestamp::from_secs(3_600),
+        snaplen: 1500,
+        link_capacity_bps: 100_000_000,
+    };
+    let mut trace = Trace::read_pcap(BufReader::new(f), meta).expect("read pcap");
+    // Rebase timestamps so utilization bins start at zero.
+    if let Some(first) = trace.packets.first().map(|p| p.ts) {
+        for p in &mut trace.packets {
+            p.ts = Timestamp::from_micros(p.ts.saturating_micros_since(first));
+        }
+        if let Some(last) = trace.packets.last().map(|p| p.ts) {
+            trace.meta.duration = last + 1_000_000;
+        }
+    }
+    let a = ent_core::analyze_trace(&trace, &PipelineConfig::default());
+    println!(
+        "trace: {} packets ({} IP, {} ARP, {} IPX, {} other)",
+        a.packets, a.ip_packets, a.arp_packets, a.ipx_packets, a.other_l3_packets
+    );
+    println!("connections: {}", a.conns.len());
+    println!(
+        "scanner sources removed: {:?} ({} conns)",
+        a.scanners_removed, a.scanner_conns_removed
+    );
+    println!(
+        "app records: http={} dns={} nbns={} cifs={} rpc={} nfs={} ncp={} tls={}",
+        a.http.len(),
+        a.dns.len(),
+        a.nbns.len(),
+        a.cifs.len(),
+        a.rpc.len(),
+        a.nfs.len(),
+        a.ncp.len(),
+        a.tls.len()
+    );
+    let mut by_cat: std::collections::HashMap<&str, (u64, u64)> = Default::default();
+    for c in &a.conns {
+        let e = by_cat.entry(c.category.label()).or_default();
+        e.0 += 1;
+        e.1 += c.payload_bytes();
+    }
+    let mut rows: Vec<_> = by_cat.into_iter().collect();
+    rows.sort_by_key(|(_, (_, b))| std::cmp::Reverse(*b));
+    println!("{:<14}{:>10}{:>14}", "category", "conns", "bytes");
+    for (cat, (c, b)) in rows {
+        println!("{cat:<14}{c:>10}{:>14}", ent_core::report::fmt_bytes(b));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_anonymize(args: &Args) -> ExitCode {
+    let (Some(input), Some(output)) = (args.positional.first(), args.positional.get(1)) else {
+        return usage();
+    };
+    let key = args
+        .flags
+        .get("key")
+        .cloned()
+        .unwrap_or_else(|| "default-key".into());
+    let f = File::open(input).expect("open input pcap");
+    let meta = TraceMeta {
+        dataset: "anon".into(),
+        subnet: 0,
+        pass: 1,
+        duration: Timestamp::from_secs(3_600),
+        snaplen: 1500,
+        link_capacity_bps: 100_000_000,
+    };
+    let trace = Trace::read_pcap(BufReader::new(f), meta).expect("read pcap");
+    let anon = ent_anon::anonymize_trace(&trace, &key);
+    let out = File::create(output).expect("create output pcap");
+    let mut w = BufWriter::new(out);
+    anon.write_pcap(&mut w).expect("write pcap");
+    w.flush().expect("flush");
+    eprintln!("anonymized {} packets -> {}", anon.packets.len(), output);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,192 @@
+//! §6 network load: utilization distributions (Figure 9) and TCP
+//! retransmission rates (Figure 10).
+
+use super::DatasetTraces;
+use crate::report::Figure;
+use crate::stats::Ecdf;
+
+/// Per-trace utilization metrics (Mbps).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceUtilization {
+    /// Peak over 1-second windows.
+    pub peak_1s: f64,
+    /// Peak over 10-second windows.
+    pub peak_10s: f64,
+    /// Peak over 60-second windows.
+    pub peak_60s: f64,
+    /// Minimum 1-second utilization.
+    pub min: f64,
+    /// Average 1-second utilization.
+    pub avg: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+}
+
+fn mbps(bytes: u64, secs: f64) -> f64 {
+    bytes as f64 * 8.0 / 1e6 / secs
+}
+
+/// Compute one trace's utilization metrics from its 1-second byte bins.
+pub fn trace_utilization(bins: &[u64]) -> TraceUtilization {
+    if bins.is_empty() {
+        return TraceUtilization::default();
+    }
+    let window_peak = |w: usize| -> f64 {
+        bins.chunks(w)
+            .map(|c| mbps(c.iter().sum::<u64>(), c.len() as f64))
+            .fold(0.0, f64::max)
+    };
+    let rates: Vec<f64> = bins.iter().map(|&b| mbps(b, 1.0)).collect();
+    let e = Ecdf::new(rates.clone());
+    TraceUtilization {
+        peak_1s: window_peak(1),
+        peak_10s: window_peak(10),
+        peak_60s: window_peak(60),
+        min: e.quantile(0.0).unwrap_or(0.0),
+        avg: e.mean().unwrap_or(0.0),
+        p25: e.quantile(0.25).unwrap_or(0.0),
+        median: e.median().unwrap_or(0.0),
+        p75: e.quantile(0.75).unwrap_or(0.0),
+    }
+}
+
+/// Figure 9 data: distributions *across traces* of the per-trace metrics.
+#[derive(Debug, Clone, Default)]
+pub struct UtilizationStudy {
+    /// Per-trace metrics.
+    pub per_trace: Vec<TraceUtilization>,
+}
+
+/// Compute Figure 9 for a dataset.
+pub fn utilization(traces: &DatasetTraces) -> UtilizationStudy {
+    UtilizationStudy {
+        per_trace: traces
+            .iter()
+            .map(|t| trace_utilization(&t.bytes_per_second))
+            .collect(),
+    }
+}
+
+impl UtilizationStudy {
+    /// Render Figure 9(a): CDFs of peak utilization at 3 timescales.
+    pub fn figure9a(&self) -> Figure {
+        let mut f = Figure::new("Figure 9(a): Peak utilization (D-set)", "Mbps");
+        f.series(
+            "1 second",
+            Ecdf::new(self.per_trace.iter().map(|t| t.peak_1s).collect()),
+        );
+        f.series(
+            "10 seconds",
+            Ecdf::new(self.per_trace.iter().map(|t| t.peak_10s).collect()),
+        );
+        f.series(
+            "60 seconds",
+            Ecdf::new(self.per_trace.iter().map(|t| t.peak_60s).collect()),
+        );
+        f
+    }
+
+    /// Render Figure 9(b): CDFs of per-second summary statistics.
+    pub fn figure9b(&self) -> Figure {
+        let mut f = Figure::new("Figure 9(b): Utilization (1s interval stats)", "Mbps");
+        let series: [(&str, fn(&TraceUtilization) -> f64); 6] = [
+            ("Minimum", |t| t.min),
+            ("Maximum", |t| t.peak_1s),
+            ("Average", |t| t.avg),
+            ("25th perc.", |t| t.p25),
+            ("Median", |t| t.median),
+            ("75th perc.", |t| t.p75),
+        ];
+        for (label, get) in series {
+            f.series(label, Ecdf::new(self.per_trace.iter().map(get).collect()));
+        }
+        f
+    }
+}
+
+/// Figure 10: per-trace retransmission rates (%), internal and WAN, for
+/// traces with at least `min_packets` data packets in the class.
+pub fn retx_rates(traces: &DatasetTraces, min_packets: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut ent = Vec::new();
+    let mut wan = Vec::new();
+    for t in traces {
+        if t.retx_ent.0 >= min_packets {
+            ent.push(t.retx_ent.1 as f64 / t.retx_ent.0 as f64 * 100.0);
+        }
+        if t.retx_wan.0 >= min_packets {
+            wan.push(t.retx_wan.1 as f64 / t.retx_wan.0 as f64 * 100.0);
+        }
+    }
+    (ent, wan)
+}
+
+/// Render Figure 10 as CDFs of per-trace rates.
+pub fn figure10(rows: &[(&str, (Vec<f64>, Vec<f64>))]) -> Figure {
+    let mut f = Figure::new("Figure 10: TCP retransmission rate per trace", "% retransmitted");
+    for (name, (ent, wan)) in rows {
+        f.series(format!("ENT:{name}"), Ecdf::new(ent.clone()));
+        f.series(format!("WAN:{name}"), Ecdf::new(wan.clone()));
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::TraceAnalysis;
+
+    #[test]
+    fn peaks_shrink_with_window() {
+        // One saturated second in an otherwise idle minute.
+        let mut bins = vec![0u64; 60];
+        bins[30] = 12_500_000; // 100 Mbps for 1 s
+        let u = trace_utilization(&bins);
+        assert!((u.peak_1s - 100.0).abs() < 1e-9);
+        assert!((u.peak_10s - 10.0).abs() < 1e-9);
+        assert!((u.peak_60s - 100.0 / 60.0).abs() < 1e-6);
+        assert_eq!(u.min, 0.0);
+        assert!(u.avg < u.peak_1s / 10.0);
+    }
+
+    #[test]
+    fn typical_usage_orders_below_peak() {
+        // The paper's point: typical 1-2 orders below peak, 2-3 below
+        // capacity.
+        let bins: Vec<u64> = (0..3_600)
+            .map(|i| if i % 600 == 0 { 6_000_000 } else { 25_000 })
+            .collect();
+        let u = trace_utilization(&bins);
+        assert!(u.peak_1s / u.median >= 10.0);
+        assert!(u.peak_1s <= 100.0);
+        assert!(u.median < 1.0);
+    }
+
+    #[test]
+    fn retx_rates_respect_threshold() {
+        let t1 = TraceAnalysis {
+            retx_ent: (10_000, 50),
+            retx_wan: (500, 25), // below threshold
+            ..Default::default()
+        };
+        let (ent, wan) = retx_rates(&[t1], 1_000);
+        assert_eq!(ent, vec![0.5]);
+        assert!(wan.is_empty());
+        let f = figure10(&[("all", (ent, wan))]);
+        assert!(f.render().contains("ENT:all"));
+    }
+
+    #[test]
+    fn figure9_renders() {
+        let t = TraceAnalysis {
+            bytes_per_second: vec![1_000; 600],
+            ..Default::default()
+        };
+        let s = utilization(&[t]);
+        assert!(s.figure9a().render().contains("10 seconds"));
+        assert!(s.figure9b().render().contains("75th perc."));
+    }
+}

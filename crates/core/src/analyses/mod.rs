@@ -1,0 +1,30 @@
+//! Dataset-level analyses, one module per paper section/table/figure.
+
+pub mod app_locality;
+pub mod appmix;
+pub mod backup;
+pub mod email;
+pub mod findings;
+pub mod load;
+pub mod locality;
+pub mod name;
+pub mod netfile;
+pub mod netlayer;
+pub mod origins;
+pub mod scan_study;
+pub mod summary;
+pub mod transport;
+pub mod variability;
+pub mod web;
+pub mod websessions;
+pub mod windows;
+
+use crate::records::TraceAnalysis;
+
+/// A whole dataset's trace analyses.
+pub type DatasetTraces = [TraceAnalysis];
+
+/// Web service ports treated as HTTP for connection-level analyses.
+pub fn is_http_port(port: u16) -> bool {
+    matches!(port, 80 | 8000 | 8080)
+}

@@ -1,0 +1,95 @@
+//! Table 2: network-layer breakdown (IP vs ARP vs IPX vs other).
+
+use super::DatasetTraces;
+use crate::report::Table;
+use crate::stats::pct;
+
+/// Per-dataset network-layer packet percentages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetLayerBreakdown {
+    /// IP share of all packets (%).
+    pub ip_pct: f64,
+    /// Non-IP share of all packets (%).
+    pub non_ip_pct: f64,
+    /// ARP share of *non-IP* packets (%).
+    pub arp_pct: f64,
+    /// IPX share of non-IP packets (%).
+    pub ipx_pct: f64,
+    /// Everything-else share of non-IP packets (%).
+    pub other_pct: f64,
+}
+
+/// Compute Table 2 for one dataset.
+pub fn netlayer(traces: &DatasetTraces) -> NetLayerBreakdown {
+    let (mut total, mut ip, mut arp, mut ipx, mut other) = (0, 0, 0, 0, 0);
+    for t in traces {
+        total += t.packets;
+        ip += t.ip_packets;
+        arp += t.arp_packets;
+        ipx += t.ipx_packets;
+        other += t.other_l3_packets;
+    }
+    let non_ip = arp + ipx + other;
+    NetLayerBreakdown {
+        ip_pct: pct(ip, total),
+        non_ip_pct: pct(non_ip, total),
+        arp_pct: pct(arp, non_ip),
+        ipx_pct: pct(ipx, non_ip),
+        other_pct: pct(other, non_ip),
+    }
+}
+
+/// Render Table 2 across datasets.
+pub fn table2(rows: &[(&str, NetLayerBreakdown)]) -> Table {
+    let headers: Vec<&str> = std::iter::once("").chain(rows.iter().map(|(n, _)| *n)).collect();
+    let mut t = Table::new("Table 2: Network-layer protocol mix (packets)", &headers);
+    let fields: [(&str, fn(&NetLayerBreakdown) -> f64); 5] = [
+        ("IP", |b| b.ip_pct),
+        ("!IP", |b| b.non_ip_pct),
+        ("ARP", |b| b.arp_pct),
+        ("IPX", |b| b.ipx_pct),
+        ("Other", |b| b.other_pct),
+    ];
+    for (label, f) in fields {
+        let mut row = vec![label.to_string()];
+        row.extend(rows.iter().map(|(_, b)| format!("{:.0}%", f(b))));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::TraceAnalysis;
+
+    #[test]
+    fn percentages_sum_sensibly() {
+        let t = TraceAnalysis {
+            packets: 1_000,
+            ip_packets: 960,
+            arp_packets: 10,
+            ipx_packets: 25,
+            other_l3_packets: 5,
+            ..Default::default()
+        };
+        let b = netlayer(&[t]);
+        assert!((b.ip_pct - 96.0).abs() < 1e-9);
+        assert!((b.non_ip_pct - 4.0).abs() < 1e-9);
+        assert!((b.arp_pct + b.ipx_pct + b.other_pct - 100.0).abs() < 1e-9);
+        assert!((b.ipx_pct - 62.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renders() {
+        let t = TraceAnalysis {
+            packets: 100,
+            ip_packets: 99,
+            arp_packets: 1,
+            ..Default::default()
+        };
+        let b = netlayer(&[t]);
+        let table = table2(&[("D0", b)]);
+        assert!(table.render().contains("IPX"));
+    }
+}

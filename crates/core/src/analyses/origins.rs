@@ -1,0 +1,132 @@
+//! §4 origins: where flows come from and go to.
+
+use super::DatasetTraces;
+use crate::records::is_internal;
+use crate::report::Table;
+use crate::stats::pct;
+
+/// Flow-origin fractions (paper §4: 71–79% ent↔ent, 2–3% ent→wan,
+/// 6–11% wan→ent, 5–10% multicast from inside, 4–7% multicast from
+/// outside).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Origins {
+    /// Unicast, both endpoints internal (%).
+    pub ent_to_ent_pct: f64,
+    /// Unicast, internal originator → external responder (%).
+    pub ent_to_wan_pct: f64,
+    /// Unicast, external originator → internal responder (%).
+    pub wan_to_ent_pct: f64,
+    /// Multicast sourced internally (%).
+    pub mcast_internal_pct: f64,
+    /// Multicast sourced externally (%).
+    pub mcast_external_pct: f64,
+    /// Total flows.
+    pub flows: u64,
+}
+
+/// Compute §4's origin fractions.
+pub fn origins(traces: &DatasetTraces) -> Origins {
+    let (mut ee, mut ew, mut we, mut mi, mut me, mut total) = (0u64, 0, 0, 0, 0, 0u64);
+    for t in traces {
+        for c in &t.conns {
+            total += 1;
+            let oi = is_internal(c.orig_addr());
+            if c.summary.multicast {
+                if oi {
+                    mi += 1;
+                } else {
+                    me += 1;
+                }
+            } else {
+                let ri = is_internal(c.resp_addr());
+                match (oi, ri) {
+                    (true, true) => ee += 1,
+                    (true, false) => ew += 1,
+                    (false, true) => we += 1,
+                    (false, false) => {}
+                }
+            }
+        }
+    }
+    Origins {
+        ent_to_ent_pct: pct(ee, total),
+        ent_to_wan_pct: pct(ew, total),
+        wan_to_ent_pct: pct(we, total),
+        mcast_internal_pct: pct(mi, total),
+        mcast_external_pct: pct(me, total),
+        flows: total,
+    }
+}
+
+/// Render the origin fractions across datasets.
+pub fn origins_table(rows: &[(&str, Origins)]) -> Table {
+    let headers: Vec<&str> = std::iter::once("").chain(rows.iter().map(|(n, _)| *n)).collect();
+    let mut t = Table::new("Origins of flows (paper sec. 4)", &headers);
+    let fields: [(&str, fn(&Origins) -> f64); 5] = [
+        ("ent <-> ent", |o| o.ent_to_ent_pct),
+        ("ent -> wan", |o| o.ent_to_wan_pct),
+        ("wan -> ent", |o| o.wan_to_ent_pct),
+        ("mcast (int src)", |o| o.mcast_internal_pct),
+        ("mcast (ext src)", |o| o.mcast_external_pct),
+    ];
+    for (label, f) in fields {
+        let mut row = vec![label.to_string()];
+        row.extend(rows.iter().map(|(_, o)| format!("{:.1}%", f(o))));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{ConnRecord, TraceAnalysis};
+    use ent_flow::{ConnSummary, DirStats, Endpoint, FlowKey, Proto, TcpOutcome, TcpState};
+    use ent_proto::Category;
+    use ent_wire::{ipv4, Timestamp};
+
+    fn conn(orig: ipv4::Addr, resp: ipv4::Addr, mcast: bool) -> ConnRecord {
+        ConnRecord {
+            summary: ConnSummary {
+                key: FlowKey {
+                    proto: Proto::Udp,
+                    orig: Endpoint::new(orig, 1),
+                    resp: Endpoint::new(resp, 2),
+                },
+                start: Timestamp::ZERO,
+                end: Timestamp::ZERO,
+                orig: DirStats::default(),
+                resp: DirStats::default(),
+                outcome: TcpOutcome::Successful,
+                tcp_state: TcpState::NotTcp,
+                multicast: mcast,
+                acked_unseen_data: false,
+                icmp_answered: false,
+            },
+            app: None,
+            category: Category::OtherUdp,
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let int = ipv4::Addr::new(10, 100, 1, 1);
+        let int2 = ipv4::Addr::new(10, 100, 2, 2);
+        let ext = ipv4::Addr::new(64, 1, 1, 1);
+        let grp = ipv4::Addr::new(239, 0, 0, 1);
+        let mut t = TraceAnalysis::default();
+        for _ in 0..7 {
+            t.conns.push(conn(int, int2, false));
+        }
+        t.conns.push(conn(int, ext, false));
+        t.conns.push(conn(ext, int, false));
+        t.conns.push(conn(int, grp, true));
+        let o = origins(&[t]);
+        assert_eq!(o.flows, 10);
+        assert!((o.ent_to_ent_pct - 70.0).abs() < 1e-9);
+        assert!((o.ent_to_wan_pct - 10.0).abs() < 1e-9);
+        assert!((o.wan_to_ent_pct - 10.0).abs() < 1e-9);
+        assert!((o.mcast_internal_pct - 10.0).abs() < 1e-9);
+        assert!(origins_table(&[("D0", o)]).render().contains("mcast"));
+    }
+}

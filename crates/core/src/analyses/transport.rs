@@ -1,0 +1,135 @@
+//! Table 3: transport breakdown — payload bytes and connections by
+//! TCP/UDP/ICMP (post scanner removal).
+
+use super::DatasetTraces;
+use crate::report::Table;
+use crate::stats::pct;
+use ent_flow::Proto;
+
+/// Per-dataset transport shares.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransportBreakdown {
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// TCP byte share (%).
+    pub tcp_bytes_pct: f64,
+    /// UDP byte share (%).
+    pub udp_bytes_pct: f64,
+    /// ICMP byte share (%).
+    pub icmp_bytes_pct: f64,
+    /// Total connections.
+    pub conns: u64,
+    /// TCP connection share (%).
+    pub tcp_conns_pct: f64,
+    /// UDP connection share (%).
+    pub udp_conns_pct: f64,
+    /// ICMP connection share (%).
+    pub icmp_conns_pct: f64,
+}
+
+/// Compute Table 3 for one dataset.
+pub fn transport(traces: &DatasetTraces) -> TransportBreakdown {
+    let mut bytes = [0u64; 3];
+    let mut conns = [0u64; 3];
+    for t in traces {
+        for c in &t.conns {
+            let i = match c.proto() {
+                Proto::Tcp => 0,
+                Proto::Udp => 1,
+                Proto::Icmp => 2,
+            };
+            bytes[i] += c.payload_bytes();
+            conns[i] += 1;
+        }
+    }
+    let tb: u64 = bytes.iter().sum();
+    let tc: u64 = conns.iter().sum();
+    TransportBreakdown {
+        bytes: tb,
+        tcp_bytes_pct: pct(bytes[0], tb),
+        udp_bytes_pct: pct(bytes[1], tb),
+        icmp_bytes_pct: pct(bytes[2], tb),
+        conns: tc,
+        tcp_conns_pct: pct(conns[0], tc),
+        udp_conns_pct: pct(conns[1], tc),
+        icmp_conns_pct: pct(conns[2], tc),
+    }
+}
+
+/// Render Table 3 across datasets.
+pub fn table3(rows: &[(&str, TransportBreakdown)]) -> Table {
+    let headers: Vec<&str> = std::iter::once("").chain(rows.iter().map(|(n, _)| *n)).collect();
+    let mut t = Table::new(
+        "Table 3: Transport breakdown (payload bytes / connections)",
+        &headers,
+    );
+    let fields: [(&str, fn(&TransportBreakdown) -> String); 8] = [
+        ("Bytes (GB)", |b| format!("{:.2}", b.bytes as f64 / 1e9)),
+        ("TCP", |b| format!("{:.0}%", b.tcp_bytes_pct)),
+        ("UDP", |b| format!("{:.0}%", b.udp_bytes_pct)),
+        ("ICMP", |b| format!("{:.0}%", b.icmp_bytes_pct)),
+        ("Conns (M)", |b| format!("{:.2}", b.conns as f64 / 1e6)),
+        ("TCP ", |b| format!("{:.0}%", b.tcp_conns_pct)),
+        ("UDP ", |b| format!("{:.0}%", b.udp_conns_pct)),
+        ("ICMP ", |b| format!("{:.0}%", b.icmp_conns_pct)),
+    ];
+    for (label, f) in fields {
+        let mut row = vec![label.to_string()];
+        row.extend(rows.iter().map(|(_, b)| f(b)));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{ConnRecord, TraceAnalysis};
+    use ent_flow::{ConnSummary, DirStats, Endpoint, FlowKey, TcpOutcome, TcpState};
+    use ent_proto::Category;
+    use ent_wire::{ipv4, Timestamp};
+
+    fn conn(proto: Proto, bytes: u64) -> ConnRecord {
+        ConnRecord {
+            summary: ConnSummary {
+                key: FlowKey {
+                    proto,
+                    orig: Endpoint::new(ipv4::Addr::new(10, 100, 1, 1), 1),
+                    resp: Endpoint::new(ipv4::Addr::new(10, 100, 2, 2), 2),
+                },
+                start: Timestamp::ZERO,
+                end: Timestamp::ZERO,
+                orig: DirStats {
+                    payload_bytes: bytes,
+                    ..Default::default()
+                },
+                resp: DirStats::default(),
+                outcome: TcpOutcome::Successful,
+                tcp_state: TcpState::Closed,
+                multicast: false,
+                acked_unseen_data: false,
+                icmp_answered: false,
+            },
+            app: None,
+            category: Category::OtherTcp,
+        }
+    }
+
+    #[test]
+    fn tcp_bytes_udp_conns_pattern() {
+        // The paper's signature: TCP carries the bytes, UDP the conns.
+        let mut t = TraceAnalysis::default();
+        t.conns.push(conn(Proto::Tcp, 1_000_000));
+        for _ in 0..8 {
+            t.conns.push(conn(Proto::Udp, 100));
+        }
+        t.conns.push(conn(Proto::Icmp, 64));
+        let b = transport(&[t]);
+        assert!(b.tcp_bytes_pct > 99.0);
+        assert!(b.udp_conns_pct == 80.0);
+        assert!(b.icmp_conns_pct == 10.0);
+        assert_eq!(b.conns, 10);
+        let table = table3(&[("D0", b)]);
+        assert!(table.render().contains("Bytes (GB)"));
+    }
+}

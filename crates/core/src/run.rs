@@ -1,0 +1,139 @@
+//! Study orchestration: generate + analyze whole datasets, parallel
+//! across traces (each trace is independent, exactly like the paper's
+//! per-subnet capture files).
+
+use crate::pipeline::{analyze_trace, PipelineConfig};
+use crate::records::TraceAnalysis;
+use ent_gen::build::{build_site, generate_trace, GenConfig};
+use ent_gen::dataset::{all_datasets, DatasetSpec};
+use parking_lot::Mutex;
+
+/// Configuration for a study run.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct StudyConfig {
+    /// Generator configuration (scale, seed).
+    pub gen: GenConfig,
+    /// Pipeline configuration (scanner removal).
+    pub pipeline: PipelineConfig,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+
+/// One analyzed dataset.
+#[derive(Debug)]
+pub struct DatasetAnalysis {
+    /// The dataset spec used.
+    pub spec: DatasetSpec,
+    /// Per-trace analyses, ordered by (pass, subnet).
+    pub traces: Vec<TraceAnalysis>,
+}
+
+/// Generate and analyze one dataset, trace-parallel. Packets are dropped
+/// as soon as each trace is analyzed, bounding memory.
+pub fn run_dataset(spec: &DatasetSpec, config: &StudyConfig) -> DatasetAnalysis {
+    let (site, wan) = build_site(spec, &config.gen);
+    // Work list of (subnet, pass).
+    let mut work = Vec::new();
+    for pass in 1..=spec.passes {
+        for subnet in spec.monitored.clone() {
+            if spec.name == "D4" && pass == 2 && subnet % 2 == 0 {
+                continue;
+            }
+            work.push((subnet, pass));
+        }
+    }
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(work.len().max(1))
+    } else {
+        config.threads
+    };
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, TraceAnalysis)>> = Mutex::new(Vec::with_capacity(work.len()));
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(subnet, pass)) = work.get(i) else {
+                    break;
+                };
+                let trace = generate_trace(&site, &wan, spec, subnet, pass, &config.gen);
+                let analysis = analyze_trace(&trace, &config.pipeline);
+                results.lock().push((i, analysis));
+            });
+        }
+    })
+    .expect("analysis worker panicked");
+    let mut results = results.into_inner();
+    results.sort_by_key(|(i, _)| *i);
+    DatasetAnalysis {
+        spec: spec.clone(),
+        traces: results.into_iter().map(|(_, a)| a).collect(),
+    }
+}
+
+/// Run the whole five-dataset study.
+pub fn run_study(config: &StudyConfig) -> Vec<DatasetAnalysis> {
+    all_datasets()
+        .iter()
+        .map(|spec| run_dataset(spec, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StudyConfig {
+        StudyConfig {
+            gen: GenConfig {
+                scale: 0.003,
+                seed: 5,
+                hosts_per_subnet: Some(8),
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_dataset_produces_one_analysis_per_trace() {
+        let specs = all_datasets();
+        let da = run_dataset(&specs[0], &tiny());
+        assert_eq!(da.traces.len(), 22);
+        assert!(da.traces.iter().all(|t| t.packets > 0));
+        // Deterministic ordering by (pass, subnet).
+        assert_eq!(da.traces[0].subnet, 0);
+        assert_eq!(da.traces[21].subnet, 21);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let specs = all_datasets();
+        let mut spec = specs[0].clone();
+        spec.monitored = 0..4;
+        let par = run_dataset(
+            &spec,
+            &StudyConfig {
+                threads: 4,
+                ..tiny()
+            },
+        );
+        let ser = run_dataset(
+            &spec,
+            &StudyConfig {
+                threads: 1,
+                ..tiny()
+            },
+        );
+        assert_eq!(par.traces.len(), ser.traces.len());
+        for (a, b) in par.traces.iter().zip(&ser.traces) {
+            assert_eq!(a.packets, b.packets);
+            assert_eq!(a.conns.len(), b.conns.len());
+            assert_eq!(a.subnet, b.subnet);
+        }
+    }
+}

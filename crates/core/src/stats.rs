@@ -1,0 +1,195 @@
+//! Small statistics toolkit: empirical CDFs (the paper's figures are
+//! nearly all CDFs), quantiles and summary statistics.
+
+/// An empirical cumulative distribution over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Ecdf {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs remain"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1) by nearest-rank; None when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// Median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples ≤ x.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Smallest and largest samples.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        Some((*self.sorted.first()?, *self.sorted.last()?))
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Sample points for plotting: `count` evenly spaced quantiles,
+    /// as (value, cumulative fraction) pairs.
+    pub fn plot_points(&self, count: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        (0..=count)
+            .map(|i| {
+                let q = i as f64 / count as f64;
+                (self.quantile(q).expect("non-empty"), q)
+            })
+            .collect()
+    }
+}
+
+/// Five-number-plus-mean summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarize samples; None when empty.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        let e = Ecdf::new(samples.to_vec());
+        Some(Summary {
+            min: e.quantile(0.0)?,
+            p25: e.quantile(0.25)?,
+            median: e.quantile(0.5)?,
+            p75: e.quantile(0.75)?,
+            max: e.quantile(1.0)?,
+            mean: e.mean()?,
+        })
+    }
+}
+
+/// Percentage helper: `part / whole * 100`, 0 when whole is 0.
+pub fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Percentage for float accumulators.
+pub fn pct_f(part: f64, whole: f64) -> f64 {
+    if whole <= 0.0 {
+        0.0
+    } else {
+        part / whole * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_median() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(e.n(), 5);
+        assert_eq!(e.median(), Some(3.0));
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(5.0));
+        assert_eq!(e.range(), Some((1.0, 5.0)));
+    }
+
+    #[test]
+    fn fraction_le() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.fraction_le(0.5), 0.0);
+        assert_eq!(e.fraction_le(2.0), 0.5);
+        assert_eq!(e.fraction_le(10.0), 1.0);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.median(), None);
+        assert_eq!(e.mean(), None);
+        assert!(e.plot_points(10).is_empty());
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn nans_dropped() {
+        let e = Ecdf::new(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(e.n(), 2);
+    }
+
+    #[test]
+    fn plot_points_monotone() {
+        let e = Ecdf::new((0..100).map(|i| i as f64).collect());
+        let pts = e.plot_points(20);
+        assert_eq!(pts.len(), 21);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[20].1, 1.0);
+    }
+
+    #[test]
+    fn summary_of_uniform() {
+        let s = Summary::of(&(1..=100).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.median - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn pct_helpers() {
+        assert_eq!(pct(1, 4), 25.0);
+        assert_eq!(pct(1, 0), 0.0);
+        assert_eq!(pct_f(2.0, 8.0), 25.0);
+        assert_eq!(pct_f(2.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Flow keys and direction types.
+
+use ent_wire::ipv4;
+
+/// Transport protocol of a flow (the paper's Table 3 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    /// TCP connection.
+    Tcp,
+    /// UDP flow (bidirectional datagrams within a timeout, counted as a
+    /// "connection" as in the paper).
+    Udp,
+    /// ICMP exchange (echo pairs keyed by ident).
+    Icmp,
+}
+
+/// One side of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub addr: ipv4::Addr,
+    /// Transport port (for ICMP: the echo ident on both sides, or 0).
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Construct an endpoint.
+    pub fn new(addr: ipv4::Addr, port: u16) -> Endpoint {
+        Endpoint { addr, port }
+    }
+}
+
+impl core::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.addr, self.port)
+    }
+}
+
+/// An *oriented* flow key: originator (initiator) and responder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Protocol.
+    pub proto: Proto,
+    /// The endpoint that sent the first packet (for TCP, normally the SYN
+    /// sender).
+    pub orig: Endpoint,
+    /// The peer.
+    pub resp: Endpoint,
+}
+
+impl FlowKey {
+    /// The canonical (orientation-free) form used for table lookup: the
+    /// lexicographically smaller endpoint first.
+    pub fn canonical(&self) -> (Proto, Endpoint, Endpoint) {
+        if self.orig <= self.resp {
+            (self.proto, self.orig, self.resp)
+        } else {
+            (self.proto, self.resp, self.orig)
+        }
+    }
+
+    /// The unordered host pair (addresses only), smaller address first.
+    /// Distinct-host-pair counting is the paper's §5 failure-rate
+    /// methodology.
+    pub fn host_pair(&self) -> (ipv4::Addr, ipv4::Addr) {
+        if self.orig.addr <= self.resp.addr {
+            (self.orig.addr, self.resp.addr)
+        } else {
+            (self.resp.addr, self.orig.addr)
+        }
+    }
+
+    /// Key with orig/resp swapped.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            proto: self.proto,
+            orig: self.resp,
+            resp: self.orig,
+        }
+    }
+}
+
+impl core::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:?} {} -> {}", self.proto, self.orig, self.resp)
+    }
+}
+
+/// Direction of a packet within an oriented flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Originator → responder.
+    Orig,
+    /// Responder → originator.
+    Resp,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Orig => Dir::Resp,
+            Dir::Resp => Dir::Orig,
+        }
+    }
+}
+
+/// Dense index of a connection within one table run; handlers use it to
+/// key per-connection analyzer state.
+pub type ConnIndex = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey {
+            proto: Proto::Tcp,
+            orig: Endpoint::new(ipv4::Addr::new(10, 0, 0, 2), 40000),
+            resp: Endpoint::new(ipv4::Addr::new(10, 0, 0, 1), 80),
+        }
+    }
+
+    #[test]
+    fn canonical_is_orientation_free() {
+        let k = key();
+        assert_eq!(k.canonical(), k.reversed().canonical());
+        // Smaller endpoint first.
+        assert_eq!(k.canonical().1.port, 80);
+    }
+
+    #[test]
+    fn host_pair_sorted() {
+        let k = key();
+        let (a, b) = k.host_pair();
+        assert!(a <= b);
+        assert_eq!(k.host_pair(), k.reversed().host_pair());
+    }
+
+    #[test]
+    fn dir_flip() {
+        assert_eq!(Dir::Orig.flip(), Dir::Resp);
+        assert_eq!(Dir::Resp.flip(), Dir::Orig);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(key().to_string(), "Tcp 10.0.0.2:40000 -> 10.0.0.1:80");
+    }
+}

@@ -1,0 +1,627 @@
+//! The connection table.
+
+use crate::handler::FlowHandler;
+use crate::key::{ConnIndex, Dir, Endpoint, FlowKey, Proto};
+use crate::summary::{ConnSummary, DirStats, TcpOutcome, TcpState};
+use crate::tcp::TcpConn;
+use ent_wire::icmp::MessageType;
+use ent_wire::{Packet, Timestamp, Transport};
+use std::collections::HashMap;
+
+/// Configuration for flow demultiplexing.
+#[derive(Debug, Clone, Copy)]
+pub struct TableConfig {
+    /// Inactivity gap after which a UDP flow is considered a new
+    /// "connection" (the paper counts UDP request/response flows as
+    /// connections, Bro-style).
+    pub udp_timeout_us: u64,
+    /// Inactivity gap for ICMP exchanges.
+    pub icmp_timeout_us: u64,
+    /// Inactivity gap after which an *unestablished* TCP attempt is flushed
+    /// (so periodic reconnection attempts count as distinct attempts).
+    pub tcp_attempt_timeout_us: u64,
+}
+
+impl Default for TableConfig {
+    fn default() -> TableConfig {
+        TableConfig {
+            udp_timeout_us: 60_000_000,
+            icmp_timeout_us: 60_000_000,
+            tcp_attempt_timeout_us: 60_000_000,
+        }
+    }
+}
+
+struct Conn {
+    idx: ConnIndex,
+    key: FlowKey,
+    start: Timestamp,
+    end: Timestamp,
+    orig: DirStats,
+    resp: DirStats,
+    tcp: Option<TcpConn>,
+    multicast: bool,
+    icmp_answered: bool,
+}
+
+impl Conn {
+    fn dir_of(&self, src: Endpoint) -> Dir {
+        if src == self.key.orig {
+            Dir::Orig
+        } else {
+            Dir::Resp
+        }
+    }
+
+    fn stats(&mut self, dir: Dir) -> &mut DirStats {
+        match dir {
+            Dir::Orig => &mut self.orig,
+            Dir::Resp => &mut self.resp,
+        }
+    }
+
+    fn summarize(&self) -> ConnSummary {
+        let bidi = self.orig.payload_bytes > 0 && self.resp.payload_bytes > 0;
+        let (outcome, tcp_state, acked_unseen) = match &self.tcp {
+            Some(t) => (t.outcome(bidi), t.state(), t.acked_unseen),
+            None => {
+                let outcome = match self.key.proto {
+                    Proto::Udp => {
+                        if self.multicast {
+                            TcpOutcome::NotApplicable
+                        } else if self.resp.packets > 0 {
+                            TcpOutcome::Successful
+                        } else {
+                            TcpOutcome::Unanswered
+                        }
+                    }
+                    _ => {
+                        if self.icmp_answered {
+                            TcpOutcome::Successful
+                        } else {
+                            TcpOutcome::NotApplicable
+                        }
+                    }
+                };
+                (outcome, TcpState::NotTcp, false)
+            }
+        };
+        ConnSummary {
+            key: self.key,
+            start: self.start,
+            end: self.end,
+            orig: self.orig,
+            resp: self.resp,
+            outcome,
+            tcp_state,
+            multicast: self.multicast,
+            acked_unseen_data: acked_unseen,
+            icmp_answered: self.icmp_answered,
+        }
+    }
+}
+
+/// Demultiplexes dissected packets into connections and emits flow events.
+///
+/// Feed packets in timestamp order via [`ConnTable::ingest`], then call
+/// [`ConnTable::finish`] to flush still-open flows.
+pub struct ConnTable {
+    config: TableConfig,
+    map: HashMap<(Proto, Endpoint, Endpoint), usize>,
+    conns: Vec<Option<Conn>>, // slot per ConnIndex; None once closed
+    next_idx: ConnIndex,
+    packets_seen: u64,
+}
+
+impl ConnTable {
+    /// Create an empty table.
+    pub fn new(config: TableConfig) -> ConnTable {
+        ConnTable {
+            config,
+            map: HashMap::new(),
+            conns: Vec::new(),
+            next_idx: 0,
+            packets_seen: 0,
+        }
+    }
+
+    /// Total packets ingested (all transports, tracked or not).
+    pub fn packets_seen(&self) -> u64 {
+        self.packets_seen
+    }
+
+    /// Currently-open connections.
+    pub fn open_conns(&self) -> usize {
+        self.map.len()
+    }
+
+    fn close_slot<H: FlowHandler>(&mut self, slot: usize, handler: &mut H) {
+        if let Some(conn) = self.conns[slot].take() {
+            self.map.remove(&conn.key.canonical());
+            handler.on_conn_closed(conn.idx, &conn.summarize());
+        }
+    }
+
+    fn open_conn<H: FlowHandler>(
+        &mut self,
+        key: FlowKey,
+        ts: Timestamp,
+        multicast: bool,
+        handler: &mut H,
+    ) -> usize {
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        let conn = Conn {
+            idx,
+            key,
+            start: ts,
+            end: ts,
+            orig: DirStats::default(),
+            resp: DirStats::default(),
+            tcp: if key.proto == Proto::Tcp {
+                Some(TcpConn::new())
+            } else {
+                None
+            },
+            multicast,
+            icmp_answered: false,
+        };
+        let slot = self.conns.len();
+        self.conns.push(Some(conn));
+        self.map.insert(key.canonical(), slot);
+        handler.on_new_conn(idx, &key, ts);
+        slot
+    }
+
+    /// Look up (or create) the flow for `key`; handles inactivity-based
+    /// splitting of UDP/ICMP flows and stale TCP attempts.
+    fn lookup_or_open<H: FlowHandler>(
+        &mut self,
+        key: FlowKey,
+        ts: Timestamp,
+        multicast: bool,
+        fresh_syn: bool,
+        handler: &mut H,
+    ) -> usize {
+        if let Some(&slot) = self.map.get(&key.canonical()) {
+            let (idle_limit, conn_done, established) = {
+                let conn = self.conns[slot].as_ref().expect("mapped slot live");
+                let idle = ts.saturating_micros_since(conn.end);
+                let (done, established) = match &conn.tcp {
+                    Some(t) => (t.done(), !matches!(t.state(), TcpState::SynSent)),
+                    None => (false, true),
+                };
+                let limit = match key.proto {
+                    Proto::Udp => Some(self.config.udp_timeout_us),
+                    Proto::Icmp => Some(self.config.icmp_timeout_us),
+                    Proto::Tcp if !established => Some(self.config.tcp_attempt_timeout_us),
+                    Proto::Tcp => None,
+                };
+                (limit.map(|l| idle > l).unwrap_or(false), done, established)
+            };
+            // Split the flow when it went idle past the timeout, or a
+            // fresh SYN arrives on a *terminated* connection (port reuse /
+            // a new attempt after rejection). A SYN on a live
+            // unestablished attempt is a retransmission of the same
+            // attempt, not a new connection.
+            let _ = established;
+            let split = idle_limit || (fresh_syn && conn_done);
+            if split {
+                self.close_slot(slot, handler);
+                return self.open_conn(key, ts, multicast, handler);
+            }
+            return slot;
+        }
+        self.open_conn(key, ts, multicast, handler)
+    }
+
+    /// Ingest one dissected packet.
+    pub fn ingest<H: FlowHandler>(&mut self, pkt: &Packet<'_>, ts: Timestamp, handler: &mut H) {
+        self.packets_seen += 1;
+        let Some((src_ip, dst_ip)) = pkt.ipv4_addrs() else {
+            return; // non-IPv4: counted by the caller's layer breakdown
+        };
+        let multicast = pkt.is_multicast();
+        match &pkt.transport {
+            Transport::Tcp {
+                src_port, dst_port, ..
+            } => {
+                let tcp = pkt.tcp().expect("transport is TCP");
+                let fresh_syn = tcp.flags.syn() && !tcp.flags.ack();
+                // Orient: SYN-only → sender is originator; SYN-ACK → sender
+                // is responder; otherwise first-seen sender is originator.
+                let (orig, resp) = if tcp.flags.syn() && tcp.flags.ack() {
+                    (
+                        Endpoint::new(dst_ip, *dst_port),
+                        Endpoint::new(src_ip, *src_port),
+                    )
+                } else {
+                    (
+                        Endpoint::new(src_ip, *src_port),
+                        Endpoint::new(dst_ip, *dst_port),
+                    )
+                };
+                let key = FlowKey {
+                    proto: Proto::Tcp,
+                    orig,
+                    resp,
+                };
+                let slot = self.lookup_or_open(key, ts, multicast, fresh_syn, handler);
+                let conn = self.conns[slot].as_mut().expect("slot live");
+                let dir = conn.dir_of(Endpoint::new(src_ip, *src_port));
+                conn.end = ts;
+                let disp = conn
+                    .tcp
+                    .as_mut()
+                    .expect("tcp conn")
+                    .process(dir, &tcp, pkt.payload().len());
+                let idx = conn.idx;
+                {
+                    let s = conn.stats(dir);
+                    s.packets += 1;
+                    s.payload_bytes += tcp.wire_payload_len as u64;
+                    s.unique_bytes += disp.new_wire_bytes as u64;
+                    if disp.retransmission {
+                        s.retx_packets += 1;
+                        s.retx_bytes += tcp.wire_payload_len as u64;
+                        if disp.keepalive {
+                            s.keepalive_packets += 1;
+                        }
+                    }
+                    if disp.gap_bytes > 0 {
+                        s.gap_bytes += disp.gap_bytes as u64;
+                    }
+                }
+                if disp.gap_bytes > 0 {
+                    handler.on_tcp_gap(idx, dir, disp.gap_bytes as u64);
+                }
+                if disp.deliver_captured > 0 {
+                    let data = &pkt.payload()[pkt.payload().len() - disp.deliver_captured.min(pkt.payload().len())..];
+                    handler.on_tcp_data(idx, dir, ts, data);
+                }
+            }
+            Transport::Udp {
+                src_port,
+                dst_port,
+                wire_payload_len,
+            } => {
+                let key = FlowKey {
+                    proto: Proto::Udp,
+                    orig: Endpoint::new(src_ip, *src_port),
+                    resp: Endpoint::new(dst_ip, *dst_port),
+                };
+                let slot = self.lookup_or_open(key, ts, multicast, false, handler);
+                let conn = self.conns[slot].as_mut().expect("slot live");
+                let dir = conn.dir_of(Endpoint::new(src_ip, *src_port));
+                conn.end = ts;
+                let idx = conn.idx;
+                let s = conn.stats(dir);
+                s.packets += 1;
+                s.payload_bytes += *wire_payload_len as u64;
+                s.unique_bytes += *wire_payload_len as u64;
+                handler.on_udp_datagram(idx, dir, ts, pkt.payload(), *wire_payload_len);
+            }
+            Transport::Icmp {
+                mtype, ident, ..
+            } => {
+                // Echo exchanges pair by ident; other ICMP keys by type so
+                // scanners' probe streams aggregate per (src,dst).
+                let port = match mtype {
+                    MessageType::EchoRequest | MessageType::EchoReply => *ident,
+                    other => other.to_u8() as u16,
+                };
+                // Echo replies map onto the request's flow orientation.
+                let (a, b) = if *mtype == MessageType::EchoReply {
+                    (
+                        Endpoint::new(dst_ip, port),
+                        Endpoint::new(src_ip, port),
+                    )
+                } else {
+                    (
+                        Endpoint::new(src_ip, port),
+                        Endpoint::new(dst_ip, port),
+                    )
+                };
+                let key = FlowKey {
+                    proto: Proto::Icmp,
+                    orig: a,
+                    resp: b,
+                };
+                let slot = self.lookup_or_open(key, ts, multicast, false, handler);
+                let conn = self.conns[slot].as_mut().expect("slot live");
+                let dir = conn.dir_of(Endpoint::new(src_ip, port));
+                conn.end = ts;
+                if *mtype == MessageType::EchoReply && dir == Dir::Resp {
+                    conn.icmp_answered = true;
+                }
+                let s = conn.stats(dir);
+                s.packets += 1;
+                s.payload_bytes += pkt.payload().len() as u64;
+                s.unique_bytes += pkt.payload().len() as u64;
+            }
+            Transport::Other(_) | Transport::None => {}
+        }
+    }
+
+    /// Flush all open connections (in creation order) and emit summaries.
+    pub fn finish<H: FlowHandler>(&mut self, end_ts: Timestamp, handler: &mut H) {
+        let _ = end_ts;
+        for slot in 0..self.conns.len() {
+            self.close_slot(slot, handler);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::CollectSummaries;
+    use ent_wire::{build, ethernet::MacAddr, icmp, ipv4::Addr, tcp::Flags};
+
+    fn udp_frame(src: Addr, dst: Addr, sp: u16, dp: u16, len: usize) -> Vec<u8> {
+        build::udp_frame(
+            &build::UdpFrameSpec {
+                src_mac: MacAddr::from_host_id(1),
+                dst_mac: MacAddr::from_host_id(2),
+                src_ip: src,
+                dst_ip: dst,
+                src_port: sp,
+                dst_port: dp,
+                ttl: 64,
+            },
+            &vec![0u8; len],
+        )
+    }
+
+    #[test]
+    fn udp_request_reply_is_one_successful_conn() {
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 53);
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        let f1 = udp_frame(a, b, 5000, 53, 30);
+        let f2 = udp_frame(b, a, 53, 5000, 80);
+        t.ingest(&Packet::parse(&f1).unwrap(), Timestamp::from_micros(0), &mut h);
+        t.ingest(&Packet::parse(&f2).unwrap(), Timestamp::from_micros(400), &mut h);
+        t.finish(Timestamp::from_secs(1), &mut h);
+        assert_eq!(h.summaries.len(), 1);
+        let s = &h.summaries[0];
+        assert_eq!(s.outcome, TcpOutcome::Successful);
+        assert_eq!(s.key.orig.addr, a);
+        assert_eq!(s.orig.payload_bytes, 30);
+        assert_eq!(s.resp.payload_bytes, 80);
+        assert_eq!(s.duration_us(), 400);
+    }
+
+    #[test]
+    fn udp_timeout_splits_flows() {
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 2);
+        let mut t = ConnTable::new(TableConfig {
+            udp_timeout_us: 1_000_000,
+            ..Default::default()
+        });
+        let mut h = CollectSummaries::default();
+        let f = udp_frame(a, b, 123, 123, 48);
+        t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_secs(0), &mut h);
+        t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_secs(10), &mut h);
+        t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_secs(10), &mut h);
+        t.finish(Timestamp::from_secs(20), &mut h);
+        assert_eq!(h.summaries.len(), 2);
+        assert_eq!(h.summaries[0].orig.packets, 1);
+        assert_eq!(h.summaries[1].orig.packets, 2);
+    }
+
+    #[test]
+    fn unanswered_udp_to_multicast_not_counted_as_failure() {
+        let a = Addr::new(10, 0, 0, 1);
+        let m = Addr::new(239, 255, 255, 253);
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        let f = build::udp_frame(
+            &build::UdpFrameSpec {
+                src_mac: MacAddr::from_host_id(1),
+                dst_mac: MacAddr([0x01, 0, 0x5E, 0x7F, 0xFF, 0xFD]),
+                src_ip: a,
+                dst_ip: m,
+                src_port: 427,
+                dst_port: 427,
+                ttl: 8,
+            },
+            &[0u8; 60],
+        );
+        t.ingest(&Packet::parse(&f).unwrap(), Timestamp::ZERO, &mut h);
+        t.finish(Timestamp::from_secs(1), &mut h);
+        assert_eq!(h.summaries.len(), 1);
+        assert!(h.summaries[0].multicast);
+        assert_eq!(h.summaries[0].outcome, TcpOutcome::NotApplicable);
+    }
+
+    #[test]
+    fn icmp_echo_pairing() {
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 2);
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        let req = build::icmp_frame(
+            MacAddr::from_host_id(1),
+            MacAddr::from_host_id(2),
+            a,
+            b,
+            icmp::MessageType::EchoRequest,
+            99,
+            1,
+            b"ping",
+        );
+        let rep = build::icmp_frame(
+            MacAddr::from_host_id(2),
+            MacAddr::from_host_id(1),
+            b,
+            a,
+            icmp::MessageType::EchoReply,
+            99,
+            1,
+            b"ping",
+        );
+        t.ingest(&Packet::parse(&req).unwrap(), Timestamp::from_micros(0), &mut h);
+        t.ingest(&Packet::parse(&rep).unwrap(), Timestamp::from_micros(300), &mut h);
+        t.finish(Timestamp::from_secs(1), &mut h);
+        assert_eq!(h.summaries.len(), 1);
+        let s = &h.summaries[0];
+        assert_eq!(s.key.proto, Proto::Icmp);
+        assert!(s.icmp_answered);
+        assert_eq!(s.key.orig.addr, a);
+        assert_eq!(s.outcome, TcpOutcome::Successful);
+    }
+
+    #[test]
+    fn syn_ack_first_orients_to_receiver() {
+        let client = Addr::new(10, 0, 0, 1);
+        let server = Addr::new(10, 0, 0, 2);
+        // Trace starts right after the client's SYN was missed.
+        let f = build::tcp_frame(
+            &build::TcpFrameSpec {
+                src_mac: MacAddr::from_host_id(2),
+                dst_mac: MacAddr::from_host_id(1),
+                src_ip: server,
+                dst_ip: client,
+                src_port: 80,
+                dst_port: 40000,
+                seq: 1,
+                ack: 1,
+                flags: Flags::SYN | Flags::ACK,
+                window: 65535,
+                ttl: 64,
+            },
+            &[],
+        );
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        t.ingest(&Packet::parse(&f).unwrap(), Timestamp::ZERO, &mut h);
+        t.finish(Timestamp::from_secs(1), &mut h);
+        assert_eq!(h.summaries[0].key.orig.addr, client);
+        assert_eq!(h.summaries[0].key.resp.port, 80);
+    }
+
+    #[test]
+    fn port_reuse_after_close_creates_new_conn() {
+        let client = Addr::new(10, 0, 0, 1);
+        let server = Addr::new(10, 0, 0, 2);
+        let mk = |src: Addr, dst: Addr, sp, dp, seq, ack, flags| {
+            build::tcp_frame(
+                &build::TcpFrameSpec {
+                    src_mac: MacAddr::from_host_id(1),
+                    dst_mac: MacAddr::from_host_id(2),
+                    src_ip: src,
+                    dst_ip: dst,
+                    src_port: sp,
+                    dst_port: dp,
+                    seq,
+                    ack,
+                    flags,
+                    window: 1000,
+                    ttl: 64,
+                },
+                &[],
+            )
+        };
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        let mut ts = 0u64;
+        let mut feed = |t: &mut ConnTable, h: &mut CollectSummaries, f: Vec<u8>| {
+            ts += 1000;
+            t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_micros(ts), h);
+        };
+        // First connection: SYN, SYN-ACK, RST teardown.
+        feed(&mut t, &mut h, mk(client, server, 40000, 139, 10, 0, Flags::SYN));
+        feed(&mut t, &mut h, mk(server, client, 139, 40000, 50, 11, Flags::SYN | Flags::ACK));
+        feed(&mut t, &mut h, mk(client, server, 40000, 139, 11, 51, Flags::RST));
+        // Same 4-tuple, fresh SYN.
+        feed(&mut t, &mut h, mk(client, server, 40000, 139, 900, 0, Flags::SYN));
+        t.finish(Timestamp::from_secs(10), &mut h);
+        assert_eq!(h.summaries.len(), 2);
+        assert_eq!(h.summaries[0].tcp_state, TcpState::Reset);
+        assert_eq!(h.summaries[1].outcome, TcpOutcome::Unanswered);
+    }
+
+    #[test]
+    fn repeated_rejected_attempts_count_separately() {
+        // The paper's automated-retry observation: each SYN→RST cycle is a
+        // distinct attempt (then §5 de-duplicates by host-pair).
+        let client = Addr::new(10, 0, 0, 1);
+        let server = Addr::new(10, 0, 0, 2);
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        for i in 0..3u64 {
+            let syn = build::tcp_frame(
+                &build::TcpFrameSpec {
+                    src_mac: MacAddr::from_host_id(1),
+                    dst_mac: MacAddr::from_host_id(2),
+                    src_ip: client,
+                    dst_ip: server,
+                    src_port: 40000 + i as u16,
+                    dst_port: 445,
+                    seq: 1,
+                    ack: 0,
+                    flags: Flags::SYN,
+                    window: 1000,
+                    ttl: 64,
+                },
+                &[],
+            );
+            let rst = build::tcp_frame(
+                &build::TcpFrameSpec {
+                    src_mac: MacAddr::from_host_id(2),
+                    dst_mac: MacAddr::from_host_id(1),
+                    src_ip: server,
+                    dst_ip: client,
+                    src_port: 445,
+                    dst_port: 40000 + i as u16,
+                    seq: 0,
+                    ack: 2,
+                    flags: Flags::RST | Flags::ACK,
+                    window: 0,
+                    ttl: 64,
+                },
+                &[],
+            );
+            t.ingest(&Packet::parse(&syn).unwrap(), Timestamp::from_millis(i * 10), &mut h);
+            t.ingest(&Packet::parse(&rst).unwrap(), Timestamp::from_millis(i * 10 + 1), &mut h);
+        }
+        t.finish(Timestamp::from_secs(1), &mut h);
+        assert_eq!(h.summaries.len(), 3);
+        assert!(h.summaries.iter().all(|s| s.outcome == TcpOutcome::Rejected));
+    }
+
+    #[test]
+    fn non_ip_and_other_transports_ignored_by_table() {
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        let arp = ent_wire::ethernet::emit(
+            MacAddr::BROADCAST,
+            MacAddr::from_host_id(1),
+            ent_wire::ethernet::EtherType::Arp,
+            &ent_wire::arp::Packet {
+                operation: ent_wire::arp::Operation::Request,
+                sender_mac: MacAddr::from_host_id(1),
+                sender_ip: Addr::new(10, 0, 0, 1),
+                target_mac: MacAddr([0; 6]),
+                target_ip: Addr::new(10, 0, 0, 2),
+            }
+            .emit(),
+        );
+        t.ingest(&Packet::parse(&arp).unwrap(), Timestamp::ZERO, &mut h);
+        let gre = build::raw_ip_frame(
+            MacAddr::from_host_id(1),
+            MacAddr::from_host_id(2),
+            Addr::new(10, 0, 0, 1),
+            Addr::new(10, 0, 0, 2),
+            47,
+            &[0u8; 20],
+        );
+        t.ingest(&Packet::parse(&gre).unwrap(), Timestamp::ZERO, &mut h);
+        t.finish(Timestamp::from_secs(1), &mut h);
+        assert!(h.summaries.is_empty());
+        assert_eq!(t.packets_seen(), 2);
+    }
+}

@@ -1,0 +1,429 @@
+//! Per-connection TCP sequence tracking.
+//!
+//! Tracks each direction's sequence space to (i) classify establishment
+//! outcome, (ii) detect retransmissions — distinguishing 1-byte keep-alive
+//! probes, which the paper excludes from loss analysis (§6) — and
+//! (iii) deliver in-order payload ranges to stream handlers, skipping over
+//! capture gaps.
+
+use crate::key::Dir;
+use crate::summary::{TcpOutcome, TcpState};
+use ent_wire::packet::TcpSummary;
+
+/// Wrapping sequence comparison: true if `a` is strictly before `b`.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (b.wrapping_sub(a) as i32) > 0
+}
+
+/// Wrapping sequence comparison: true if `a` is at or before `b`.
+#[inline]
+pub fn seq_le(a: u32, b: u32) -> bool {
+    seq_lt(a, b) || a == b
+}
+
+/// What a processed segment contributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentDisposition {
+    /// Bytes of new, in-order payload delivered (length of the prefix of
+    /// the captured payload that should be handed to stream analyzers).
+    pub deliver_captured: usize,
+    /// New unique wire bytes (≥ `deliver_captured` under snaplen
+    /// truncation).
+    pub new_wire_bytes: u32,
+    /// The segment was wholly a retransmission.
+    pub retransmission: bool,
+    /// The segment was a 1-byte keep-alive probe.
+    pub keepalive: bool,
+    /// Wire bytes skipped as an unrecoverable gap (capture loss).
+    pub gap_bytes: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirSeq {
+    /// Next expected in-order sequence number (valid once `active`).
+    next_seq: u32,
+    /// Highest sequence-space end observed (valid once `active`).
+    max_end: u32,
+    active: bool,
+    syn_seen: bool,
+    fin_seen: bool,
+}
+
+/// TCP state for one connection.
+#[derive(Debug, Clone, Default)]
+pub struct TcpConn {
+    orig: DirSeq,
+    resp: DirSeq,
+    established: bool,
+    rejected: bool,
+    rst_seen: bool,
+    /// Receiver acknowledged data never present in the trace.
+    pub acked_unseen: bool,
+}
+
+impl TcpConn {
+    /// Create fresh per-connection TCP state.
+    pub fn new() -> TcpConn {
+        TcpConn::default()
+    }
+
+    fn dirs(&mut self, dir: Dir) -> (&mut DirSeq, &mut DirSeq) {
+        match dir {
+            Dir::Orig => (&mut self.orig, &mut self.resp),
+            Dir::Resp => (&mut self.resp, &mut self.orig),
+        }
+    }
+
+    /// Process one segment seen in direction `dir`.
+    ///
+    /// `captured_len` is the number of payload bytes actually captured;
+    /// `seg.wire_payload_len` carries the true on-the-wire payload size.
+    pub fn process(&mut self, dir: Dir, seg: &TcpSummary, captured_len: usize) -> SegmentDisposition {
+        let mut disp = SegmentDisposition::default();
+        let wire_len = seg.wire_payload_len;
+
+        // --- establishment bookkeeping ---
+        if seg.flags.syn() {
+            match dir {
+                Dir::Orig => self.orig.syn_seen = true,
+                Dir::Resp => self.resp.syn_seen = true,
+            }
+            if dir == Dir::Resp && seg.flags.ack() {
+                self.established = true;
+            }
+        }
+        if seg.flags.rst() {
+            self.rst_seen = true;
+            if dir == Dir::Resp && !self.established && self.orig.syn_seen {
+                self.rejected = true;
+            }
+        }
+        // Data from the responder on a SYN-opened connection implies the
+        // handshake completed even if we missed the SYN-ACK.
+        if dir == Dir::Resp && wire_len > 0 && self.orig.syn_seen && !self.rejected {
+            self.established = true;
+        }
+
+        // --- acked-unseen-data detection (capture loss, paper §2) ---
+        if seg.flags.ack() && !seg.flags.rst() {
+            let other_active = match dir {
+                Dir::Orig => self.resp.active,
+                Dir::Resp => self.orig.active,
+            };
+            if other_active {
+                let other_max = match dir {
+                    Dir::Orig => self.resp.max_end,
+                    Dir::Resp => self.orig.max_end,
+                };
+                if seq_lt(other_max, seg.ack) {
+                    self.acked_unseen = true;
+                }
+            }
+        }
+
+        // --- sequence-space tracking ---
+        let (me, _) = self.dirs(dir);
+        // SYN and FIN each occupy one sequence number.
+        let seq_span = wire_len
+            + if seg.flags.syn() { 1 } else { 0 }
+            + if seg.flags.fin() { 1 } else { 0 };
+        let seg_end = seg.seq.wrapping_add(seq_span);
+        if seg.flags.fin() {
+            me.fin_seen = true;
+        }
+        if !me.active {
+            me.active = true;
+            me.next_seq = seg_end;
+            me.max_end = seg_end;
+            disp.deliver_captured = captured_len.min(wire_len as usize);
+            disp.new_wire_bytes = wire_len;
+            disp.gap_bytes = wire_len - disp.deliver_captured as u32;
+            return disp;
+        }
+
+        if seq_span == 0 {
+            // Pure ACK; nothing to deliver or retransmit.
+            if seq_lt(me.max_end, seg_end) {
+                me.max_end = seg_end;
+            }
+            return disp;
+        }
+
+        if seq_le(seg_end, me.next_seq) {
+            // Wholly old data: retransmission (or keep-alive probe).
+            disp.retransmission = true;
+            disp.keepalive = wire_len == 1 && seg_end == me.next_seq;
+            return disp;
+        }
+
+        if seq_lt(me.next_seq, seg.seq) {
+            // Gap before this segment: capture loss — skip it.
+            disp.gap_bytes = seg.seq.wrapping_sub(me.next_seq);
+        }
+
+        // New data (possibly with an old prefix on partial retransmission).
+        let old_prefix = if seq_lt(seg.seq, me.next_seq) && disp.gap_bytes == 0 {
+            me.next_seq.wrapping_sub(seg.seq)
+        } else {
+            0
+        };
+        let new_wire = seg_end.wrapping_sub(seg.seq) - old_prefix
+            - if seg.flags.syn() { 1 } else { 0 }
+            - if seg.flags.fin() { 1 } else { 0 };
+        disp.new_wire_bytes = new_wire.min(wire_len);
+        // Captured payload available beyond the old prefix. SYN consumes a
+        // sequence number but not a payload byte, so captured payload maps
+        // from seg.seq + syn.
+        let cap_new = captured_len.saturating_sub(old_prefix as usize);
+        disp.deliver_captured = cap_new.min(disp.new_wire_bytes as usize);
+        // Truncated capture: sequence space advances past what we captured.
+        let truncated = disp.new_wire_bytes as usize - disp.deliver_captured;
+        disp.gap_bytes += truncated as u32;
+        me.next_seq = seg_end;
+        if seq_lt(me.max_end, seg_end) {
+            me.max_end = seg_end;
+        }
+        disp
+    }
+
+    /// Establishment outcome per the paper's success-rate methodology.
+    pub fn outcome(&self, bidirectional_payload: bool) -> TcpOutcome {
+        if self.orig.syn_seen {
+            if self.established {
+                TcpOutcome::Successful
+            } else if self.rejected {
+                TcpOutcome::Rejected
+            } else if self.rst_seen {
+                // RST from the *originator* aborting its own attempt.
+                TcpOutcome::Unanswered
+            } else {
+                TcpOutcome::Unanswered
+            }
+        } else if bidirectional_payload {
+            TcpOutcome::Successful
+        } else {
+            TcpOutcome::Partial
+        }
+    }
+
+    /// Connection state at summary time.
+    pub fn state(&self) -> TcpState {
+        if self.rejected {
+            TcpState::RejectedState
+        } else if self.rst_seen {
+            if self.established {
+                TcpState::Reset
+            } else {
+                TcpState::RejectedState
+            }
+        } else if self.orig.fin_seen && self.resp.fin_seen {
+            TcpState::Closed
+        } else if self.established {
+            TcpState::Established
+        } else if self.orig.syn_seen {
+            TcpState::SynSent
+        } else {
+            TcpState::Midstream
+        }
+    }
+
+    /// True once the connection has terminated (both FINs or an RST).
+    pub fn done(&self) -> bool {
+        self.rst_seen || (self.orig.fin_seen && self.resp.fin_seen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ent_wire::tcp::Flags;
+
+    fn seg(seq: u32, ack: u32, flags: Flags, len: u32) -> TcpSummary {
+        TcpSummary {
+            src_port: 1,
+            dst_port: 2,
+            seq,
+            ack,
+            flags,
+            window: 65535,
+            wire_payload_len: len,
+        }
+    }
+
+    #[test]
+    fn handshake_then_data() {
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::SYN, 0), 0);
+        assert_eq!(c.outcome(false), TcpOutcome::Unanswered);
+        c.process(Dir::Resp, &seg(500, 101, Flags::SYN | Flags::ACK, 0), 0);
+        assert_eq!(c.outcome(false), TcpOutcome::Successful);
+        let d = c.process(Dir::Orig, &seg(101, 501, Flags::ACK | Flags::PSH, 10), 10);
+        assert_eq!(d.deliver_captured, 10);
+        assert_eq!(d.new_wire_bytes, 10);
+        assert!(!d.retransmission);
+        assert_eq!(c.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn rejection() {
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::SYN, 0), 0);
+        c.process(Dir::Resp, &seg(0, 101, Flags::RST | Flags::ACK, 0), 0);
+        assert_eq!(c.outcome(false), TcpOutcome::Rejected);
+        assert_eq!(c.state(), TcpState::RejectedState);
+        assert!(c.done());
+    }
+
+    #[test]
+    fn unanswered_with_syn_retx() {
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::SYN, 0), 0);
+        let d = c.process(Dir::Orig, &seg(100, 0, Flags::SYN, 0), 0);
+        assert!(d.retransmission);
+        assert!(!d.keepalive);
+        assert_eq!(c.outcome(false), TcpOutcome::Unanswered);
+        assert_eq!(c.state(), TcpState::SynSent);
+    }
+
+    #[test]
+    fn retransmission_detected() {
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(1000, 0, Flags::ACK, 100), 100);
+        let d = c.process(Dir::Orig, &seg(1000, 0, Flags::ACK, 100), 100);
+        assert!(d.retransmission);
+        assert_eq!(d.deliver_captured, 0);
+        // Partial overlap: 50 old + 50 new.
+        let d = c.process(Dir::Orig, &seg(1050, 0, Flags::ACK, 100), 100);
+        assert!(!d.retransmission);
+        assert_eq!(d.new_wire_bytes, 50);
+        assert_eq!(d.deliver_captured, 50);
+    }
+
+    #[test]
+    fn keepalive_probe_detected() {
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::SYN, 0), 0);
+        c.process(Dir::Resp, &seg(500, 101, Flags::SYN | Flags::ACK, 0), 0);
+        // Probe: 1 byte at next_seq - 1 (the SYN consumed seq 100, next=101).
+        let d = c.process(Dir::Orig, &seg(100, 501, Flags::ACK, 1), 1);
+        assert!(d.retransmission);
+        assert!(d.keepalive);
+        let d = c.process(Dir::Orig, &seg(100, 501, Flags::ACK, 1), 1);
+        assert!(d.keepalive);
+    }
+
+    #[test]
+    fn gap_skipped_and_counted() {
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::ACK, 50), 50);
+        // Next expected 150; jump to 250 (100 bytes lost by the tap).
+        let d = c.process(Dir::Orig, &seg(250, 0, Flags::ACK, 20), 20);
+        assert_eq!(d.gap_bytes, 100);
+        assert_eq!(d.deliver_captured, 20);
+    }
+
+    #[test]
+    fn snaplen_truncation_counts_virtual_gap() {
+        let mut c = TcpConn::new();
+        // 1000 wire bytes but only 34 captured (snaplen 68).
+        let d = c.process(Dir::Orig, &seg(1, 0, Flags::ACK, 1000), 34);
+        assert_eq!(d.deliver_captured, 34);
+        assert_eq!(d.new_wire_bytes, 1000);
+        // Next segment is contiguous in wire space.
+        let d = c.process(Dir::Orig, &seg(1001, 0, Flags::ACK, 1000), 34);
+        assert!(!d.retransmission);
+        assert_eq!(d.gap_bytes, 1000 - 34);
+    }
+
+    #[test]
+    fn acked_unseen_data_flagged() {
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::SYN, 0), 0);
+        c.process(Dir::Resp, &seg(500, 101, Flags::SYN | Flags::ACK, 0), 0);
+        // Orig sent 101..151 but the tap dropped it; responder acks 151.
+        c.process(Dir::Resp, &seg(501, 151, Flags::ACK, 0), 0);
+        assert!(c.acked_unseen);
+    }
+
+    #[test]
+    fn fin_teardown() {
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::SYN, 0), 0);
+        c.process(Dir::Resp, &seg(500, 101, Flags::SYN | Flags::ACK, 0), 0);
+        c.process(Dir::Orig, &seg(101, 501, Flags::FIN | Flags::ACK, 0), 0);
+        assert!(!c.done());
+        c.process(Dir::Resp, &seg(501, 102, Flags::FIN | Flags::ACK, 0), 0);
+        assert!(c.done());
+        assert_eq!(c.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn midstream_bidirectional_counts_successful() {
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(1000, 1, Flags::ACK, 100), 100);
+        c.process(Dir::Resp, &seg(2000, 1100, Flags::ACK, 100), 100);
+        assert_eq!(c.outcome(true), TcpOutcome::Successful);
+        assert_eq!(c.outcome(false), TcpOutcome::Partial);
+        assert_eq!(c.state(), TcpState::Midstream);
+    }
+
+    #[test]
+    fn duplicate_syn_ack_is_retransmission() {
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::SYN, 0), 0);
+        c.process(Dir::Resp, &seg(500, 101, Flags::SYN | Flags::ACK, 0), 0);
+        let d = c.process(Dir::Resp, &seg(500, 101, Flags::SYN | Flags::ACK, 0), 0);
+        assert!(d.retransmission);
+        assert_eq!(c.outcome(false), TcpOutcome::Successful);
+    }
+
+    #[test]
+    fn simultaneous_open_tracks_both_directions() {
+        // Both sides send SYN; the first-seen SYN sender is the
+        // originator, and data flowing both ways marks success.
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::SYN, 0), 0);
+        c.process(Dir::Resp, &seg(900, 0, Flags::SYN, 0), 0);
+        c.process(Dir::Orig, &seg(101, 901, Flags::ACK, 10), 10);
+        let d = c.process(Dir::Resp, &seg(901, 111, Flags::ACK, 10), 10);
+        assert_eq!(d.deliver_captured, 10);
+        assert_eq!(c.outcome(true), TcpOutcome::Successful);
+    }
+
+    #[test]
+    fn rst_from_originator_is_not_a_rejection() {
+        // The client gives up its own attempt: counted unanswered, not
+        // rejected (rejections come from the responder).
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::SYN, 0), 0);
+        c.process(Dir::Orig, &seg(101, 0, Flags::RST, 0), 0);
+        assert_eq!(c.outcome(false), TcpOutcome::Unanswered);
+        assert!(c.done());
+    }
+
+    #[test]
+    fn zero_window_probe_like_segment() {
+        // A 1-byte segment at the receive edge that is NOT below the
+        // stream (i.e. new data) must not be classed as keepalive.
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(100, 0, Flags::ACK, 50), 50);
+        let d = c.process(Dir::Orig, &seg(150, 0, Flags::ACK, 1), 1);
+        assert!(!d.retransmission);
+        assert!(!d.keepalive);
+        assert_eq!(d.deliver_captured, 1);
+    }
+
+    #[test]
+    fn seq_wraparound() {
+        assert!(seq_lt(u32::MAX - 10, 5));
+        assert!(!seq_lt(5, u32::MAX - 10));
+        let mut c = TcpConn::new();
+        c.process(Dir::Orig, &seg(u32::MAX - 4, 0, Flags::ACK, 10), 10);
+        // Contiguous across the wrap: (MAX-4) + 10 ≡ 5 (mod 2^32).
+        let d = c.process(Dir::Orig, &seg(5, 0, Flags::ACK, 10), 10);
+        assert!(!d.retransmission);
+        assert_eq!(d.gap_bytes, 0);
+        assert_eq!(d.deliver_captured, 10);
+    }
+}

@@ -1,0 +1,227 @@
+//! Trace and dataset assembly: run every generator for a monitored
+//! subnet, order packets in time, then pass them through the capture tap
+//! (snaplen + drops) exactly as the paper's rig did.
+
+use crate::apps::{self, TraceCtx};
+use crate::dataset::DatasetSpec;
+use crate::network::{Site, WanPool, TOTAL_SUBNETS};
+use ent_pcap::{Tap, Trace, TraceMeta};
+use ent_wire::Timestamp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Count scale factor relative to the real site (1.0 = full volume;
+    /// 0.01 keeps distributional shape at 1% of the session counts).
+    pub scale: f64,
+    /// Extra seed entropy so different runs differ reproducibly.
+    pub seed: u64,
+    /// Workstations per subnet (overrides the dataset default when Some;
+    /// smaller numbers speed up tests).
+    pub hosts_per_subnet: Option<usize>,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            scale: 0.01,
+            seed: 1,
+            hosts_per_subnet: None,
+        }
+    }
+}
+
+/// A generated dataset: the spec plus its traces.
+#[derive(Debug)]
+pub struct GeneratedDataset {
+    /// The dataset calibration used.
+    pub spec: DatasetSpec,
+    /// One trace per (subnet, pass).
+    pub traces: Vec<Trace>,
+}
+
+/// Build the site and WAN pool for a dataset (deterministic per seed).
+pub fn build_site(spec: &DatasetSpec, config: &GenConfig) -> (Site, WanPool) {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ config.seed.rotate_left(17));
+    let hosts = config
+        .hosts_per_subnet
+        .unwrap_or_else(|| scaled_hosts(spec.hosts_per_subnet, config.scale));
+    let site = Site::build(&mut rng, TOTAL_SUBNETS, hosts);
+    let wan = WanPool::new(((spec.wan_pool as f64) * config.scale.sqrt().clamp(0.05, 1.0)) as u32);
+    (site, wan)
+}
+
+/// Host populations shrink sub-linearly with scale: fewer sessions touch
+/// fewer distinct hosts, but the host *pool* must stay rich enough for
+/// fan-in/fan-out shape (Table 1 counts are reported per-scale in
+/// EXPERIMENTS.md).
+fn scaled_hosts(full: usize, scale: f64) -> usize {
+    ((full as f64) * scale.sqrt().clamp(0.08, 1.0)).max(8.0) as usize
+}
+
+/// Generate one trace: the packets seen at one subnet's router port
+/// during one monitoring pass.
+pub fn generate_trace(
+    site: &Site,
+    wan: &WanPool,
+    spec: &DatasetSpec,
+    subnet: u16,
+    pass: u8,
+    config: &GenConfig,
+) -> Trace {
+    let seed = spec
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((subnet as u64) << 8 | pass as u64)
+        .wrapping_add(config.seed.rotate_left(32));
+    let rng = StdRng::seed_from_u64(seed);
+    let mut ctx = TraceCtx::new(rng, site, wan, spec, subnet, config.scale);
+    apps::generate_all(&mut ctx);
+    let mut packets = std::mem::take(&mut ctx.out);
+    // Sessions can overrun the monitoring window; the tap stops recording.
+    let limit = Timestamp::from_micros(spec.trace_secs * 1_000_000);
+    packets.retain(|p| p.ts < limit);
+    packets.sort_by_key(|p| p.ts);
+    // Through the capture tap: snaplen truncation + injected drops.
+    let mut tap = Tap::new(spec.snaplen as usize);
+    if spec.tap_drop_period > 0 {
+        tap = tap.with_drop_period(spec.tap_drop_period);
+    }
+    let packets = tap.capture_all(packets);
+    Trace {
+        meta: TraceMeta {
+            dataset: spec.name.to_string(),
+            subnet,
+            pass,
+            duration: limit,
+            snaplen: spec.snaplen,
+            link_capacity_bps: 100_000_000,
+        },
+        packets,
+    }
+}
+
+/// Generate a whole dataset, materializing all traces in memory.
+///
+/// For large scales prefer [`for_each_trace`], which streams.
+pub fn generate_dataset(spec: &DatasetSpec, config: &GenConfig) -> GeneratedDataset {
+    let mut traces = Vec::with_capacity(spec.trace_count());
+    for_each_trace(spec, config, |t| traces.push(t));
+    GeneratedDataset {
+        spec: spec.clone(),
+        traces,
+    }
+}
+
+/// Generate a dataset trace-by-trace, invoking `f` on each so callers can
+/// analyze and drop traces without holding the whole dataset.
+pub fn for_each_trace<F: FnMut(Trace)>(spec: &DatasetSpec, config: &GenConfig, mut f: F) {
+    let (site, wan) = build_site(spec, config);
+    for pass in 1..=spec.passes {
+        for subnet in spec.monitored.clone() {
+            // D4 monitored only part of the subnets twice ("1-2 per tap").
+            if spec.name == "D4" && pass == 2 && subnet % 2 == 0 {
+                continue;
+            }
+            f(generate_trace(&site, &wan, spec, subnet, pass, config));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::all_datasets;
+
+    fn tiny_config() -> GenConfig {
+        GenConfig {
+            scale: 0.004,
+            seed: 7,
+            hosts_per_subnet: Some(10),
+        }
+    }
+
+    #[test]
+    fn trace_is_sorted_bounded_and_capped_to_snaplen() {
+        let specs = all_datasets();
+        let config = tiny_config();
+        let (site, wan) = build_site(&specs[1], &config);
+        let t = generate_trace(&site, &wan, &specs[1], 3, 1, &config);
+        assert!(!t.packets.is_empty());
+        assert!(t.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
+        let limit = Timestamp::from_secs(3_600);
+        assert!(t.packets.iter().all(|p| p.ts < limit));
+        assert!(t.packets.iter().all(|p| p.frame.len() <= 68), "D1 snaplen 68");
+        assert_eq!(t.meta.snaplen, 68);
+        assert_eq!(t.meta.dataset, "D1");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let specs = all_datasets();
+        let config = tiny_config();
+        let (site, wan) = build_site(&specs[0], &config);
+        let a = generate_trace(&site, &wan, &specs[0], 5, 1, &config);
+        let b = generate_trace(&site, &wan, &specs[0], 5, 1, &config);
+        assert_eq!(a.packets.len(), b.packets.len());
+        assert_eq!(a.packets[0].frame, b.packets[0].frame);
+        // Different subnet differs.
+        let c = generate_trace(&site, &wan, &specs[0], 6, 1, &config);
+        assert_ne!(a.packets.len(), c.packets.len());
+    }
+
+    #[test]
+    fn dataset_trace_counts_match_table1() {
+        let specs = all_datasets();
+        let config = GenConfig {
+            scale: 0.001,
+            seed: 1,
+            hosts_per_subnet: Some(6),
+        };
+        let mut count = 0;
+        for_each_trace(&specs[0], &config, |_| count += 1);
+        assert_eq!(count, 22);
+        let mut count = 0;
+        for_each_trace(&specs[1], &config, |_| count += 1);
+        assert_eq!(count, 44);
+        let mut count = 0;
+        for_each_trace(&specs[4], &config, |t| {
+            assert!(t.meta.subnet >= 22);
+            count += 1;
+        });
+        assert_eq!(count, 27); // 18 once + 9 odd subnets twice
+    }
+
+    #[test]
+    fn d1_injects_capture_drops() {
+        let specs = all_datasets();
+        let config = tiny_config();
+        let gd = generate_dataset(
+            &DatasetSpec {
+                monitored: 0..2,
+                ..specs[1].clone()
+            },
+            &config,
+        );
+        assert_eq!(gd.traces.len(), 4);
+    }
+
+    #[test]
+    fn full_payload_dataset_has_parsable_http() {
+        let specs = all_datasets();
+        let config = tiny_config();
+        let (site, wan) = build_site(&specs[0], &config);
+        let t = generate_trace(&site, &wan, &specs[0], 6, 1, &config);
+        let mut http_payloads = 0;
+        for p in &t.packets {
+            if let Ok(pkt) = ent_wire::Packet::parse(&p.frame) {
+                if pkt.payload().starts_with(b"GET ") || pkt.payload().starts_with(b"HTTP/1.1") {
+                    http_payloads += 1;
+                }
+            }
+        }
+        assert!(http_payloads > 0, "full-snaplen trace must carry HTTP text");
+    }
+}

@@ -1,0 +1,229 @@
+//! Sampling distributions for workload synthesis, implemented directly on
+//! [`rand::Rng`] (no external distribution crate): log-normal and Pareto
+//! for sizes (body sizes, flow sizes — heavy-tailed, as every traffic
+//! study since Paxson '94 finds), exponential for interarrivals, and
+//! Zipf for popularity (server choice, fan-out skew).
+
+use rand::{Rng, RngExt};
+
+/// Sample a standard normal via Box–Muller.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::EPSILON {
+            continue;
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Log-normal distribution parameterized by the ln-space mean and sigma.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Mean of ln X.
+    pub mu: f64,
+    /// Standard deviation of ln X.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from the desired *median* and a shape sigma
+    /// (median of a log-normal is e^mu).
+    pub fn from_median(median: f64, sigma: f64) -> LogNormal {
+        LogNormal {
+            mu: median.max(1e-9).ln(),
+            sigma,
+        }
+    }
+
+    /// Draw a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * std_normal(rng)).exp()
+    }
+
+    /// Draw a sample clamped to `[lo, hi]`.
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+/// Pareto (power-law tail) distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    /// Minimum value (scale).
+    pub scale: f64,
+    /// Tail index; smaller = heavier tail.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Draw a sample via inverse transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        self.scale / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Exponential interarrival sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    /// Mean of the distribution.
+    pub mean: f64,
+}
+
+impl Exp {
+    /// Draw a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        -self.mean * u.ln()
+    }
+}
+
+/// Zipf-like popularity over `n` ranks with exponent `s`, using precomputed
+/// cumulative weights for O(log n) sampling.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over ranks `0..n`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n` (rank 0 most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Weighted choice over a small fixed set.
+pub fn weighted_choice<R: Rng + ?Sized, T: Copy>(rng: &mut R, items: &[(T, f64)]) -> T {
+    debug_assert!(!items.is_empty());
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    let mut u = rng.random::<f64>() * total;
+    for (item, w) in items {
+        if u < *w {
+            return *item;
+        }
+        u -= w;
+    }
+    items[items.len() - 1].0
+}
+
+/// Sample true with probability `p`.
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.random::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn lognormal_median_roughly_right() {
+        let d = LogNormal::from_median(1000.0, 1.0);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median / 1000.0 - 1.0).abs() < 0.1, "median {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pareto_heavy_tail() {
+        let d = Pareto {
+            scale: 100.0,
+            alpha: 1.2,
+        };
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x >= 100.0));
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 10_000.0, "tail too light: max {max}");
+    }
+
+    #[test]
+    fn exp_mean() {
+        let d = Exp { mean: 50.0 };
+        let mut r = rng();
+        let mean: f64 = (0..50_000).map(|_| d.sample(&mut r)).sum::<f64>() / 50_000.0;
+        assert!((mean / 50.0 - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_rank_ordering() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        assert!(counts[0] > 50_000 / 20, "rank-0 should dominate");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut r = rng();
+        let mut a = 0;
+        for _ in 0..10_000 {
+            if weighted_choice(&mut r, &[(1u8, 9.0), (2u8, 1.0)]) == 1 {
+                a += 1;
+            }
+        }
+        assert!((a as f64 / 10_000.0 - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn coin_probability() {
+        let mut r = rng();
+        let heads = (0..10_000).filter(|_| coin(&mut r, 0.25)).count();
+        assert!((heads as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn clamped_sampling() {
+        let d = LogNormal::from_median(100.0, 3.0);
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let x = d.sample_clamped(&mut r, 10.0, 500.0);
+            assert!((10.0..=500.0).contains(&x));
+        }
+    }
+}

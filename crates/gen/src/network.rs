@@ -1,0 +1,382 @@
+//! The enterprise site model: routers, subnets, hosts, server roles and
+//! address allocation — a synthetic stand-in for the LBNL network whose
+//! traces the paper recorded.
+//!
+//! Internal addresses live in a /16 (one /24 per subnet). Subnets attach
+//! to two central routers, 18–22 subnets each era, mirroring the paper's
+//! §2. Server roles are *placed on specific subnets* because vantage-point
+//! placement drives many of the paper's observations (e.g. D0–2 monitored
+//! the mail-server subnets, D3–4 a print-server subnet).
+
+use ent_wire::ethernet::MacAddr;
+use ent_wire::ipv4;
+use rand::{Rng, RngExt};
+
+/// The internal /16 network (a stand-in for LBNL's address space).
+pub const INTERNAL_NET: ipv4::Addr = ipv4::Addr::new(10, 100, 0, 0);
+/// Prefix length of the internal network.
+pub const INTERNAL_PREFIX: u8 = 16;
+
+/// True if an address is internal to the enterprise.
+pub fn is_internal(addr: ipv4::Addr) -> bool {
+    addr.in_prefix(INTERNAL_NET, INTERNAL_PREFIX)
+}
+
+/// Server roles placed in the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Ordinary client workstation.
+    Workstation,
+    /// Enterprise SMTP relay (also a top DNS client).
+    SmtpServer,
+    /// IMAP(/S) message store.
+    ImapServer,
+    /// Site DNS server.
+    DnsServer,
+    /// NetBIOS name server (one of the two mains).
+    NbnsServer,
+    /// Windows domain controller (NetLogon/LsaRPC).
+    AuthServer,
+    /// Print server (Spoolss).
+    PrintServer,
+    /// NFS file server.
+    NfsServer,
+    /// NetWare (NCP) server.
+    NcpServer,
+    /// Backup server (Veritas/Dantz target).
+    BackupServer,
+    /// Internal web server.
+    WebServer,
+    /// Windows file server (CIFS shares).
+    CifsServer,
+    /// Streaming media server.
+    MediaServer,
+    /// HPSS / bulk storage mover.
+    BulkServer,
+    /// Database / calendar / misc application server.
+    AppServer,
+}
+
+/// One host in the site model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Host {
+    /// Stable host identifier.
+    pub id: u32,
+    /// Subnet index the host lives on.
+    pub subnet: u16,
+    /// IPv4 address.
+    pub addr: ipv4::Addr,
+    /// Ethernet address.
+    pub mac: MacAddr,
+    /// Role.
+    pub role: Role,
+}
+
+/// A monitored-site model.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// All internal hosts, indexed by id.
+    pub hosts: Vec<Host>,
+    /// Subnet count.
+    pub subnets: u16,
+    /// Host ids per subnet.
+    pub by_subnet: Vec<Vec<u32>>,
+    /// Hosts holding each role (role, host id).
+    pub servers: Vec<(Role, u32)>,
+}
+
+/// Total subnets at the site: 0–21 attach to router A (monitored by
+/// datasets D0–D2), 22–39 to router B (monitored by D3–D4).
+pub const TOTAL_SUBNETS: u16 = 40;
+/// Subnets attached to router A.
+pub const ROUTER_A: std::ops::Range<u16> = 0..22;
+/// Subnets attached to router B.
+pub const ROUTER_B: std::ops::Range<u16> = 22..40;
+
+/// Placement plan: (role, subnet) pairs, chosen to reproduce the paper's
+/// vantage-point effects — the main SMTP/IMAP servers and the NFS/NCP
+/// heavy hitters sit on router A's subnets (hence dominate D0–D2), while
+/// the major print server and a main DNS/NBNS server sit on router B's
+/// (hence dominate D3–D4, §5.1.2/§5.1.3/§5.2.1).
+pub const DEFAULT_PLACEMENT: &[(Role, u16)] = &[
+    (Role::SmtpServer, 0),
+    (Role::SmtpServer, 1),
+    (Role::ImapServer, 0),
+    (Role::DnsServer, 24),
+    (Role::DnsServer, 25),
+    (Role::NbnsServer, 2),
+    (Role::NbnsServer, 25),
+    (Role::AuthServer, 1),
+    (Role::PrintServer, 30),
+    (Role::NfsServer, 3),
+    (Role::NfsServer, 26),
+    (Role::NcpServer, 3),
+    (Role::NcpServer, 4),
+    (Role::BackupServer, 5),
+    (Role::BackupServer, 27),
+    (Role::WebServer, 6),
+    (Role::WebServer, 7),
+    (Role::WebServer, 28),
+    (Role::CifsServer, 4),
+    (Role::CifsServer, 29),
+    (Role::MediaServer, 8),
+    (Role::BulkServer, 5),
+    (Role::BulkServer, 31),
+    (Role::AppServer, 9),
+    (Role::AppServer, 32),
+];
+
+impl Site {
+    /// Build a site with `subnets` subnets and roughly `hosts_per_subnet`
+    /// workstations each, plus servers per [`DEFAULT_PLACEMENT`].
+    pub fn build<R: Rng + ?Sized>(rng: &mut R, subnets: u16, hosts_per_subnet: usize) -> Site {
+        let mut hosts = Vec::new();
+        let mut by_subnet = vec![Vec::new(); subnets as usize];
+        let mut servers = Vec::new();
+        let base = INTERNAL_NET.octets();
+        let mut next_id = 0u32;
+        let mut add_host = |hosts: &mut Vec<Host>,
+                            by_subnet: &mut Vec<Vec<u32>>,
+                            subnet: u16,
+                            host_octet: u8,
+                            role: Role| {
+            let id = next_id;
+            next_id += 1;
+            let addr = ipv4::Addr::new(base[0], base[1], subnet as u8, host_octet);
+            hosts.push(Host {
+                id,
+                subnet,
+                addr,
+                mac: MacAddr::from_host_id(id),
+                role,
+            });
+            by_subnet[subnet as usize].push(id);
+            id
+        };
+        // Servers first, at low host octets.
+        let mut next_octet = vec![10u8; subnets as usize];
+        for &(role, subnet_hint) in DEFAULT_PLACEMENT {
+            let subnet = subnet_hint % subnets;
+            let octet = next_octet[subnet as usize];
+            next_octet[subnet as usize] += 1;
+            let id = add_host(&mut hosts, &mut by_subnet, subnet, octet, role);
+            servers.push((role, id));
+        }
+        // Workstations, with mild size variation across subnets.
+        for subnet in 0..subnets {
+            let n = (hosts_per_subnet as f64 * (0.6 + 0.8 * rng.random::<f64>())) as usize;
+            for i in 0..n.max(2) {
+                let octet = 30 + (i % 220) as u8;
+                add_host(
+                    &mut hosts,
+                    &mut by_subnet,
+                    subnet,
+                    octet.saturating_add((i / 220) as u8),
+                    Role::Workstation,
+                );
+            }
+        }
+        Site {
+            hosts,
+            subnets,
+            by_subnet,
+            servers,
+        }
+    }
+
+    /// Look up a host by id.
+    pub fn host(&self, id: u32) -> &Host {
+        &self.hosts[id as usize]
+    }
+
+    /// All hosts holding `role`.
+    pub fn with_role(&self, role: Role) -> Vec<&Host> {
+        self.servers
+            .iter()
+            .filter(|(r, _)| *r == role)
+            .map(|(_, id)| self.host(*id))
+            .collect()
+    }
+
+    /// A server of `role` preferring one on `subnet` (vantage-point
+    /// effects), else any.
+    pub fn server_for(&self, role: Role, subnet: u16) -> Option<&Host> {
+        let all = self.with_role(role);
+        all.iter()
+            .find(|h| h.subnet == subnet)
+            .copied()
+            .or_else(|| all.first().copied())
+    }
+
+    /// A random workstation on the given subnet.
+    pub fn random_workstation<R: Rng + ?Sized>(&self, rng: &mut R, subnet: u16) -> &Host {
+        let ids = &self.by_subnet[subnet as usize];
+        // Workstations occupy the tail of each subnet's id list.
+        loop {
+            let id = ids[rng.random_range(0..ids.len())];
+            let h = self.host(id);
+            if h.role == Role::Workstation || ids.len() < 4 {
+                return h;
+            }
+        }
+    }
+
+    /// A random host on any *other* subnet (for internal peer traffic).
+    pub fn random_other_subnet_host<R: Rng + ?Sized>(&self, rng: &mut R, not_subnet: u16) -> &Host {
+        loop {
+            let h = &self.hosts[rng.random_range(0..self.hosts.len())];
+            if h.subnet != not_subnet {
+                return h;
+            }
+        }
+    }
+}
+
+/// The pool of external (WAN) peers, with Zipf popularity so a few remote
+/// servers dominate while the long tail yields the large remote-host
+/// counts of Table 1.
+#[derive(Debug, Clone)]
+pub struct WanPool {
+    size: u32,
+    zipf: crate::distr::Zipf,
+}
+
+impl WanPool {
+    /// A pool of `size` external addresses.
+    pub fn new(size: u32) -> WanPool {
+        WanPool {
+            size: size.max(16),
+            zipf: crate::distr::Zipf::new(size.max(16) as usize, 0.9),
+        }
+    }
+
+    /// Pool size.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The address of external peer `rank`.
+    pub fn addr_of(&self, rank: u32) -> ipv4::Addr {
+        // Spread over several disjoint public /8-ish blocks, never
+        // colliding with INTERNAL_NET.
+        let block = [16u8, 32, 64, 128, 192][(rank % 5) as usize];
+        let r = rank / 5;
+        ipv4::Addr::new(block, (r >> 16) as u8, (r >> 8) as u8, (r as u8).max(1))
+    }
+
+    /// Draw a popular-skewed external peer.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ipv4::Addr {
+        self.addr_of(self.zipf.sample(rng) as u32)
+    }
+
+    /// Draw a uniformly random external peer (scanners, long tail).
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> ipv4::Addr {
+        self.addr_of(rng.random_range(0..self.size))
+    }
+
+    /// The MAC the router uses when forwarding WAN traffic onto a subnet.
+    pub fn router_mac(&self) -> MacAddr {
+        MacAddr([0x02, 0x00, 0x5E, 0x00, 0x00, 0xFE])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn site() -> Site {
+        let mut rng = StdRng::seed_from_u64(7);
+        Site::build(&mut rng, TOTAL_SUBNETS, 40)
+    }
+
+    #[test]
+    fn build_places_all_roles() {
+        let s = site();
+        assert_eq!(s.subnets, TOTAL_SUBNETS);
+        assert_eq!(s.by_subnet.len(), TOTAL_SUBNETS as usize);
+        for role in [
+            Role::SmtpServer,
+            Role::DnsServer,
+            Role::PrintServer,
+            Role::NfsServer,
+            Role::NcpServer,
+            Role::BackupServer,
+            Role::AuthServer,
+        ] {
+            assert!(!s.with_role(role).is_empty(), "missing {role:?}");
+        }
+    }
+
+    #[test]
+    fn addresses_are_internal_and_unique() {
+        let s = site();
+        let mut seen = std::collections::HashSet::new();
+        for h in &s.hosts {
+            assert!(is_internal(h.addr), "host {h:?} not internal");
+            assert!(seen.insert(h.addr), "duplicate address {}", h.addr);
+            assert_eq!(h.addr.octets()[2], h.subnet as u8);
+        }
+    }
+
+    #[test]
+    fn small_subnet_count_wraps_placement() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Site::build(&mut rng, 18, 30);
+        assert!(s.hosts.iter().all(|h| h.subnet < 18));
+        assert!(!s.with_role(Role::PrintServer).is_empty());
+    }
+
+    #[test]
+    fn router_split_places_mail_on_a_print_on_b() {
+        let s = site();
+        for h in s.with_role(Role::SmtpServer) {
+            assert!(ROUTER_A.contains(&h.subnet));
+        }
+        for h in s.with_role(Role::PrintServer) {
+            assert!(ROUTER_B.contains(&h.subnet));
+        }
+        for h in s.with_role(Role::DnsServer) {
+            assert!(ROUTER_B.contains(&h.subnet), "main DNS servers off router A (paper: D0-2 lack DNS-server subnets)");
+        }
+    }
+
+    #[test]
+    fn server_for_prefers_local() {
+        let s = site();
+        let dns = s.with_role(Role::DnsServer);
+        let local = s.server_for(Role::DnsServer, dns[0].subnet).unwrap();
+        assert_eq!(local.subnet, dns[0].subnet);
+        let other = s.server_for(Role::DnsServer, 99 % s.subnets).unwrap();
+        assert_eq!(other.role, Role::DnsServer);
+    }
+
+    #[test]
+    fn wan_pool_addresses_external() {
+        let pool = WanPool::new(10_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let a = pool.sample(&mut rng);
+            assert!(!is_internal(a), "WAN address {a} inside internal net");
+        }
+        // Zipf skew: repeated samples hit few distinct addresses.
+        let distinct: std::collections::HashSet<_> =
+            (0..1_000).map(|_| pool.sample(&mut rng).0).collect();
+        let uniform_distinct: std::collections::HashSet<_> =
+            (0..1_000).map(|_| pool.sample_uniform(&mut rng).0).collect();
+        assert!(distinct.len() < uniform_distinct.len());
+    }
+
+    #[test]
+    fn workstation_sampling() {
+        let s = site();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let h = s.random_workstation(&mut rng, 3);
+            assert_eq!(h.subnet, 3);
+        }
+        let other = s.random_other_subnet_host(&mut rng, 3);
+        assert_ne!(other.subnet, 3);
+    }
+}

@@ -1,0 +1,744 @@
+//! Packet synthesis: turn abstract session scripts into timestamped
+//! Ethernet frames with real TCP/UDP/ICMP dynamics — handshakes, MSS
+//! segmentation, delayed ACKs, FIN/RST teardown, RTT-proportional timing
+//! (the mechanism behind the paper's internal-vs-WAN duration splits),
+//! loss-driven retransmissions, and TCP keep-alive probes.
+
+use crate::distr::coin;
+use ent_pcap::TimedPacket;
+use ent_wire::ethernet::MacAddr;
+use ent_wire::{build, icmp, ipv4, tcp, Timestamp};
+use rand::{Rng, RngExt};
+
+/// Maximum TCP segment payload. 1446 (rather than 1460) keeps the full
+/// Ethernet frame at 14+20+20+1446 = 1500 bytes — exactly the full-packet
+/// snaplen, so full-capture datasets do not truncate data segments (the
+/// hosts behave as if negotiating a reduced MSS, e.g. for tunnel headroom).
+pub const MSS: usize = 1446;
+/// Per-byte serialization time at 100 Mb/s, in nanoseconds.
+const NS_PER_BYTE: u64 = 80;
+
+/// One traffic endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Peer {
+    /// IPv4 address.
+    pub addr: ipv4::Addr,
+    /// MAC as seen on the monitored segment (the router's MAC for WAN and
+    /// off-subnet peers).
+    pub mac: MacAddr,
+    /// Transport port.
+    pub port: u16,
+    /// IP TTL this peer's packets arrive with.
+    pub ttl: u8,
+}
+
+impl Peer {
+    /// An internal peer from a site host.
+    pub fn internal(host: &crate::network::Host, port: u16) -> Peer {
+        Peer {
+            addr: host.addr,
+            mac: host.mac,
+            port,
+            ttl: 64,
+        }
+    }
+
+    /// A WAN peer (reached through the router).
+    pub fn wan(addr: ipv4::Addr, router_mac: MacAddr, port: u16) -> Peer {
+        Peer {
+            addr,
+            mac: router_mac,
+            port,
+            ttl: 52,
+        }
+    }
+}
+
+/// TCP connection establishment outcome to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Full handshake then data.
+    Success,
+    /// SYN answered by RST.
+    Rejected,
+    /// SYN (retried twice) never answered.
+    Unanswered,
+}
+
+/// How an established connection ends within the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Close {
+    /// FIN handshake.
+    Fin,
+    /// Abortive RST (the paper notes failed internal HTTP conns mostly end
+    /// in server RSTs).
+    Rst,
+    /// Still open at trace end.
+    None,
+}
+
+/// One application-level send.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// Sent by the client (originator)?
+    pub from_client: bool,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Think/processing time before this send, microseconds.
+    pub gap_us: u64,
+}
+
+impl Exchange {
+    /// Client-side send after `gap_us`.
+    pub fn client(payload: Vec<u8>, gap_us: u64) -> Exchange {
+        Exchange {
+            from_client: true,
+            payload,
+            gap_us,
+        }
+    }
+
+    /// Server-side send after `gap_us`.
+    pub fn server(payload: Vec<u8>, gap_us: u64) -> Exchange {
+        Exchange {
+            from_client: false,
+            payload,
+            gap_us,
+        }
+    }
+}
+
+/// Periodic 1-byte keep-alive probes appended after the dialogue (NCP's
+/// signature behavior, §5.2.2).
+#[derive(Debug, Clone, Copy)]
+pub struct Keepalives {
+    /// Probe interval, microseconds.
+    pub interval_us: u64,
+    /// Number of probes.
+    pub count: u32,
+}
+
+/// Complete specification of one TCP session to synthesize.
+#[derive(Debug, Clone)]
+pub struct TcpSessionSpec {
+    /// First-packet time.
+    pub start: Timestamp,
+    /// Originator.
+    pub client: Peer,
+    /// Responder.
+    pub server: Peer,
+    /// Round-trip time, microseconds.
+    pub rtt_us: u64,
+    /// Establishment outcome.
+    pub outcome: Outcome,
+    /// Application dialogue (ignored unless `Success`).
+    pub exchanges: Vec<Exchange>,
+    /// Keep-alive probes after the dialogue.
+    pub keepalives: Option<Keepalives>,
+    /// Teardown.
+    pub close: Close,
+    /// Per-data-segment retransmission probability.
+    pub retx_rate: f64,
+}
+
+impl TcpSessionSpec {
+    /// A plain successful session with the given dialogue.
+    pub fn success(
+        start: Timestamp,
+        client: Peer,
+        server: Peer,
+        rtt_us: u64,
+        exchanges: Vec<Exchange>,
+    ) -> TcpSessionSpec {
+        TcpSessionSpec {
+            start,
+            client,
+            server,
+            rtt_us,
+            outcome: Outcome::Success,
+            exchanges,
+            keepalives: None,
+            close: Close::Fin,
+            retx_rate: 0.0,
+        }
+    }
+}
+
+struct TcpSim<'a, R: Rng + ?Sized> {
+    spec: &'a TcpSessionSpec,
+    rng: &'a mut R,
+    out: Vec<TimedPacket>,
+    c_seq: u32,
+    s_seq: u32,
+    c_acked: u32,
+    s_acked: u32,
+}
+
+impl<'a, R: Rng + ?Sized> TcpSim<'a, R> {
+    fn frame(&mut self, ts: Timestamp, from_client: bool, flags: tcp::Flags, seq: u32, ack: u32, payload: &[u8]) {
+        let (src, dst) = if from_client {
+            (&self.spec.client, &self.spec.server)
+        } else {
+            (&self.spec.server, &self.spec.client)
+        };
+        let f = build::tcp_frame(
+            &build::TcpFrameSpec {
+                src_mac: src.mac,
+                dst_mac: dst.mac,
+                src_ip: src.addr,
+                dst_ip: dst.addr,
+                src_port: src.port,
+                dst_port: dst.port,
+                seq,
+                ack,
+                flags,
+                window: 65_535,
+                ttl: src.ttl,
+            },
+            payload,
+        );
+        self.out.push(TimedPacket::new(ts, f));
+    }
+
+    fn run(mut self) -> Vec<TimedPacket> {
+        let spec = self.spec;
+        let rtt = spec.rtt_us.max(20);
+        let half = (rtt / 2).max(10);
+        let mut t = spec.start;
+        match spec.outcome {
+            Outcome::Unanswered => {
+                // Initial SYN plus two exponential-backoff retries.
+                let seq = self.c_seq;
+                for delay in [0u64, 3_000_000, 9_000_000] {
+                    self.frame(t + delay, true, tcp::Flags::SYN, seq, 0, &[]);
+                }
+                return self.out;
+            }
+            Outcome::Rejected => {
+                let seq = self.c_seq;
+                self.frame(t, true, tcp::Flags::SYN, seq, 0, &[]);
+                self.frame(
+                    t + half,
+                    false,
+                    tcp::Flags::RST | tcp::Flags::ACK,
+                    0,
+                    seq.wrapping_add(1),
+                    &[],
+                );
+                return self.out;
+            }
+            Outcome::Success => {}
+        }
+        // Handshake.
+        let c_isn = self.c_seq;
+        let s_isn = self.s_seq;
+        self.frame(t, true, tcp::Flags::SYN, c_isn, 0, &[]);
+        self.frame(
+            t + half,
+            false,
+            tcp::Flags::SYN | tcp::Flags::ACK,
+            s_isn,
+            c_isn.wrapping_add(1),
+            &[],
+        );
+        self.c_seq = c_isn.wrapping_add(1);
+        self.s_seq = s_isn.wrapping_add(1);
+        self.c_acked = self.s_seq;
+        self.s_acked = self.c_seq;
+        t += rtt;
+        self.frame(t, true, tcp::Flags::ACK, self.c_seq, self.c_acked, &[]);
+
+        // Dialogue.
+        let exchanges = spec.exchanges.clone();
+        let mut last_dir_client = true;
+        for ex in &exchanges {
+            t += ex.gap_us;
+            if ex.from_client != last_dir_client {
+                // Propagation before the other side can respond.
+                t += half;
+                last_dir_client = ex.from_client;
+            }
+            t = self.send_data(t, ex.from_client, &ex.payload, half);
+        }
+
+        // Keep-alive probes.
+        if let Some(ka) = spec.keepalives {
+            let probe_seq = self.c_seq.wrapping_sub(1);
+            for _ in 0..ka.count {
+                t += ka.interval_us;
+                self.frame(t, true, tcp::Flags::ACK, probe_seq, self.c_acked, &[1]);
+                self.frame(t + half, false, tcp::Flags::ACK, self.s_seq, self.c_seq, &[]);
+            }
+        }
+
+        // Teardown.
+        match spec.close {
+            Close::Fin => {
+                t += 1_000;
+                self.frame(
+                    t,
+                    true,
+                    tcp::Flags::FIN | tcp::Flags::ACK,
+                    self.c_seq,
+                    self.c_acked,
+                    &[],
+                );
+                self.c_seq = self.c_seq.wrapping_add(1);
+                self.frame(
+                    t + half,
+                    false,
+                    tcp::Flags::FIN | tcp::Flags::ACK,
+                    self.s_seq,
+                    self.c_seq,
+                    &[],
+                );
+                self.s_seq = self.s_seq.wrapping_add(1);
+                self.frame(t + rtt, true, tcp::Flags::ACK, self.c_seq, self.s_seq, &[]);
+            }
+            Close::Rst => {
+                t += 500;
+                self.frame(t, false, tcp::Flags::RST | tcp::Flags::ACK, self.s_seq, self.c_seq, &[]);
+            }
+            Close::None => {}
+        }
+        self.out.sort_by_key(|p| p.ts);
+        self.out
+    }
+
+    /// Send `payload` in MSS segments from one side; returns the time the
+    /// last segment was sent.
+    fn send_data(&mut self, mut t: Timestamp, from_client: bool, payload: &[u8], half: u64) -> Timestamp {
+        let rto = (4 * half).max(200_000);
+        let mut chunks = payload.chunks(MSS).peekable();
+        let mut since_ack = 0;
+        // Slow-start pacing: the sender stalls for a round trip after each
+        // congestion window's worth of segments; the window doubles from 4
+        // up to a cap. This is what makes bulk-transfer time scale with
+        // RTT (the paper's Figure 5 mechanism).
+        let mut cwnd: u32 = 4;
+        let mut in_window: u32 = 0;
+        while let Some(chunk) = chunks.next() {
+            if in_window >= cwnd {
+                t += 2 * half;
+                cwnd = (cwnd * 2).min(64);
+                in_window = 0;
+            }
+            in_window += 1;
+            let last = chunks.peek().is_none();
+            let (seq, ack) = if from_client {
+                (self.c_seq, self.c_acked)
+            } else {
+                (self.s_seq, self.s_acked)
+            };
+            let mut flags = tcp::Flags::ACK;
+            if last {
+                flags = flags | tcp::Flags::PSH;
+            }
+            self.frame(t, from_client, flags, seq, ack, chunk);
+            if coin(self.rng, self.spec.retx_rate) {
+                // Timeout retransmission of the same segment.
+                self.frame(t + rto, from_client, flags, seq, ack, chunk);
+            }
+            if from_client {
+                self.c_seq = self.c_seq.wrapping_add(chunk.len() as u32);
+            } else {
+                self.s_seq = self.s_seq.wrapping_add(chunk.len() as u32);
+            }
+            since_ack += 1;
+            if since_ack == 2 || last {
+                // Delayed ACK from the receiver.
+                let (rseq, rack) = if from_client {
+                    (self.s_seq, self.c_seq)
+                } else {
+                    (self.c_seq, self.s_seq)
+                };
+                self.frame(t + half, !from_client, tcp::Flags::ACK, rseq, rack, &[]);
+                if from_client {
+                    self.s_acked = self.c_seq;
+                } else {
+                    self.c_acked = self.s_seq;
+                }
+                since_ack = 0;
+            }
+            t += (chunk.len() as u64 * NS_PER_BYTE) / 1_000 + 5;
+        }
+        t
+    }
+}
+
+/// Synthesize one TCP session into timestamped frames.
+pub fn synth_tcp<R: Rng + ?Sized>(spec: &TcpSessionSpec, rng: &mut R) -> Vec<TimedPacket> {
+    let c_seq = rng.random::<u32>();
+    let s_seq = rng.random::<u32>();
+    TcpSim {
+        spec,
+        rng,
+        out: Vec::new(),
+        c_seq,
+        s_seq,
+        c_acked: 0,
+        s_acked: 0,
+    }
+    .run()
+}
+
+/// One UDP message in a flow script.
+#[derive(Debug, Clone)]
+pub struct UdpMessage {
+    /// Sent by the originator?
+    pub from_client: bool,
+    /// Datagram payload.
+    pub payload: Vec<u8>,
+    /// Gap before this message, microseconds.
+    pub gap_us: u64,
+}
+
+/// Specification of a UDP exchange.
+#[derive(Debug, Clone)]
+pub struct UdpFlowSpec {
+    /// First-packet time.
+    pub start: Timestamp,
+    /// Originator.
+    pub client: Peer,
+    /// Responder (or group for multicast).
+    pub server: Peer,
+    /// One-way latency applied to server→client messages, microseconds.
+    pub half_rtt_us: u64,
+    /// Messages in order.
+    pub messages: Vec<UdpMessage>,
+    /// Destination MAC override for multicast groups.
+    pub multicast_mac: Option<MacAddr>,
+}
+
+/// Synthesize a UDP flow.
+pub fn synth_udp(spec: &UdpFlowSpec) -> Vec<TimedPacket> {
+    let mut out = Vec::with_capacity(spec.messages.len());
+    let mut t = spec.start;
+    for m in &spec.messages {
+        t += m.gap_us;
+        let (src, dst) = if m.from_client {
+            (&spec.client, &spec.server)
+        } else {
+            (&spec.server, &spec.client)
+        };
+        let dst_mac = if m.from_client {
+            spec.multicast_mac.unwrap_or(dst.mac)
+        } else {
+            dst.mac
+        };
+        let ts = if m.from_client { t } else { t + spec.half_rtt_us };
+        let f = build::udp_frame(
+            &build::UdpFrameSpec {
+                src_mac: src.mac,
+                dst_mac,
+                src_ip: src.addr,
+                dst_ip: dst.addr,
+                src_port: src.port,
+                dst_port: dst.port,
+                ttl: src.ttl,
+            },
+            &m.payload,
+        );
+        out.push(TimedPacket::new(ts, f));
+    }
+    out.sort_by_key(|p| p.ts);
+    out
+}
+
+/// Synthesize an ICMP echo exchange (`answered` controls the reply).
+pub fn synth_icmp_echo(
+    start: Timestamp,
+    client: Peer,
+    server: Peer,
+    rtt_us: u64,
+    ident: u16,
+    count: u16,
+    answered: bool,
+) -> Vec<TimedPacket> {
+    let mut out = Vec::new();
+    let payload = vec![0x55u8; 56];
+    for i in 0..count {
+        let t = start + i as u64 * 1_000_000;
+        out.push(TimedPacket::new(
+            t,
+            build::icmp_frame(
+                client.mac,
+                server.mac,
+                client.addr,
+                server.addr,
+                icmp::MessageType::EchoRequest,
+                ident,
+                i,
+                &payload,
+            ),
+        ));
+        if answered {
+            out.push(TimedPacket::new(
+                t + rtt_us,
+                build::icmp_frame(
+                    server.mac,
+                    client.mac,
+                    server.addr,
+                    client.addr,
+                    icmp::MessageType::EchoReply,
+                    ident,
+                    i,
+                    &payload,
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ent_flow::{CollectSummaries, ConnTable, TableConfig, TcpOutcome};
+    use ent_wire::Packet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn peers() -> (Peer, Peer) {
+        (
+            Peer {
+                addr: ipv4::Addr::new(10, 100, 1, 30),
+                mac: MacAddr::from_host_id(1),
+                port: 40_000,
+                ttl: 64,
+            },
+            Peer {
+                addr: ipv4::Addr::new(10, 100, 2, 10),
+                mac: MacAddr::from_host_id(2),
+                port: 80,
+                ttl: 64,
+            },
+        )
+    }
+
+    /// Run synthesized packets through the real flow engine.
+    fn track(pkts: &[TimedPacket]) -> Vec<ent_flow::ConnSummary> {
+        let mut table = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        for p in pkts {
+            let pkt = Packet::parse(&p.frame).expect("synthesized frame parses");
+            table.ingest(&pkt, p.ts, &mut h);
+        }
+        table.finish(Timestamp::from_secs(4000), &mut h);
+        h.summaries
+    }
+
+    #[test]
+    fn successful_session_tracks_cleanly() {
+        let (c, s) = peers();
+        let spec = TcpSessionSpec::success(
+            Timestamp::from_secs(1),
+            c,
+            s,
+            400,
+            vec![
+                Exchange::client(vec![1u8; 300], 100),
+                Exchange::server(vec![2u8; 5000], 2_000),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let pkts = synth_tcp(&spec, &mut rng);
+        assert!(pkts.windows(2).all(|w| w[0].ts <= w[1].ts), "timestamps sorted");
+        let sums = track(&pkts);
+        assert_eq!(sums.len(), 1);
+        let sum = &sums[0];
+        assert_eq!(sum.outcome, TcpOutcome::Successful);
+        assert_eq!(sum.orig.payload_bytes, 300);
+        assert_eq!(sum.resp.payload_bytes, 5000);
+        assert_eq!(sum.tcp_state, ent_flow::TcpState::Closed);
+        assert_eq!(sum.orig.retx_packets + sum.resp.retx_packets, 0);
+        assert!(!sum.acked_unseen_data);
+    }
+
+    #[test]
+    fn rejected_and_unanswered() {
+        let (c, s) = peers();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut spec = TcpSessionSpec::success(Timestamp::ZERO, c, s, 400, vec![]);
+        spec.outcome = Outcome::Rejected;
+        let sums = track(&synth_tcp(&spec, &mut rng));
+        assert_eq!(sums[0].outcome, TcpOutcome::Rejected);
+        spec.outcome = Outcome::Unanswered;
+        let sums = track(&synth_tcp(&spec, &mut rng));
+        assert_eq!(sums[0].outcome, TcpOutcome::Unanswered);
+        // SYN retries must count as retransmissions of one attempt, not
+        // three connections.
+        assert_eq!(sums.len(), 1);
+    }
+
+    #[test]
+    fn retransmissions_injected_and_detected() {
+        let (c, s) = peers();
+        let mut spec = TcpSessionSpec::success(
+            Timestamp::ZERO,
+            c,
+            s,
+            400,
+            vec![Exchange::client(vec![0u8; 100 * MSS], 0)],
+        );
+        spec.retx_rate = 0.2;
+        let mut rng = StdRng::seed_from_u64(3);
+        let sums = track(&synth_tcp(&spec, &mut rng));
+        let retx = sums[0].orig.retx_packets;
+        assert!(retx > 5 && retx < 50, "retx {retx} out of expected band");
+        assert_eq!(sums[0].orig.payload_bytes - sums[0].orig.retx_bytes, (100 * MSS) as u64);
+    }
+
+    #[test]
+    fn keepalive_probes_detected() {
+        let (c, s) = peers();
+        let mut spec = TcpSessionSpec::success(Timestamp::ZERO, c, s, 400, vec![]);
+        spec.keepalives = Some(Keepalives {
+            interval_us: 60_000_000,
+            count: 10,
+        });
+        spec.close = Close::None;
+        let mut rng = StdRng::seed_from_u64(4);
+        let sums = track(&synth_tcp(&spec, &mut rng));
+        let sum = &sums[0];
+        // The probe byte sits below the SYN-consumed sequence space, so
+        // every probe is a keepalive retransmission.
+        assert_eq!(sum.orig.keepalive_packets, 10);
+        assert!(sum.keepalive_only());
+    }
+
+    #[test]
+    fn duration_scales_with_rtt() {
+        let (c, s) = peers();
+        let dialogue = vec![
+            Exchange::client(vec![1u8; 200], 1_000),
+            Exchange::server(vec![2u8; 200], 1_000),
+            Exchange::client(vec![1u8; 200], 1_000),
+            Exchange::server(vec![2u8; 200], 1_000),
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        let fast = TcpSessionSpec::success(Timestamp::ZERO, c, s, 400, dialogue.clone());
+        let slow = TcpSessionSpec::success(Timestamp::ZERO, c, s, 40_000, dialogue);
+        let d_fast = track(&synth_tcp(&fast, &mut rng))[0].duration_us();
+        let d_slow = track(&synth_tcp(&slow, &mut rng))[0].duration_us();
+        assert!(
+            d_slow > d_fast * 5,
+            "WAN RTT must dominate duration: {d_fast} vs {d_slow}"
+        );
+    }
+
+    #[test]
+    fn udp_flow_roundtrip() {
+        let (c, mut s) = peers();
+        s.port = 53;
+        let spec = UdpFlowSpec {
+            start: Timestamp::from_millis(10),
+            client: c,
+            server: s,
+            half_rtt_us: 200,
+            messages: vec![
+                UdpMessage {
+                    from_client: true,
+                    payload: vec![0u8; 30],
+                    gap_us: 0,
+                },
+                UdpMessage {
+                    from_client: false,
+                    payload: vec![0u8; 90],
+                    gap_us: 0,
+                },
+            ],
+            multicast_mac: None,
+        };
+        let sums = track(&synth_udp(&spec));
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].orig.payload_bytes, 30);
+        assert_eq!(sums[0].resp.payload_bytes, 90);
+        assert_eq!(sums[0].outcome, TcpOutcome::Successful);
+        assert_eq!(sums[0].duration_us(), 200);
+    }
+
+    #[test]
+    fn icmp_echo_pairs() {
+        let (c, s) = peers();
+        let pkts = synth_icmp_echo(Timestamp::ZERO, c, s, 500, 77, 3, true);
+        assert_eq!(pkts.len(), 6);
+        let sums = track(&pkts);
+        assert_eq!(sums.len(), 1);
+        assert!(sums[0].icmp_answered);
+        let pkts = synth_icmp_echo(Timestamp::ZERO, c, s, 500, 78, 2, false);
+        let sums = track(&pkts);
+        assert!(!sums[0].icmp_answered);
+    }
+
+    #[test]
+    fn payload_bytes_delivered_in_order() {
+        // The flow engine's reassembled stream must equal the scripted
+        // payload — the property every ent-proto analyzer depends on.
+        use ent_flow::{ConnIndex, Dir, FlowHandler};
+        #[derive(Default)]
+        struct Collect {
+            orig: Vec<u8>,
+            resp: Vec<u8>,
+        }
+        impl FlowHandler for Collect {
+            fn on_tcp_data(&mut self, _i: ConnIndex, dir: Dir, _ts: Timestamp, data: &[u8]) {
+                match dir {
+                    Dir::Orig => self.orig.extend_from_slice(data),
+                    Dir::Resp => self.resp.extend_from_slice(data),
+                }
+            }
+        }
+        let (c, s) = peers();
+        let req: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        let resp: Vec<u8> = (0..30_000u32).map(|i| (i * 7) as u8).collect();
+        let spec = TcpSessionSpec::success(
+            Timestamp::ZERO,
+            c,
+            s,
+            400,
+            vec![
+                Exchange::client(req.clone(), 0),
+                Exchange::server(resp.clone(), 500),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let pkts = synth_tcp(&spec, &mut rng);
+        let mut table = ConnTable::new(TableConfig::default());
+        let mut h = Collect::default();
+        for p in &pkts {
+            table.ingest(&Packet::parse(&p.frame).unwrap(), p.ts, &mut h);
+        }
+        table.finish(Timestamp::from_secs(100), &mut h);
+        assert_eq!(h.orig, req);
+        assert_eq!(h.resp, resp);
+    }
+
+    #[test]
+    fn retransmitted_stream_still_delivers_exact_bytes() {
+        use ent_flow::{ConnIndex, Dir, FlowHandler};
+        #[derive(Default)]
+        struct Collect(Vec<u8>);
+        impl FlowHandler for Collect {
+            fn on_tcp_data(&mut self, _i: ConnIndex, dir: Dir, _ts: Timestamp, data: &[u8]) {
+                if dir == Dir::Orig {
+                    self.0.extend_from_slice(data);
+                }
+            }
+        }
+        let (c, s) = peers();
+        let req: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        let mut spec =
+            TcpSessionSpec::success(Timestamp::ZERO, c, s, 400, vec![Exchange::client(req.clone(), 0)]);
+        spec.retx_rate = 0.3;
+        let mut rng = StdRng::seed_from_u64(7);
+        let pkts = synth_tcp(&spec, &mut rng);
+        let mut table = ConnTable::new(TableConfig::default());
+        let mut h = Collect::default();
+        for p in &pkts {
+            table.ingest(&Packet::parse(&p.frame).unwrap(), p.ts, &mut h);
+        }
+        table.finish(Timestamp::from_secs(100), &mut h);
+        assert_eq!(h.0, req, "duplicates must not corrupt the stream");
+    }
+}

@@ -1,0 +1,107 @@
+//! Capture-tap simulation: snaplen truncation and packet drops.
+//!
+//! The paper notes its kernel reported no drops yet analysis found TCP
+//! receivers acknowledging data absent from the trace — i.e. silent capture
+//! loss. [`Tap`] models a tap with a snaplen and a deterministic drop
+//! pattern so analyses can be tested against imperfect captures.
+
+use crate::TimedPacket;
+
+/// A capture tap applying snaplen and optional periodic drops.
+#[derive(Debug, Clone)]
+pub struct Tap {
+    snaplen: usize,
+    /// Drop one packet in every `drop_period` (0 = no drops). Deterministic
+    /// so tests are reproducible; real loss is bursty but a periodic model
+    /// suffices to exercise the "acked data missing from trace" condition.
+    drop_period: u64,
+    seen: u64,
+    dropped: u64,
+}
+
+impl Tap {
+    /// A tap with the given snaplen and no loss.
+    pub fn new(snaplen: usize) -> Tap {
+        Tap {
+            snaplen,
+            drop_period: 0,
+            seen: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Enable dropping one packet per `period` packets observed.
+    pub fn with_drop_period(mut self, period: u64) -> Tap {
+        self.drop_period = period;
+        self
+    }
+
+    /// The configured snaplen.
+    pub fn snaplen(&self) -> usize {
+        self.snaplen
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Packets offered so far (captured + dropped).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Pass one packet through the tap: returns the (possibly truncated)
+    /// captured packet, or `None` if the tap dropped it.
+    pub fn capture(&mut self, mut pkt: TimedPacket) -> Option<TimedPacket> {
+        self.seen += 1;
+        if self.drop_period != 0 && self.seen.is_multiple_of(self.drop_period) {
+            self.dropped += 1;
+            return None;
+        }
+        pkt.truncate_to(self.snaplen);
+        Some(pkt)
+    }
+
+    /// Pass a whole stream through the tap.
+    pub fn capture_all(&mut self, pkts: impl IntoIterator<Item = TimedPacket>) -> Vec<TimedPacket> {
+        pkts.into_iter().filter_map(|p| self.capture(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ent_wire::Timestamp;
+
+    fn pkt(len: usize) -> TimedPacket {
+        TimedPacket::new(Timestamp::ZERO, vec![0u8; len])
+    }
+
+    #[test]
+    fn snaplen_applied() {
+        let mut tap = Tap::new(68);
+        let got = tap.capture(pkt(1500)).unwrap();
+        assert_eq!(got.frame.len(), 68);
+        assert_eq!(got.orig_len, 1500);
+        let got = tap.capture(pkt(40)).unwrap();
+        assert_eq!(got.frame.len(), 40);
+    }
+
+    #[test]
+    fn periodic_drops() {
+        let mut tap = Tap::new(1500).with_drop_period(10);
+        let kept = tap.capture_all((0..100).map(|_| pkt(100)));
+        assert_eq!(kept.len(), 90);
+        assert_eq!(tap.dropped(), 10);
+        assert_eq!(tap.seen(), 100);
+    }
+
+    #[test]
+    fn no_drops_by_default() {
+        let mut tap = Tap::new(1500);
+        let kept = tap.capture_all((0..50).map(|_| pkt(100)));
+        assert_eq!(kept.len(), 50);
+        assert_eq!(tap.dropped(), 0);
+    }
+}

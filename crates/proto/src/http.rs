@@ -1,0 +1,610 @@
+//! Streaming HTTP/1.x analyzer.
+//!
+//! Reproduces the measurements of the paper's §5.1.1: request methods and
+//! conditional GETs, response status and content types, body sizes,
+//! per-client fan-out, and attribution of *automated clients* (the
+//! vulnerability scanner, two Google crawl bots, and HTTP-layered
+//! applications like iFolder) which dominate internal HTTP traffic
+//! (Table 6).
+
+use crate::StreamBuf;
+use std::collections::VecDeque;
+
+/// Classification of the client software issuing a request, from the
+/// User-Agent header. The paper separates these automated clients out
+/// before characterizing "ordinary" browsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientKind {
+    /// Ordinary interactive browser.
+    Browser,
+    /// The site's vulnerability scanner ("scan1" in Table 6).
+    Scanner,
+    /// First Google crawl appliance bot.
+    GoogleBot1,
+    /// Second Google crawl appliance bot.
+    GoogleBot2,
+    /// Novell iFolder file-sync client (HTTP-layered application).
+    IFolder,
+    /// Viacom NetMeeting (HTTP-layered application).
+    NetMeeting,
+    /// Some other automated client.
+    OtherAutomated,
+}
+
+impl ClientKind {
+    /// Classify a User-Agent header value.
+    pub fn from_user_agent(ua: &str) -> ClientKind {
+        let l = ua.to_ascii_lowercase();
+        if l.contains("vulnscan") || l.contains("security-scanner") || l.contains("nessus") {
+            ClientKind::Scanner
+        } else if l.contains("googlebot-1") {
+            ClientKind::GoogleBot1
+        } else if l.contains("googlebot") {
+            ClientKind::GoogleBot2
+        } else if l.contains("ifolder") {
+            ClientKind::IFolder
+        } else if l.contains("netmeeting") {
+            ClientKind::NetMeeting
+        } else if l.contains("bot") || l.contains("crawler") || l.contains("spider") {
+            ClientKind::OtherAutomated
+        } else {
+            ClientKind::Browser
+        }
+    }
+
+    /// True for the automated (non-browsing) clients of Table 6.
+    pub fn is_automated(self) -> bool {
+        self != ClientKind::Browser
+    }
+}
+
+/// Coarse content-type buckets of the paper's Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentClass {
+    /// `text/*`.
+    Text,
+    /// `image/*`.
+    Image,
+    /// `application/*`.
+    Application,
+    /// Audio, video, multipart, anything else.
+    Other,
+    /// No body or no Content-Type.
+    None,
+}
+
+impl ContentClass {
+    /// Classify a Content-Type header value.
+    pub fn from_header(v: &str) -> ContentClass {
+        let l = v.trim().to_ascii_lowercase();
+        if l.starts_with("text/") {
+            ContentClass::Text
+        } else if l.starts_with("image/") {
+            ContentClass::Image
+        } else if l.starts_with("application/") {
+            ContentClass::Application
+        } else {
+            ContentClass::Other
+        }
+    }
+}
+
+/// One completed HTTP request/response exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpTransaction {
+    /// Request method (GET, POST, HEAD, ...).
+    pub method: String,
+    /// Request URI.
+    pub uri: String,
+    /// Host header, if present.
+    pub host: Option<String>,
+    /// Client classification from User-Agent.
+    pub client: ClientKind,
+    /// The request was a conditional GET (If-Modified-Since /
+    /// If-None-Match), the paper's internally-heavy pattern.
+    pub conditional: bool,
+    /// Request body bytes (POST uploads).
+    pub request_body_len: u64,
+    /// Response status code (0 if the response was never seen).
+    pub status: u16,
+    /// Response content classification.
+    pub content: ContentClass,
+    /// Response body bytes.
+    pub response_body_len: u64,
+}
+
+impl HttpTransaction {
+    /// "Successful" per the paper: object returned (2xx) or a 304
+    /// not-modified answer to a conditional GET.
+    pub fn is_successful(&self) -> bool {
+        (200..300).contains(&self.status) || self.status == 304
+    }
+}
+
+#[derive(Debug)]
+enum BodyState {
+    Headers,
+    Fixed(u64),
+    UntilClose(u64),
+}
+
+#[derive(Debug)]
+struct PendingRequest {
+    method: String,
+    uri: String,
+    host: Option<String>,
+    client: ClientKind,
+    conditional: bool,
+    body_len: u64,
+}
+
+#[derive(Debug)]
+struct PendingResponse {
+    status: u16,
+    content: ContentClass,
+    body_len: u64,
+}
+
+/// Incremental HTTP/1.x connection analyzer.
+///
+/// Feed originator bytes with [`HttpAnalyzer::feed_request_data`] and
+/// responder bytes with [`HttpAnalyzer::feed_response_data`]; call
+/// [`HttpAnalyzer::finish`] at connection close to flush a trailing
+/// read-until-close response. Completed transactions accumulate in order.
+#[derive(Debug)]
+pub struct HttpAnalyzer {
+    req_buf: StreamBuf,
+    resp_buf: StreamBuf,
+    req_state: BodyState,
+    resp_state: BodyState,
+    pending: VecDeque<PendingRequest>,
+    current_resp: Option<PendingResponse>,
+    /// Completed transactions (drain with [`HttpAnalyzer::take_transactions`]).
+    out: Vec<HttpTransaction>,
+}
+
+impl Default for HttpAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn find_headers_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn header_value<'a>(headers: &'a str, name: &str) -> Option<&'a str> {
+    for line in headers.lines().skip(1) {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case(name) {
+                return Some(v.trim());
+            }
+        }
+    }
+    None
+}
+
+impl HttpAnalyzer {
+    /// New analyzer for one connection.
+    pub fn new() -> HttpAnalyzer {
+        HttpAnalyzer {
+            req_buf: StreamBuf::new(),
+            resp_buf: StreamBuf::new(),
+            req_state: BodyState::Headers,
+            resp_state: BodyState::Headers,
+            pending: VecDeque::new(),
+            current_resp: None,
+            out: Vec::new(),
+        }
+    }
+
+    /// Feed originator→responder stream bytes.
+    pub fn feed_request_data(&mut self, data: &[u8]) {
+        self.req_buf.push(data);
+        self.drain_requests();
+    }
+
+    /// Feed responder→originator stream bytes.
+    pub fn feed_response_data(&mut self, data: &[u8]) {
+        self.resp_buf.push(data);
+        self.drain_responses();
+    }
+
+    /// Announce a capture gap in the given direction (poisons parsing).
+    pub fn gap(&mut self, request_dir: bool) {
+        if request_dir {
+            self.req_buf.gap();
+        } else {
+            self.resp_buf.gap();
+        }
+    }
+
+    fn drain_requests(&mut self) {
+        loop {
+            match self.req_state {
+                BodyState::Headers => {
+                    let Some(end) = find_headers_end(self.req_buf.bytes()) else {
+                        return;
+                    };
+                    let head = String::from_utf8_lossy(&self.req_buf.bytes()[..end]).into_owned();
+                    self.req_buf.consume(end);
+                    let mut lines = head.lines();
+                    let request_line = lines.next().unwrap_or("");
+                    let mut parts = request_line.split_whitespace();
+                    let method = parts.next().unwrap_or("").to_string();
+                    let uri = parts.next().unwrap_or("").to_string();
+                    if method.is_empty() || !method.chars().all(|c| c.is_ascii_uppercase()) {
+                        // Not HTTP after all; stop parsing this stream.
+                        self.req_buf.gap();
+                        return;
+                    }
+                    let conditional = header_value(&head, "If-Modified-Since").is_some()
+                        || header_value(&head, "If-None-Match").is_some();
+                    let client = header_value(&head, "User-Agent")
+                        .map(ClientKind::from_user_agent)
+                        .unwrap_or(ClientKind::Browser);
+                    let host = header_value(&head, "Host").map(|s| s.to_string());
+                    let body_len: u64 = header_value(&head, "Content-Length")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0);
+                    self.pending.push_back(PendingRequest {
+                        method,
+                        uri,
+                        host,
+                        client,
+                        conditional,
+                        body_len,
+                    });
+                    self.req_state = BodyState::Fixed(body_len);
+                }
+                BodyState::Fixed(remaining) => {
+                    let have = self.req_buf.len() as u64;
+                    let eat = remaining.min(have);
+                    self.req_buf.consume(eat as usize);
+                    if eat < remaining {
+                        self.req_state = BodyState::Fixed(remaining - eat);
+                        return;
+                    }
+                    self.req_state = BodyState::Headers;
+                }
+                BodyState::UntilClose(_) => unreachable!("requests never read-until-close"),
+            }
+        }
+    }
+
+    fn drain_responses(&mut self) {
+        loop {
+            match self.resp_state {
+                BodyState::Headers => {
+                    let Some(end) = find_headers_end(self.resp_buf.bytes()) else {
+                        return;
+                    };
+                    let head = String::from_utf8_lossy(&self.resp_buf.bytes()[..end]).into_owned();
+                    self.resp_buf.consume(end);
+                    let status: u16 = head
+                        .lines()
+                        .next()
+                        .and_then(|l| l.split_whitespace().nth(1))
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0);
+                    let content = header_value(&head, "Content-Type")
+                        .map(ContentClass::from_header)
+                        .unwrap_or(ContentClass::None);
+                    let bodyless = status == 304 || status == 204 || (100..200).contains(&status);
+                    let resp = PendingResponse {
+                        status,
+                        content: if bodyless { ContentClass::None } else { content },
+                        body_len: 0,
+                    };
+                    if bodyless {
+                        self.complete(resp);
+                        self.resp_state = BodyState::Headers;
+                        continue;
+                    }
+                    match header_value(&head, "Content-Length").and_then(|v| v.parse::<u64>().ok())
+                    {
+                        Some(0) => {
+                            self.complete(resp);
+                            self.resp_state = BodyState::Headers;
+                        }
+                        Some(n) => {
+                            self.current_resp = Some(resp);
+                            self.resp_state = BodyState::Fixed(n);
+                        }
+                        None => {
+                            // No length (or chunked, which we treat the
+                            // same): body runs to connection close.
+                            self.current_resp = Some(resp);
+                            self.resp_state = BodyState::UntilClose(0);
+                        }
+                    }
+                }
+                BodyState::Fixed(remaining) => {
+                    let have = self.resp_buf.len() as u64;
+                    let eat = remaining.min(have);
+                    self.resp_buf.consume(eat as usize);
+                    if let Some(r) = self.current_resp.as_mut() {
+                        r.body_len += eat;
+                    }
+                    if eat < remaining {
+                        self.resp_state = BodyState::Fixed(remaining - eat);
+                        return;
+                    }
+                    if let Some(r) = self.current_resp.take() {
+                        self.complete(r);
+                    }
+                    self.resp_state = BodyState::Headers;
+                }
+                BodyState::UntilClose(count) => {
+                    let have = self.resp_buf.len() as u64;
+                    self.resp_buf.consume(have as usize);
+                    self.resp_state = BodyState::UntilClose(count + have);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, resp: PendingResponse) {
+        let req = self.pending.pop_front();
+        let (method, uri, host, client, conditional, request_body_len) = match req {
+            Some(r) => (r.method, r.uri, r.host, r.client, r.conditional, r.body_len),
+            // Response with no captured request (mid-stream capture).
+            None => (String::new(), String::new(), None, ClientKind::Browser, false, 0),
+        };
+        self.out.push(HttpTransaction {
+            method,
+            uri,
+            host,
+            client,
+            conditional,
+            request_body_len,
+            status: resp.status,
+            content: resp.content,
+            response_body_len: resp.body_len,
+        });
+    }
+
+    /// Flush at connection close: completes a read-until-close response,
+    /// and emits a fixed-length response cut short by the capture window
+    /// with the bytes observed so far.
+    pub fn finish(&mut self) {
+        match self.resp_state {
+            BodyState::UntilClose(count) => {
+                if let Some(mut r) = self.current_resp.take() {
+                    r.body_len += count;
+                    self.complete(r);
+                }
+            }
+            BodyState::Fixed(_) => {
+                if let Some(r) = self.current_resp.take() {
+                    self.complete(r);
+                }
+            }
+            BodyState::Headers => {}
+        }
+        self.resp_state = BodyState::Headers;
+    }
+
+    /// Take the completed transactions accumulated so far.
+    pub fn take_transactions(&mut self) -> Vec<HttpTransaction> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoders (used by the trace generator)
+// ---------------------------------------------------------------------------
+
+/// Build an HTTP request head (+ optional body).
+pub fn encode_request(
+    method: &str,
+    uri: &str,
+    host: &str,
+    user_agent: &str,
+    conditional: bool,
+    body: &[u8],
+) -> Vec<u8> {
+    let mut s = format!("{method} {uri} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: {user_agent}\r\n");
+    if conditional {
+        s.push_str("If-Modified-Since: Mon, 04 Oct 2004 07:00:00 GMT\r\n");
+    }
+    if !body.is_empty() {
+        s.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    s.push_str("\r\n");
+    let mut out = s.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Build an HTTP response head + body of `body_len` filler bytes.
+pub fn encode_response(status: u16, content_type: &str, body_len: usize) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        206 => "Partial Content",
+        304 => "Not Modified",
+        404 => "Not Found",
+        _ => "Response",
+    };
+    let mut s = format!("HTTP/1.1 {status} {reason}\r\nServer: Apache/1.3\r\n");
+    if status != 304 && status != 204 {
+        s.push_str(&format!("Content-Type: {content_type}\r\n"));
+        s.push_str(&format!("Content-Length: {body_len}\r\n"));
+    }
+    s.push_str("\r\n");
+    let mut out = s.into_bytes();
+    if status != 304 && status != 204 {
+        out.extend(std::iter::repeat_n(b'x', body_len));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(reqs: &[Vec<u8>], resps: &[Vec<u8>]) -> Vec<HttpTransaction> {
+        let mut a = HttpAnalyzer::new();
+        for r in reqs {
+            a.feed_request_data(r);
+        }
+        for r in resps {
+            a.feed_response_data(r);
+        }
+        a.finish();
+        a.take_transactions()
+    }
+
+    #[test]
+    fn simple_get() {
+        let req = encode_request("GET", "/index.html", "www.lbl.gov", "Mozilla/5.0", false, b"");
+        let resp = encode_response(200, "text/html", 120);
+        let tx = run(&[req], &[resp]);
+        assert_eq!(tx.len(), 1);
+        let t = &tx[0];
+        assert_eq!(t.method, "GET");
+        assert_eq!(t.uri, "/index.html");
+        assert_eq!(t.status, 200);
+        assert_eq!(t.content, ContentClass::Text);
+        assert_eq!(t.response_body_len, 120);
+        assert!(t.is_successful());
+        assert_eq!(t.client, ClientKind::Browser);
+        assert!(!t.conditional);
+    }
+
+    #[test]
+    fn conditional_get_304() {
+        let req = encode_request("GET", "/logo.png", "www", "Mozilla/4.0", true, b"");
+        let resp = encode_response(304, "", 0);
+        let tx = run(&[req], &[resp]);
+        assert!(tx[0].conditional);
+        assert_eq!(tx[0].status, 304);
+        assert_eq!(tx[0].response_body_len, 0);
+        assert!(tx[0].is_successful());
+    }
+
+    #[test]
+    fn pipelined_transactions() {
+        let r1 = encode_request("GET", "/a", "h", "Mozilla", false, b"");
+        let r2 = encode_request("GET", "/b", "h", "Mozilla", false, b"");
+        let p1 = encode_response(200, "image/gif", 10);
+        let p2 = encode_response(404, "text/html", 20);
+        let tx = run(&[r1, r2], &[p1, p2]);
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx[0].uri, "/a");
+        assert_eq!(tx[0].content, ContentClass::Image);
+        assert_eq!(tx[1].uri, "/b");
+        assert_eq!(tx[1].status, 404);
+        assert!(!tx[1].is_successful());
+    }
+
+    #[test]
+    fn post_with_body() {
+        let req = encode_request("POST", "/ifolder/sync", "srv", "iFolderClient/2.0", false, &[7u8; 512]);
+        let resp = encode_response(200, "application/octet-stream", 32780);
+        let tx = run(&[req], &[resp]);
+        assert_eq!(tx[0].method, "POST");
+        assert_eq!(tx[0].client, ClientKind::IFolder);
+        assert_eq!(tx[0].request_body_len, 512);
+        assert_eq!(tx[0].response_body_len, 32780);
+        assert_eq!(tx[0].content, ContentClass::Application);
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_matter() {
+        let req = encode_request("GET", "/x", "h", "Mozilla", false, b"");
+        let resp = encode_response(200, "application/pdf", 1000);
+        // Feed byte-by-byte.
+        let mut a = HttpAnalyzer::new();
+        for b in &req {
+            a.feed_request_data(std::slice::from_ref(b));
+        }
+        for chunk in resp.chunks(7) {
+            a.feed_response_data(chunk);
+        }
+        a.finish();
+        let tx = a.take_transactions();
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].response_body_len, 1000);
+    }
+
+    #[test]
+    fn read_until_close_body() {
+        let req = encode_request("GET", "/old", "h", "Mozilla", false, b"");
+        let mut resp = b"HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\n\r\n".to_vec();
+        resp.extend_from_slice(&[b'y'; 333]);
+        let tx = run(&[req], &[resp]);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].response_body_len, 333);
+    }
+
+    #[test]
+    fn client_kinds() {
+        assert_eq!(ClientKind::from_user_agent("Googlebot-1/LBNL"), ClientKind::GoogleBot1);
+        assert_eq!(ClientKind::from_user_agent("Googlebot/2.1"), ClientKind::GoogleBot2);
+        assert_eq!(ClientKind::from_user_agent("VulnScan/3.1"), ClientKind::Scanner);
+        assert_eq!(ClientKind::from_user_agent("NetMeeting/3"), ClientKind::NetMeeting);
+        assert_eq!(ClientKind::from_user_agent("WebCrawler/1"), ClientKind::OtherAutomated);
+        assert_eq!(ClientKind::from_user_agent("Mozilla/5.0 (X11)"), ClientKind::Browser);
+        assert!(ClientKind::Scanner.is_automated());
+        assert!(!ClientKind::Browser.is_automated());
+    }
+
+    #[test]
+    fn content_classes() {
+        assert_eq!(ContentClass::from_header("text/html; charset=utf-8"), ContentClass::Text);
+        assert_eq!(ContentClass::from_header("IMAGE/JPEG"), ContentClass::Image);
+        assert_eq!(ContentClass::from_header("application/zip"), ContentClass::Application);
+        assert_eq!(ContentClass::from_header("video/mpeg"), ContentClass::Other);
+    }
+
+    #[test]
+    fn chunked_encoding_degrades_to_read_until_close() {
+        // We do not decode chunked framing; the body is counted until the
+        // connection closes (byte counts then include chunk headers,
+        // which is the same approximation header-only tools make).
+        let req = encode_request("GET", "/c", "h", "Mozilla", false, b"");
+        let resp = b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n".to_vec();
+        let tx = run(&[req], &[resp]);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].status, 200);
+        assert!(tx[0].response_body_len > 5);
+    }
+
+    #[test]
+    fn interleaved_feed_order_is_immaterial() {
+        // Request and response bytes may arrive in any interleaving (as
+        // delivered by the flow engine); pairing must still work.
+        let mut a = HttpAnalyzer::new();
+        let req = encode_request("GET", "/i", "h", "Mozilla", false, b"");
+        let resp = encode_response(200, "text/plain", 64);
+        let (r1, r2) = req.split_at(req.len() / 2);
+        let (p1, p2) = resp.split_at(resp.len() / 3);
+        a.feed_request_data(r1);
+        a.feed_response_data(p1);
+        a.feed_request_data(r2);
+        a.feed_response_data(p2);
+        a.finish();
+        let tx = a.take_transactions();
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].response_body_len, 64);
+    }
+
+    #[test]
+    fn non_http_stream_poisons_quietly() {
+        let mut a = HttpAnalyzer::new();
+        a.feed_request_data(b"\x16\x03\x01\x00\x2f binary not http\r\n\r\n");
+        a.finish();
+        assert!(a.take_transactions().is_empty());
+    }
+
+    #[test]
+    fn response_without_request_still_recorded() {
+        let resp = encode_response(200, "text/html", 5);
+        let tx = run(&[], &[resp]);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].method, "");
+        assert_eq!(tx[0].status, 200);
+    }
+}

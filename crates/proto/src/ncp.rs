@@ -1,0 +1,327 @@
+//! NCP (NetWare Core Protocol) over TCP 524 — request classification for
+//! the paper's Table 14 and the reply-size modes of Figure 8(d).
+//!
+//! NCP-over-IP frames each packet with a signature + length header
+//! ("DmdT"). Requests carry a function code; replies a completion code.
+//! The paper found NCP "predominantly used for file sharing" with reads
+//! dominating, plus the striking keep-alive-only connection population
+//! (detected at the flow layer, not here).
+
+use crate::cursor::Cursor;
+use crate::StreamBuf;
+use ent_wire::Timestamp;
+
+/// NCP-over-IP frame signature ("DmdT").
+pub const SIGNATURE: u32 = 0x446D_6454;
+const REQUEST_TYPE: u16 = 0x2222;
+const REPLY_TYPE: u16 = 0x3333;
+
+/// The paper's Table 14 request buckets with representative NCP function
+/// codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NcpOp {
+    /// ReadFile (72).
+    Read,
+    /// WriteFile (73).
+    Write,
+    /// Obtain file / directory info (87).
+    FileDirInfo,
+    /// Open/create (76) and close (66).
+    FileOpenClose,
+    /// GetFileCurrentSize (71).
+    FileSize,
+    /// File search (63).
+    FileSearch,
+    /// NDS directory services (104).
+    DirectoryService,
+    /// Everything else.
+    Other,
+}
+
+impl NcpOp {
+    /// Classify a function code.
+    pub fn from_function(f: u8) -> NcpOp {
+        match f {
+            72 => NcpOp::Read,
+            73 => NcpOp::Write,
+            87 => NcpOp::FileDirInfo,
+            76 | 66 => NcpOp::FileOpenClose,
+            71 => NcpOp::FileSize,
+            63 => NcpOp::FileSearch,
+            104 => NcpOp::DirectoryService,
+            _ => NcpOp::Other,
+        }
+    }
+
+    /// A representative function code (encoding side).
+    pub fn to_function(self) -> u8 {
+        match self {
+            NcpOp::Read => 72,
+            NcpOp::Write => 73,
+            NcpOp::FileDirInfo => 87,
+            NcpOp::FileOpenClose => 76,
+            NcpOp::FileSize => 71,
+            NcpOp::FileSearch => 63,
+            NcpOp::DirectoryService => 104,
+            NcpOp::Other => 1,
+        }
+    }
+
+    /// Table 14 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NcpOp::Read => "Read",
+            NcpOp::Write => "Write",
+            NcpOp::FileDirInfo => "FileDirInfo",
+            NcpOp::FileOpenClose => "File Open/Close",
+            NcpOp::FileSize => "File Size",
+            NcpOp::FileSearch => "File Search",
+            NcpOp::DirectoryService => "Directory Service",
+            NcpOp::Other => "Other",
+        }
+    }
+}
+
+/// One completed NCP request/reply exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NcpCall {
+    /// Operation bucket.
+    pub op: NcpOp,
+    /// Request payload bytes (NCP packet, excluding frame header).
+    pub request_bytes: u64,
+    /// Reply payload bytes (0 if unseen).
+    pub reply_bytes: u64,
+    /// Completion code 0 (success).
+    pub ok: bool,
+    /// Reply latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// Parse one NCP-over-IP frame from the buffer front; returns
+/// (packet bytes, consumed) when complete.
+fn next_frame(buf: &[u8]) -> Option<(&[u8], usize)> {
+    let mut c = Cursor::new(buf);
+    if c.be32()? != SIGNATURE {
+        return None;
+    }
+    let total = c.be32()? as usize;
+    if total < 8 || buf.len() < total {
+        return None;
+    }
+    Some((&buf[8..total], total))
+}
+
+/// Encode an NCP request with the given function and `extra` filler bytes.
+pub fn encode_request(seq: u8, op: NcpOp, extra: usize) -> Vec<u8> {
+    let mut pkt = Vec::with_capacity(7 + extra);
+    pkt.extend_from_slice(&REQUEST_TYPE.to_be_bytes());
+    pkt.push(seq);
+    pkt.push(1); // connection low
+    pkt.push(0); // task
+    pkt.push(0); // connection high
+    pkt.push(op.to_function());
+    pkt.extend(std::iter::repeat_n(0x6E, extra));
+    frame(&pkt)
+}
+
+/// Encode an NCP reply with completion code and `extra` filler bytes.
+/// Sizes follow the paper's Figure 8(d) modes: pure completion replies are
+/// 2 bytes of payload beyond the reply header, etc. — controlled by the
+/// caller via `extra`.
+pub fn encode_reply(seq: u8, completion: u8, extra: usize) -> Vec<u8> {
+    let mut pkt = Vec::with_capacity(8 + extra);
+    pkt.extend_from_slice(&REPLY_TYPE.to_be_bytes());
+    pkt.push(seq);
+    pkt.push(1);
+    pkt.push(0);
+    pkt.push(0);
+    pkt.push(completion);
+    pkt.push(0); // connection status
+    pkt.extend(std::iter::repeat_n(0x6F, extra));
+    frame(&pkt)
+}
+
+fn frame(pkt: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + pkt.len());
+    buf.extend_from_slice(&SIGNATURE.to_be_bytes());
+    buf.extend_from_slice(&((8 + pkt.len()) as u32).to_be_bytes());
+    buf.extend_from_slice(pkt);
+    buf
+}
+
+/// Streaming analyzer for one NCP connection.
+#[derive(Debug, Default)]
+pub struct NcpAnalyzer {
+    client: StreamBuf,
+    server: StreamBuf,
+    pending: std::collections::HashMap<u8, (NcpOp, u64, Timestamp)>,
+    /// Completed calls.
+    out: Vec<NcpCall>,
+}
+
+impl NcpAnalyzer {
+    /// New analyzer.
+    pub fn new() -> NcpAnalyzer {
+        NcpAnalyzer::default()
+    }
+
+    /// Feed stream bytes from the client or server side.
+    pub fn feed(&mut self, from_client: bool, ts: Timestamp, data: &[u8]) {
+        let buf = if from_client {
+            &mut self.client
+        } else {
+            &mut self.server
+        };
+        buf.push(data);
+        loop {
+            let bytes = if from_client {
+                self.client.bytes()
+            } else {
+                self.server.bytes()
+            };
+            let Some((pkt, used)) = next_frame(bytes) else {
+                return;
+            };
+            let pkt = pkt.to_vec();
+            if from_client {
+                self.client.consume(used);
+            } else {
+                self.server.consume(used);
+            }
+            self.handle(from_client, ts, &pkt);
+        }
+    }
+
+    fn handle(&mut self, from_client: bool, ts: Timestamp, pkt: &[u8]) {
+        let mut c = Cursor::new(pkt);
+        let Some(ptype) = c.be16() else { return };
+        let Some(seq) = c.u8() else { return };
+        if from_client && ptype == REQUEST_TYPE {
+            let Some(_) = c.skip(3) else { return };
+            let Some(func) = c.u8() else { return };
+            self.pending
+                .insert(seq, (NcpOp::from_function(func), pkt.len() as u64, ts));
+        } else if !from_client && ptype == REPLY_TYPE {
+            let Some(_) = c.skip(3) else { return };
+            let Some(completion) = c.u8() else { return };
+            if let Some((op, req_bytes, t0)) = self.pending.remove(&seq) {
+                self.out.push(NcpCall {
+                    op,
+                    request_bytes: req_bytes,
+                    reply_bytes: pkt.len() as u64,
+                    ok: completion == 0,
+                    latency_us: ts.saturating_micros_since(t0),
+                });
+            }
+        }
+    }
+
+    /// Flush unanswered requests.
+    pub fn finish(&mut self) {
+        for (_, (op, req_bytes, _)) in self.pending.drain() {
+            self.out.push(NcpCall {
+                op,
+                request_bytes: req_bytes,
+                reply_bytes: 0,
+                ok: false,
+                latency_us: 0,
+            });
+        }
+    }
+
+    /// Take completed calls.
+    pub fn take_calls(&mut self) -> Vec<NcpCall> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_request_reply() {
+        let mut a = NcpAnalyzer::new();
+        // 14-byte request mode of Figure 8(c): 7 header + 7 extra.
+        a.feed(true, Timestamp::ZERO, &encode_request(1, NcpOp::Read, 7));
+        a.feed(false, Timestamp::from_micros(800), &encode_reply(1, 0, 252));
+        let calls = a.take_calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].op, NcpOp::Read);
+        assert!(calls[0].ok);
+        assert_eq!(calls[0].latency_us, 800);
+        assert_eq!(calls[0].reply_bytes, 8 + 252);
+    }
+
+    #[test]
+    fn failed_filedirinfo() {
+        let mut a = NcpAnalyzer::new();
+        a.feed(true, Timestamp::ZERO, &encode_request(2, NcpOp::FileDirInfo, 20));
+        a.feed(false, Timestamp::from_micros(100), &encode_reply(2, 0x9C, 0));
+        let calls = a.take_calls();
+        assert!(!calls[0].ok);
+        assert_eq!(calls[0].op, NcpOp::FileDirInfo);
+    }
+
+    #[test]
+    fn frames_reassembled() {
+        let mut a = NcpAnalyzer::new();
+        let req = encode_request(3, NcpOp::Write, 8192);
+        for chunk in req.chunks(1460) {
+            a.feed(true, Timestamp::ZERO, chunk);
+        }
+        a.feed(false, Timestamp::from_micros(50), &encode_reply(3, 0, 0));
+        let calls = a.take_calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].op, NcpOp::Write);
+        assert!(calls[0].request_bytes > 8192);
+    }
+
+    #[test]
+    fn sequence_pairing_out_of_order() {
+        let mut a = NcpAnalyzer::new();
+        a.feed(true, Timestamp::ZERO, &encode_request(1, NcpOp::Read, 7));
+        a.feed(true, Timestamp::ZERO, &encode_request(2, NcpOp::FileSize, 2));
+        a.feed(false, Timestamp::from_micros(10), &encode_reply(2, 0, 2));
+        a.feed(false, Timestamp::from_micros(20), &encode_reply(1, 0, 252));
+        let calls = a.take_calls();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].op, NcpOp::FileSize);
+        assert_eq!(calls[1].op, NcpOp::Read);
+    }
+
+    #[test]
+    fn unanswered_flushed() {
+        let mut a = NcpAnalyzer::new();
+        a.feed(true, Timestamp::ZERO, &encode_request(9, NcpOp::FileSearch, 30));
+        a.finish();
+        let calls = a.take_calls();
+        assert_eq!(calls.len(), 1);
+        assert!(!calls[0].ok);
+    }
+
+    #[test]
+    fn op_taxonomy() {
+        for op in [
+            NcpOp::Read,
+            NcpOp::Write,
+            NcpOp::FileDirInfo,
+            NcpOp::FileOpenClose,
+            NcpOp::FileSize,
+            NcpOp::FileSearch,
+            NcpOp::DirectoryService,
+        ] {
+            assert_eq!(NcpOp::from_function(op.to_function()), op);
+        }
+        assert_eq!(NcpOp::from_function(66), NcpOp::FileOpenClose);
+        assert_eq!(NcpOp::from_function(200), NcpOp::Other);
+    }
+
+    #[test]
+    fn garbage_not_parsed() {
+        let mut a = NcpAnalyzer::new();
+        a.feed(true, Timestamp::ZERO, b"not ncp at all............");
+        a.finish();
+        assert!(a.take_calls().is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! ONC/Sun RPC message framing (RFC 1831) — the substrate of NFS.
+//!
+//! Handles both transports the paper observed (§5.2.2 notes — contrary to
+//! expectation — that UDP still dominated NFS at the site): one message
+//! per UDP datagram, and record-marked streams over TCP.
+
+use crate::cursor::Cursor;
+
+/// RPC program numbers of interest.
+pub const PROG_PORTMAP: u32 = 100000;
+/// NFS program number.
+pub const PROG_NFS: u32 = 100003;
+/// Mount protocol program number.
+pub const PROG_MOUNT: u32 = 100005;
+
+/// A parsed RPC call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Call {
+    /// Transaction ID (pairs calls with replies).
+    pub xid: u32,
+    /// Program number (e.g. 100003 for NFS).
+    pub prog: u32,
+    /// Program version.
+    pub vers: u32,
+    /// Procedure number.
+    pub proc: u32,
+    /// Argument byte length (after the call header).
+    pub arg_len: u32,
+}
+
+/// A parsed RPC reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reply {
+    /// Transaction ID.
+    pub xid: u32,
+    /// Accepted and executed (MSG_ACCEPTED + SUCCESS).
+    pub accepted: bool,
+    /// The first 4 result bytes (NFS puts its status there).
+    pub status_word: u32,
+    /// Result byte length (after the reply header).
+    pub result_len: u32,
+}
+
+/// A parsed RPC message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Message {
+    /// Call message.
+    Call(Call),
+    /// Reply message.
+    Reply(Reply),
+}
+
+impl Message {
+    /// The transaction ID of either kind.
+    pub fn xid(&self) -> u32 {
+        match self {
+            Message::Call(c) => c.xid,
+            Message::Reply(r) => r.xid,
+        }
+    }
+}
+
+/// Parse one RPC message from a complete buffer (a UDP payload or a
+/// de-marked TCP record).
+pub fn parse_message(buf: &[u8]) -> Option<Message> {
+    let mut c = Cursor::new(buf);
+    let xid = c.be32()?;
+    let mtype = c.be32()?;
+    match mtype {
+        0 => {
+            let rpcvers = c.be32()?;
+            if rpcvers != 2 {
+                return None;
+            }
+            let prog = c.be32()?;
+            let vers = c.be32()?;
+            let proc = c.be32()?;
+            // Credentials and verifier: flavor(4) + len(4) + body, twice.
+            for _ in 0..2 {
+                c.be32()?;
+                let len = c.be32()? as usize;
+                c.skip((len + 3) & !3)?;
+            }
+            Some(Message::Call(Call {
+                xid,
+                prog,
+                vers,
+                proc,
+                arg_len: c.remaining() as u32,
+            }))
+        }
+        1 => {
+            let reply_stat = c.be32()?;
+            // Verifier.
+            c.be32()?;
+            let len = c.be32()? as usize;
+            c.skip((len + 3) & !3)?;
+            let accept_stat = c.be32()?;
+            let status_word = c.be32().unwrap_or(0);
+            Some(Message::Reply(Reply {
+                xid,
+                accepted: reply_stat == 0 && accept_stat == 0,
+                status_word,
+                result_len: c.remaining() as u32 + 4,
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// Encode an RPC call with `arg_len` filler argument bytes.
+pub fn encode_call(xid: u32, prog: u32, vers: u32, proc: u32, arg_len: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(40 + arg_len);
+    buf.extend_from_slice(&xid.to_be_bytes());
+    buf.extend_from_slice(&0u32.to_be_bytes()); // CALL
+    buf.extend_from_slice(&2u32.to_be_bytes()); // RPC v2
+    buf.extend_from_slice(&prog.to_be_bytes());
+    buf.extend_from_slice(&vers.to_be_bytes());
+    buf.extend_from_slice(&proc.to_be_bytes());
+    // AUTH_UNIX cred with empty body + AUTH_NONE verifier.
+    buf.extend_from_slice(&1u32.to_be_bytes());
+    buf.extend_from_slice(&0u32.to_be_bytes());
+    buf.extend_from_slice(&0u32.to_be_bytes());
+    buf.extend_from_slice(&0u32.to_be_bytes());
+    buf.extend(std::iter::repeat_n(0x4E, arg_len));
+    buf
+}
+
+/// Encode an accepted RPC reply whose first result word is `status_word`
+/// followed by `result_len` filler bytes.
+pub fn encode_reply(xid: u32, status_word: u32, result_len: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(28 + result_len);
+    buf.extend_from_slice(&xid.to_be_bytes());
+    buf.extend_from_slice(&1u32.to_be_bytes()); // REPLY
+    buf.extend_from_slice(&0u32.to_be_bytes()); // MSG_ACCEPTED
+    buf.extend_from_slice(&0u32.to_be_bytes()); // AUTH_NONE
+    buf.extend_from_slice(&0u32.to_be_bytes()); // verifier len 0
+    buf.extend_from_slice(&0u32.to_be_bytes()); // SUCCESS
+    buf.extend_from_slice(&status_word.to_be_bytes());
+    buf.extend(std::iter::repeat_n(0x52, result_len));
+    buf
+}
+
+/// Wrap a message with TCP record marking (single final fragment).
+pub fn mark_record(msg: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + msg.len());
+    buf.extend_from_slice(&(0x8000_0000u32 | msg.len() as u32).to_be_bytes());
+    buf.extend_from_slice(msg);
+    buf
+}
+
+/// Extract the next record-marked message from a stream buffer prefix;
+/// returns (message bytes, total consumed).
+pub fn next_record(buf: &[u8]) -> Option<(&[u8], usize)> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let word = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let len = (word & 0x7FFF_FFFF) as usize;
+    if word & 0x8000_0000 == 0 {
+        // Multi-fragment records are not generated; treat as unparseable.
+        return None;
+    }
+    if buf.len() < 4 + len {
+        return None;
+    }
+    Some((&buf[4..4 + len], 4 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_roundtrip() {
+        let c = encode_call(0xABCD, PROG_NFS, 3, 6, 96);
+        match parse_message(&c).unwrap() {
+            Message::Call(call) => {
+                assert_eq!(call.xid, 0xABCD);
+                assert_eq!(call.prog, PROG_NFS);
+                assert_eq!(call.vers, 3);
+                assert_eq!(call.proc, 6);
+                assert_eq!(call.arg_len, 96);
+            }
+            _ => panic!("expected call"),
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let r = encode_reply(0xABCD, 0, 8192);
+        match parse_message(&r).unwrap() {
+            Message::Reply(rep) => {
+                assert_eq!(rep.xid, 0xABCD);
+                assert!(rep.accepted);
+                assert_eq!(rep.status_word, 0);
+                assert_eq!(rep.result_len, 8196);
+            }
+            _ => panic!("expected reply"),
+        }
+    }
+
+    #[test]
+    fn record_marking() {
+        let msg = encode_call(1, PROG_NFS, 3, 1, 10);
+        let rec = mark_record(&msg);
+        let (inner, used) = next_record(&rec).unwrap();
+        assert_eq!(inner, &msg[..]);
+        assert_eq!(used, rec.len());
+        assert!(next_record(&rec[..10]).is_none());
+    }
+
+    #[test]
+    fn bad_messages_rejected() {
+        assert!(parse_message(&[0u8; 7]).is_none());
+        let mut c = encode_call(1, PROG_NFS, 3, 1, 0);
+        c[8..12].copy_from_slice(&9u32.to_be_bytes()); // rpcvers 9
+        assert!(parse_message(&c).is_none());
+    }
+
+    #[test]
+    fn nonzero_status_word() {
+        let r = encode_reply(7, 2, 0); // NFS3ERR_NOENT
+        match parse_message(&r).unwrap() {
+            Message::Reply(rep) => {
+                assert!(rep.accepted);
+                assert_eq!(rep.status_word, 2);
+            }
+            _ => panic!(),
+        }
+    }
+}

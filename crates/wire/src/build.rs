@@ -1,0 +1,199 @@
+//! Convenience builders assembling complete Ethernet frames.
+//!
+//! Used by the trace generator (`ent-gen`) and by tests; the analysis side
+//! never constructs frames.
+
+use crate::{ethernet, icmp, ipv4, tcp, udp};
+
+/// Parameters for a TCP frame.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpFrameSpec {
+    /// Source MAC.
+    pub src_mac: ethernet::MacAddr,
+    /// Destination MAC.
+    pub dst_mac: ethernet::MacAddr,
+    /// Source IP.
+    pub src_ip: ipv4::Addr,
+    /// Destination IP.
+    pub dst_ip: ipv4::Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: tcp::Flags,
+    /// Receive window.
+    pub window: u16,
+    /// IP TTL.
+    pub ttl: u8,
+}
+
+/// Build a complete TCP/IPv4/Ethernet frame.
+pub fn tcp_frame(spec: &TcpFrameSpec, payload: &[u8]) -> Vec<u8> {
+    let seg = tcp::emit(
+        spec.src_ip,
+        spec.dst_ip,
+        spec.src_port,
+        spec.dst_port,
+        spec.seq,
+        spec.ack,
+        spec.flags,
+        spec.window,
+        payload,
+    );
+    let ip = ipv4::emit(
+        spec.src_ip,
+        spec.dst_ip,
+        ipv4::Protocol::Tcp,
+        spec.ttl,
+        ip_ident(spec.seq, spec.src_port),
+        &seg,
+    );
+    ethernet::emit(spec.dst_mac, spec.src_mac, ethernet::EtherType::Ipv4, &ip)
+}
+
+/// Parameters for a UDP frame.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpFrameSpec {
+    /// Source MAC.
+    pub src_mac: ethernet::MacAddr,
+    /// Destination MAC.
+    pub dst_mac: ethernet::MacAddr,
+    /// Source IP.
+    pub src_ip: ipv4::Addr,
+    /// Destination IP.
+    pub dst_ip: ipv4::Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP TTL.
+    pub ttl: u8,
+}
+
+/// Build a complete UDP/IPv4/Ethernet frame.
+pub fn udp_frame(spec: &UdpFrameSpec, payload: &[u8]) -> Vec<u8> {
+    let dg = udp::emit(spec.src_ip, spec.dst_ip, spec.src_port, spec.dst_port, payload);
+    let ip = ipv4::emit(
+        spec.src_ip,
+        spec.dst_ip,
+        ipv4::Protocol::Udp,
+        spec.ttl,
+        ip_ident(payload.len() as u32, spec.src_port),
+        &dg,
+    );
+    ethernet::emit(spec.dst_mac, spec.src_mac, ethernet::EtherType::Ipv4, &ip)
+}
+
+/// Build a complete ICMP/IPv4/Ethernet frame.
+#[allow(clippy::too_many_arguments)]
+pub fn icmp_frame(
+    src_mac: ethernet::MacAddr,
+    dst_mac: ethernet::MacAddr,
+    src_ip: ipv4::Addr,
+    dst_ip: ipv4::Addr,
+    mtype: icmp::MessageType,
+    ident: u16,
+    seq: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let msg = icmp::emit(mtype, 0, ident, seq, payload);
+    let ip = ipv4::emit(src_ip, dst_ip, ipv4::Protocol::Icmp, 64, ip_ident(seq as u32, ident), &msg);
+    ethernet::emit(dst_mac, src_mac, ethernet::EtherType::Ipv4, &ip)
+}
+
+/// Build an IPv4 frame carrying an arbitrary transport protocol (IGMP, ESP,
+/// PIM, GRE, protocol 224, ...).
+pub fn raw_ip_frame(
+    src_mac: ethernet::MacAddr,
+    dst_mac: ethernet::MacAddr,
+    src_ip: ipv4::Addr,
+    dst_ip: ipv4::Addr,
+    protocol: u8,
+    payload: &[u8],
+) -> Vec<u8> {
+    let ip = ipv4::emit(
+        src_ip,
+        dst_ip,
+        ipv4::Protocol::from_u8(protocol),
+        64,
+        0,
+        payload,
+    );
+    ethernet::emit(dst_mac, src_mac, ethernet::EtherType::Ipv4, &ip)
+}
+
+/// Deterministic-but-varying IP ident derived from flow state, so duplicate
+/// frames (retransmissions) can carry identical idents while distinct
+/// datagrams differ.
+fn ip_ident(a: u32, b: u16) -> u16 {
+    (a.wrapping_mul(0x9E37).wrapping_add(b as u32) & 0xFFFF) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packet;
+
+    fn macs() -> (ethernet::MacAddr, ethernet::MacAddr) {
+        (ethernet::MacAddr::from_host_id(1), ethernet::MacAddr::from_host_id(2))
+    }
+
+    #[test]
+    fn icmp_frame_parses() {
+        let (s, d) = macs();
+        let f = icmp_frame(
+            s,
+            d,
+            ipv4::Addr::new(10, 0, 0, 1),
+            ipv4::Addr::new(10, 0, 0, 2),
+            icmp::MessageType::EchoRequest,
+            7,
+            1,
+            b"ping",
+        );
+        let p = Packet::parse(&f).unwrap();
+        assert!(matches!(
+            p.transport,
+            crate::Transport::Icmp { mtype: icmp::MessageType::EchoRequest, ident: 7, seq: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn raw_ip_frame_parses_as_other() {
+        let (s, d) = macs();
+        let f = raw_ip_frame(
+            s,
+            d,
+            ipv4::Addr::new(10, 0, 0, 1),
+            ipv4::Addr::new(224, 0, 0, 13),
+            103,
+            &[0u8; 16],
+        );
+        let p = Packet::parse(&f).unwrap();
+        assert_eq!(p.transport, crate::Transport::Other(103));
+        assert!(p.is_multicast());
+    }
+
+    #[test]
+    fn retransmitted_tcp_frames_are_byte_identical() {
+        let spec = TcpFrameSpec {
+            src_mac: ethernet::MacAddr::from_host_id(1),
+            dst_mac: ethernet::MacAddr::from_host_id(2),
+            src_ip: ipv4::Addr::new(10, 0, 0, 1),
+            dst_ip: ipv4::Addr::new(10, 0, 0, 2),
+            src_port: 40000,
+            dst_port: 80,
+            seq: 1234,
+            ack: 99,
+            flags: tcp::Flags::ACK,
+            window: 1000,
+            ttl: 64,
+        };
+        assert_eq!(tcp_frame(&spec, b"data"), tcp_frame(&spec, b"data"));
+    }
+}

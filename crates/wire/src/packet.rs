@@ -1,0 +1,456 @@
+//! Fully parsed packet representation used throughout the pipeline.
+//!
+//! [`Packet::parse`] dissects a captured Ethernet frame into owned layer
+//! summaries plus a borrowed payload slice. Parsing never fails for traffic
+//! that merely uses a protocol we do not model — such packets are classified
+//! as [`NetLayer::OtherL3`] / [`Transport::Other`] so the broad breakdowns of
+//! the paper's §3 can still count them.
+
+use crate::{arp, ethernet, icmp, ipv4, ipv6, ipx, tcp, udp, Error, Result};
+
+/// The network-layer classification of a frame (paper Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetLayer {
+    /// IPv4 with its parsed header fields.
+    Ipv4 {
+        /// Source address.
+        src: ipv4::Addr,
+        /// Destination address.
+        dst: ipv4::Addr,
+        /// Transport protocol number.
+        protocol: ipv4::Protocol,
+        /// Datagram total length (authoritative wire size).
+        total_len: u16,
+        /// IP TTL.
+        ttl: u8,
+        /// IP identification (used for duplicate detection).
+        ident: u16,
+    },
+    /// IPv6 (rare in the traces; counted, not deeply analyzed).
+    Ipv6 {
+        /// Source address.
+        src: ipv6::Addr,
+        /// Destination address.
+        dst: ipv6::Addr,
+        /// Next-header value.
+        next_header: u8,
+    },
+    /// ARP request/reply.
+    Arp(arp::Packet),
+    /// IPX datagram (type + sockets retained for SAP/RIP classification).
+    Ipx {
+        /// IPX packet type.
+        ptype: ipx::PacketType,
+        /// Source socket.
+        src_socket: u16,
+        /// Destination socket.
+        dst_socket: u16,
+    },
+    /// Anything else above Ethernet ("other" row of Table 2).
+    OtherL3(u16),
+}
+
+/// The transport-layer content of an IPv4 packet (paper Table 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// TCP segment.
+    Tcp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Sequence number.
+        seq: u32,
+        /// Acknowledgment number.
+        ack: u32,
+        /// Flags.
+        flags: tcp::Flags,
+        /// Receive window.
+        window: u16,
+        /// On-the-wire payload length (post-truncation arithmetic).
+        wire_payload_len: u32,
+    },
+    /// UDP datagram.
+    Udp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// On-the-wire payload length.
+        wire_payload_len: u32,
+    },
+    /// ICMP message.
+    Icmp {
+        /// Type.
+        mtype: icmp::MessageType,
+        /// Code.
+        code: u8,
+        /// Echo identifier.
+        ident: u16,
+        /// Echo sequence.
+        seq: u16,
+    },
+    /// Another IP protocol (IGMP, ESP, PIM, GRE, 224, ...).
+    Other(u8),
+    /// No transport: non-IPv4 frames.
+    None,
+}
+
+/// A dissected frame: link + network + transport summaries and the
+/// application payload (borrowed from the capture buffer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<'a> {
+    /// Destination MAC address.
+    pub dst_mac: ethernet::MacAddr,
+    /// Source MAC address.
+    pub src_mac: ethernet::MacAddr,
+    /// Network-layer summary.
+    pub net: NetLayer,
+    /// Transport-layer summary (IPv4 only).
+    pub transport: Transport,
+    /// Captured application payload (may be snaplen-truncated; the
+    /// `wire_payload_len` fields carry true sizes).
+    payload: &'a [u8],
+}
+
+impl<'a> Packet<'a> {
+    /// Dissect a captured Ethernet frame.
+    ///
+    /// Fails only if the Ethernet header itself is truncated, or an inner
+    /// header is malformed beyond classification; unknown protocols succeed
+    /// with `OtherL3` / `Transport::Other`.
+    pub fn parse(frame: &'a [u8]) -> Result<Packet<'a>> {
+        let eth = ethernet::Frame::parse(frame)?;
+        let mut payload: &[u8] = &[];
+        let mut transport = Transport::None;
+        let net = match eth.ethertype {
+            ethernet::EtherType::Ipv4 => {
+                let ip = ipv4::Header::parse(eth.payload)?;
+                match ip.protocol {
+                    ipv4::Protocol::Tcp => match tcp::Segment::parse(ip.payload) {
+                        Ok(seg) => {
+                            payload = seg.payload;
+                            let hdr = seg.header_len as usize;
+                            transport = Transport::Tcp {
+                                src_port: seg.src_port,
+                                dst_port: seg.dst_port,
+                                seq: seg.seq,
+                                ack: seg.ack,
+                                flags: seg.flags,
+                                window: seg.window,
+                                wire_payload_len: ip.wire_payload_len().saturating_sub(hdr) as u32,
+                            };
+                        }
+                        Err(Error::Truncated) => transport = Transport::Other(6),
+                        Err(e) => return Err(e),
+                    },
+                    ipv4::Protocol::Udp => match udp::Datagram::parse(ip.payload) {
+                        Ok(dg) => {
+                            payload = dg.payload;
+                            transport = Transport::Udp {
+                                src_port: dg.src_port,
+                                dst_port: dg.dst_port,
+                                wire_payload_len: dg.wire_payload_len() as u32,
+                            };
+                        }
+                        Err(Error::Truncated) => transport = Transport::Other(17),
+                        Err(e) => return Err(e),
+                    },
+                    ipv4::Protocol::Icmp => match icmp::Message::parse(ip.payload) {
+                        Ok(m) => {
+                            payload = m.payload;
+                            transport = Transport::Icmp {
+                                mtype: m.mtype,
+                                code: m.code,
+                                ident: m.ident,
+                                seq: m.seq,
+                            };
+                        }
+                        Err(Error::Truncated) => transport = Transport::Other(1),
+                        Err(e) => return Err(e),
+                    },
+                    other => transport = Transport::Other(other.to_u8()),
+                }
+                NetLayer::Ipv4 {
+                    src: ip.src,
+                    dst: ip.dst,
+                    protocol: ip.protocol,
+                    total_len: ip.total_len,
+                    ttl: ip.ttl,
+                    ident: ip.ident,
+                }
+            }
+            ethernet::EtherType::Arp => match arp::Packet::parse(eth.payload) {
+                Ok(a) => NetLayer::Arp(a),
+                Err(_) => NetLayer::OtherL3(0x0806),
+            },
+            ethernet::EtherType::Ipx => match ipx::Header::parse(eth.payload) {
+                Ok(x) => NetLayer::Ipx {
+                    ptype: x.ptype,
+                    src_socket: x.src.socket,
+                    dst_socket: x.dst.socket,
+                },
+                Err(_) => NetLayer::OtherL3(0x8137),
+            },
+            ethernet::EtherType::Ipv6 => match ipv6::Header::parse(eth.payload) {
+                Ok(v6) => NetLayer::Ipv6 {
+                    src: v6.src,
+                    dst: v6.dst,
+                    next_header: v6.next_header,
+                },
+                Err(_) => NetLayer::OtherL3(0x86DD),
+            },
+            ethernet::EtherType::Ieee8023Length(_) => {
+                // Raw 802.3 IPX starts with FF FF (the IPX "checksum").
+                if eth.payload.len() >= 2 && eth.payload[0] == 0xFF && eth.payload[1] == 0xFF {
+                    match ipx::Header::parse(eth.payload) {
+                        Ok(x) => NetLayer::Ipx {
+                            ptype: x.ptype,
+                            src_socket: x.src.socket,
+                            dst_socket: x.dst.socket,
+                        },
+                        Err(_) => NetLayer::OtherL3(0),
+                    }
+                } else {
+                    NetLayer::OtherL3(0)
+                }
+            }
+            ethernet::EtherType::Other(t) => NetLayer::OtherL3(t),
+        };
+        Ok(Packet {
+            dst_mac: eth.dst,
+            src_mac: eth.src,
+            net,
+            transport,
+            payload,
+        })
+    }
+
+    /// Captured application payload bytes.
+    pub fn payload(&self) -> &'a [u8] {
+        self.payload
+    }
+
+    /// IPv4 addresses if this is an IPv4 packet.
+    pub fn ipv4_addrs(&self) -> Option<(ipv4::Addr, ipv4::Addr)> {
+        match self.net {
+            NetLayer::Ipv4 { src, dst, .. } => Some((src, dst)),
+            _ => None,
+        }
+    }
+
+    /// TCP summary if this is a TCP packet.
+    pub fn tcp(&self) -> Option<TcpSummary> {
+        match self.transport {
+            Transport::Tcp {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                window,
+                wire_payload_len,
+            } => Some(TcpSummary {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                window,
+                wire_payload_len,
+            }),
+            _ => None,
+        }
+    }
+
+    /// UDP (src_port, dst_port, wire_payload_len) if this is a UDP packet.
+    pub fn udp(&self) -> Option<(u16, u16, u32)> {
+        match self.transport {
+            Transport::Udp {
+                src_port,
+                dst_port,
+                wire_payload_len,
+            } => Some((src_port, dst_port, wire_payload_len)),
+            _ => None,
+        }
+    }
+
+    /// True if the destination is an IPv4/Ethernet multicast or broadcast.
+    pub fn is_multicast(&self) -> bool {
+        match &self.net {
+            NetLayer::Ipv4 { dst, .. } => dst.is_multicast() || dst.is_broadcast(),
+            NetLayer::Ipv6 { dst, .. } => dst.is_multicast(),
+            _ => self.dst_mac.is_multicast(),
+        }
+    }
+
+    /// Transport payload length as seen on the wire (0 for non-TCP/UDP).
+    pub fn wire_payload_len(&self) -> u32 {
+        match self.transport {
+            Transport::Tcp {
+                wire_payload_len, ..
+            }
+            | Transport::Udp {
+                wire_payload_len, ..
+            } => wire_payload_len,
+            _ => 0,
+        }
+    }
+}
+
+/// Owned copy of the TCP fields of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpSummary {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: tcp::Flags,
+    /// Receive window.
+    pub window: u16,
+    /// True payload length on the wire.
+    pub wire_payload_len: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+
+    #[test]
+    fn parse_udp_frame() {
+        let frame = build::udp_frame(
+            &build::UdpFrameSpec {
+                src_mac: ethernet::MacAddr::from_host_id(1),
+                dst_mac: ethernet::MacAddr::from_host_id(2),
+                src_ip: ipv4::Addr::new(10, 0, 0, 1),
+                dst_ip: ipv4::Addr::new(10, 0, 0, 2),
+                src_port: 1024,
+                dst_port: 53,
+                ttl: 64,
+            },
+            b"dnsq",
+        );
+        let p = Packet::parse(&frame).unwrap();
+        assert_eq!(p.udp(), Some((1024, 53, 4)));
+        assert_eq!(p.payload(), b"dnsq");
+        assert!(!p.is_multicast());
+    }
+
+    #[test]
+    fn parse_arp_frame() {
+        let a = arp::Packet {
+            operation: arp::Operation::Request,
+            sender_mac: ethernet::MacAddr::from_host_id(9),
+            sender_ip: ipv4::Addr::new(10, 0, 0, 9),
+            target_mac: ethernet::MacAddr([0; 6]),
+            target_ip: ipv4::Addr::new(10, 0, 0, 1),
+        };
+        let frame = ethernet::emit(
+            ethernet::MacAddr::BROADCAST,
+            a.sender_mac,
+            ethernet::EtherType::Arp,
+            &a.emit(),
+        );
+        let p = Packet::parse(&frame).unwrap();
+        assert!(matches!(p.net, NetLayer::Arp(ref pa) if pa.operation == arp::Operation::Request));
+        assert!(p.is_multicast());
+        assert_eq!(p.transport, Transport::None);
+    }
+
+    #[test]
+    fn parse_raw_8023_ipx() {
+        let ipx_pkt = ipx::emit(
+            ipx::PacketType::Rip,
+            ipx::Addr { network: 1, node: [1; 6], socket: 0x453 },
+            ipx::Addr { network: 2, node: [2; 6], socket: 0x453 },
+            &[0u8; 10],
+        );
+        let frame = ethernet::emit(
+            ethernet::MacAddr::BROADCAST,
+            ethernet::MacAddr::from_host_id(5),
+            ethernet::EtherType::Ieee8023Length(ipx_pkt.len() as u16),
+            &ipx_pkt,
+        );
+        let p = Packet::parse(&frame).unwrap();
+        assert!(matches!(p.net, NetLayer::Ipx { ptype: ipx::PacketType::Rip, .. }));
+    }
+
+    #[test]
+    fn snaplen68_tcp_keeps_flags_and_wire_len() {
+        let frame = build::tcp_frame(
+            &build::TcpFrameSpec {
+                src_mac: ethernet::MacAddr::from_host_id(1),
+                dst_mac: ethernet::MacAddr::from_host_id(2),
+                src_ip: ipv4::Addr::new(10, 0, 0, 1),
+                dst_ip: ipv4::Addr::new(10, 0, 0, 2),
+                src_port: 40000,
+                dst_port: 445,
+                seq: 100,
+                ack: 1,
+                flags: tcp::Flags::ACK | tcp::Flags::PSH,
+                window: 5000,
+                ttl: 64,
+            },
+            &[0xAB; 1000],
+        );
+        let truncated = &frame[..68];
+        let p = Packet::parse(truncated).unwrap();
+        let t = p.tcp().unwrap();
+        assert_eq!(t.dst_port, 445);
+        assert!(t.flags.ack());
+        assert_eq!(t.wire_payload_len, 1000);
+        assert_eq!(p.payload().len(), 68 - 14 - 20 - 20);
+    }
+
+    #[test]
+    fn unknown_protocols_classified_not_rejected() {
+        // GRE-in-IP frame.
+        let ip = ipv4::emit(
+            ipv4::Addr::new(1, 1, 1, 1),
+            ipv4::Addr::new(2, 2, 2, 2),
+            ipv4::Protocol::Gre,
+            64,
+            0,
+            &[0u8; 4],
+        );
+        let frame = ethernet::emit(
+            ethernet::MacAddr::from_host_id(1),
+            ethernet::MacAddr::from_host_id(2),
+            ethernet::EtherType::Ipv4,
+            &ip,
+        );
+        let p = Packet::parse(&frame).unwrap();
+        assert_eq!(p.transport, Transport::Other(47));
+        // Unknown EtherType.
+        let frame = ethernet::emit(
+            ethernet::MacAddr::from_host_id(1),
+            ethernet::MacAddr::from_host_id(2),
+            ethernet::EtherType::Other(0x88CC),
+            &[],
+        );
+        assert_eq!(Packet::parse(&frame).unwrap().net, NetLayer::OtherL3(0x88CC));
+    }
+
+    #[test]
+    fn multicast_ipv4_detected() {
+        let frame = build::udp_frame(
+            &build::UdpFrameSpec {
+                src_mac: ethernet::MacAddr::from_host_id(1),
+                dst_mac: ethernet::MacAddr([0x01, 0x00, 0x5E, 0, 0, 1]),
+                src_ip: ipv4::Addr::new(10, 0, 0, 1),
+                dst_ip: ipv4::Addr::new(239, 1, 1, 1),
+                src_port: 5000,
+                dst_port: 5004,
+                ttl: 16,
+            },
+            &[0u8; 100],
+        );
+        assert!(Packet::parse(&frame).unwrap().is_multicast());
+    }
+}

@@ -1,0 +1,158 @@
+//! Capture timestamps.
+//!
+//! Trace timestamps are microseconds since an arbitrary epoch (classic pcap
+//! resolution). A dedicated type avoids unit confusion between seconds,
+//! milliseconds and microseconds that plagues trace tooling.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A capture timestamp with microsecond resolution.
+///
+/// Internally a `u64` count of microseconds since the trace epoch. Supports
+/// ordering, differencing (yielding microseconds) and offsetting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The zero timestamp (trace epoch).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Timestamp(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            Timestamp(0)
+        } else {
+            Timestamp((s * 1e6).round() as u64)
+        }
+    }
+
+    /// Microseconds since the epoch.
+    #[inline]
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the epoch.
+    #[inline]
+    pub fn secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Split into (seconds, microseconds-within-second) as stored by pcap.
+    #[inline]
+    pub const fn to_sec_usec(self) -> (u32, u32) {
+        ((self.0 / 1_000_000) as u32, (self.0 % 1_000_000) as u32)
+    }
+
+    /// Recombine a pcap (seconds, microseconds) pair.
+    #[inline]
+    pub const fn from_sec_usec(sec: u32, usec: u32) -> Self {
+        Timestamp(sec as u64 * 1_000_000 + usec as u64)
+    }
+
+    /// Saturating difference in microseconds (`self - earlier`).
+    #[inline]
+    pub const fn saturating_micros_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Checked addition of a microsecond offset.
+    #[inline]
+    pub const fn checked_add_micros(self, us: u64) -> Option<Timestamp> {
+        match self.0.checked_add(us) {
+            Some(v) => Some(Timestamp(v)),
+            None => None,
+        }
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+    /// Offset by microseconds.
+    #[inline]
+    fn add(self, us: u64) -> Timestamp {
+        Timestamp(self.0 + us)
+    }
+}
+
+impl AddAssign<u64> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, us: u64) {
+        self.0 += us;
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = u64;
+    /// Difference in microseconds; panics in debug if `rhs` is later.
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:06}", self.0 / 1_000_000, self.0 % 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let t = Timestamp::from_millis(1_234);
+        assert_eq!(t.micros(), 1_234_000);
+        assert_eq!(t.secs_f64(), 1.234);
+        assert_eq!(t.to_sec_usec(), (1, 234_000));
+        assert_eq!(Timestamp::from_sec_usec(1, 234_000), t);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_negative() {
+        assert_eq!(Timestamp::from_secs_f64(-1.0), Timestamp::ZERO);
+        assert_eq!(Timestamp::from_secs_f64(0.5).micros(), 500_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Timestamp::from_micros(100);
+        let b = a + 50;
+        assert_eq!(b - a, 50);
+        assert_eq!(a.saturating_micros_since(b), 0);
+        assert_eq!(b.saturating_micros_since(a), 50);
+    }
+
+    #[test]
+    fn display_pads_microseconds() {
+        assert_eq!(Timestamp::from_micros(1_000_005).to_string(), "1.000005");
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert_eq!(Timestamp::from_micros(u64::MAX).checked_add_micros(1), None);
+        assert!(Timestamp::ZERO.checked_add_micros(5).is_some());
+    }
+}

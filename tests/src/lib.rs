@@ -1,0 +1,32 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use ent_core::run::{run_dataset, DatasetAnalysis, StudyConfig};
+use ent_gen::dataset::all_datasets;
+use ent_gen::GenConfig;
+
+/// A fast generation config for integration tests.
+pub fn test_gen_config() -> GenConfig {
+    GenConfig {
+        scale: 0.006,
+        seed: 17,
+        hosts_per_subnet: Some(10),
+    }
+}
+
+/// Run a reduced-subnet version of a dataset (fast but representative).
+pub fn small_dataset(name: &str, subnets: u16) -> DatasetAnalysis {
+    let spec = all_datasets()
+        .into_iter()
+        .find(|d| d.name == name)
+        .expect("known dataset");
+    let mut spec = spec;
+    let start = spec.monitored.start;
+    spec.monitored = start..(start + subnets).min(spec.monitored.end);
+    run_dataset(
+        &spec,
+        &StudyConfig {
+            gen: test_gen_config(),
+            ..Default::default()
+        },
+    )
+}

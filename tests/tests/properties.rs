@@ -1,0 +1,255 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning crates.
+
+use ent_anon::prefix::{common_prefix_len, Anonymizer};
+use ent_core::stats::Ecdf;
+use ent_pcap::{PcapReader, PcapWriter, TimedPacket};
+use ent_wire::{build, ethernet::MacAddr, ipv4, tcp, Packet, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any built TCP frame parses back to exactly its inputs.
+    #[test]
+    fn tcp_frame_roundtrip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sp in 1u16..65535,
+        dp in 1u16..65535,
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        window in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let frame = build::tcp_frame(
+            &build::TcpFrameSpec {
+                src_mac: MacAddr::from_host_id(1),
+                dst_mac: MacAddr::from_host_id(2),
+                src_ip: ipv4::Addr(src),
+                dst_ip: ipv4::Addr(dst),
+                src_port: sp,
+                dst_port: dp,
+                seq,
+                ack,
+                flags: tcp::Flags::ACK | tcp::Flags::PSH,
+                window,
+                ttl: 64,
+            },
+            &payload,
+        );
+        let pkt = Packet::parse(&frame).unwrap();
+        let t = pkt.tcp().unwrap();
+        prop_assert_eq!(t.src_port, sp);
+        prop_assert_eq!(t.dst_port, dp);
+        prop_assert_eq!(t.seq, seq);
+        prop_assert_eq!(t.ack, ack);
+        prop_assert_eq!(t.window, window);
+        prop_assert_eq!(pkt.payload(), &payload[..]);
+        prop_assert_eq!(pkt.ipv4_addrs(), Some((ipv4::Addr(src), ipv4::Addr(dst))));
+        // Checksums valid.
+        prop_assert!(ent_wire::checksum::verify(&frame[14..34]));
+    }
+
+    /// Truncating a frame (snaplen) never makes the parser panic, and any
+    /// successfully parsed truncation agrees on ports.
+    #[test]
+    fn truncation_never_panics(
+        cut in 14usize..200,
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let frame = build::udp_frame(
+            &build::UdpFrameSpec {
+                src_mac: MacAddr::from_host_id(1),
+                dst_mac: MacAddr::from_host_id(2),
+                src_ip: ipv4::Addr::new(10, 0, 0, 1),
+                dst_ip: ipv4::Addr::new(10, 0, 0, 2),
+                src_port: 1111,
+                dst_port: 2222,
+                ttl: 64,
+            },
+            &payload,
+        );
+        let cut = cut.min(frame.len());
+        if let Ok(pkt) = Packet::parse(&frame[..cut]) {
+            if let Some((sp, dp, _)) = pkt.udp() {
+                prop_assert_eq!(sp, 1111);
+                prop_assert_eq!(dp, 2222);
+            }
+        }
+    }
+
+    /// pcap files round-trip arbitrary packet sequences.
+    #[test]
+    fn pcap_roundtrip(
+        pkts in proptest::collection::vec(
+            (0u64..10_000_000, proptest::collection::vec(any::<u8>(), 14..200)),
+            0..40,
+        ),
+    ) {
+        let mut sorted = pkts.clone();
+        sorted.sort_by_key(|(ts, _)| *ts);
+        let packets: Vec<TimedPacket> = sorted
+            .into_iter()
+            .map(|(ts, frame)| TimedPacket::new(Timestamp::from_micros(ts), frame))
+            .collect();
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf, 65_535).unwrap();
+            for p in &packets {
+                w.write_packet(p).unwrap();
+            }
+        }
+        let got = PcapReader::new(&buf[..]).unwrap().read_all().unwrap();
+        prop_assert_eq!(got, packets);
+    }
+
+    /// Prefix-preserving anonymization: for any two addresses, the common
+    /// prefix length is exactly preserved, and the mapping is injective.
+    #[test]
+    fn anonymization_prefix_property(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
+        let mut anon = Anonymizer::new(&format!("k{seed}"));
+        let (x, y) = (ipv4::Addr(a), ipv4::Addr(b));
+        let (ax, ay) = (anon.ip(x), anon.ip(y));
+        prop_assert_eq!(common_prefix_len(ax, ay), common_prefix_len(x, y));
+        if a != b {
+            prop_assert_ne!(ax, ay);
+        } else {
+            prop_assert_eq!(ax, ay);
+        }
+    }
+
+    /// ECDF invariants: quantiles are monotone, bounded by the sample
+    /// range, and fraction_le is a valid CDF.
+    #[test]
+    fn ecdf_invariants(samples in proptest::collection::vec(-1e12f64..1e12, 1..200)) {
+        let e = Ecdf::new(samples.clone());
+        let (lo, hi) = e.range().unwrap();
+        let mut prev = lo;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = e.quantile(q).unwrap();
+            prop_assert!(v >= prev - 1e-9, "quantiles must be monotone");
+            prop_assert!(v >= lo && v <= hi);
+            prev = v;
+        }
+        prop_assert_eq!(e.fraction_le(hi), 1.0);
+        prop_assert!(e.fraction_le(lo - 1.0) == 0.0);
+        // fraction_le is monotone.
+        prop_assert!(e.fraction_le(lo) <= e.fraction_le(hi));
+    }
+
+    /// The TCP sequence tracker delivers exactly the sent byte stream, no
+    /// matter how retransmissions are interleaved.
+    #[test]
+    fn flow_delivery_exact_under_retx(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..300), 1..10),
+        dup_mask in any::<u16>(),
+    ) {
+        use ent_flow::tcp::TcpConn;
+        use ent_flow::Dir;
+        use ent_wire::packet::TcpSummary;
+        let mut conn = TcpConn::new();
+        let mut seq = 1_000u32;
+        let mut delivered = Vec::new();
+        let mut expected = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            expected.extend_from_slice(chunk);
+            let seg = TcpSummary {
+                src_port: 1,
+                dst_port: 2,
+                seq,
+                ack: 0,
+                flags: tcp::Flags::ACK,
+                window: 1000,
+                wire_payload_len: chunk.len() as u32,
+            };
+            let d = conn.process(Dir::Orig, &seg, chunk.len());
+            delivered.extend_from_slice(&chunk[chunk.len() - d.deliver_captured..]);
+            // Maybe duplicate this segment (a retransmission).
+            if dup_mask & (1 << (i % 16)) != 0 {
+                let d2 = conn.process(Dir::Orig, &seg, chunk.len());
+                prop_assert!(d2.retransmission);
+                prop_assert_eq!(d2.deliver_captured, 0);
+            }
+            seq = seq.wrapping_add(chunk.len() as u32);
+        }
+        prop_assert_eq!(delivered, expected);
+    }
+}
+
+proptest! {
+    /// The pcap reader never panics on arbitrary bytes — corrupt capture
+    /// files must fail cleanly.
+    #[test]
+    fn pcap_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        if let Ok(mut r) = PcapReader::new(&bytes[..]) {
+            // Drain until error or EOF; must not panic or loop forever.
+            let mut n = 0;
+            while let Ok(Some(_)) = r.next_packet() {
+                n += 1;
+                if n > 1_000 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The packet dissector never panics on arbitrary bytes.
+    #[test]
+    fn packet_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = Packet::parse(&bytes);
+    }
+
+    /// The whole per-trace analysis pipeline survives garbage frames mixed
+    /// into a trace (failure injection): no panics, and valid packets are
+    /// still counted.
+    #[test]
+    fn pipeline_survives_garbage_frames(
+        garbage in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 14..120), 1..20),
+    ) {
+        use ent_core::{analyze_trace, PipelineConfig};
+        use ent_pcap::{Trace, TraceMeta};
+        let mut packets: Vec<TimedPacket> = garbage
+            .into_iter()
+            .enumerate()
+            .map(|(i, frame)| TimedPacket::new(Timestamp::from_millis(i as u64), frame))
+            .collect();
+        // One known-good flow in the middle.
+        let good = build::udp_frame(
+            &build::UdpFrameSpec {
+                src_mac: MacAddr::from_host_id(1),
+                dst_mac: MacAddr::from_host_id(2),
+                src_ip: ipv4::Addr::new(10, 100, 1, 30),
+                dst_ip: ipv4::Addr::new(10, 100, 2, 10),
+                src_port: 5_000,
+                dst_port: 53,
+                ttl: 64,
+            },
+            &ent_proto::dns::encode_query(7, "x.example", ent_proto::dns::QType::A),
+        );
+        packets.push(TimedPacket::new(Timestamp::from_secs(2), good));
+        packets.sort_by_key(|p| p.ts);
+        let trace = Trace {
+            meta: TraceMeta {
+                dataset: "fuzz".into(),
+                subnet: 1,
+                pass: 1,
+                duration: Timestamp::from_secs(10),
+                snaplen: 1_500,
+                link_capacity_bps: 100_000_000,
+            },
+            packets,
+        };
+        let a = analyze_trace(&trace, &PipelineConfig::default());
+        prop_assert!(a.packets >= 1, "the valid packet must be counted");
+    }
+
+    /// Anonymizing arbitrary (possibly non-IP) frames never panics and
+    /// never changes the frame length.
+    #[test]
+    fn anonymize_frame_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut anon = Anonymizer::new("fuzz");
+        let mut frame = bytes.clone();
+        let _ = ent_anon::trace::anonymize_frame(&mut anon, &mut frame);
+        prop_assert_eq!(frame.len(), bytes.len());
+    }
+}
