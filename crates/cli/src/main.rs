@@ -224,7 +224,13 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     let Some(path) = args.positional.first() else {
         return usage();
     };
-    let f = File::open(path).expect("open pcap");
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let meta = TraceMeta {
         dataset: args
             .flags
@@ -241,7 +247,15 @@ fn cmd_analyze(args: &Args) -> ExitCode {
         snaplen: 1500,
         link_capacity_bps: 100_000_000,
     };
-    let mut trace = Trace::read_pcap(BufReader::new(f), meta).expect("read pcap");
+    // Salvage everything readable from a possibly damaged capture; only an
+    // unusable global header is fatal.
+    let (mut trace, capture_stats) = match Trace::read_pcap_recovering(&data, meta) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {}", ent_core::AnalysisError::from(e));
+            return ExitCode::FAILURE;
+        }
+    };
     // Rebase timestamps so utilization bins start at zero.
     if let Some(first) = trace.packets.first().map(|p| p.ts) {
         for p in &mut trace.packets {
@@ -251,11 +265,13 @@ fn cmd_analyze(args: &Args) -> ExitCode {
             trace.meta.duration = last + 1_000_000;
         }
     }
-    let a = ent_core::analyze_trace(&trace, &PipelineConfig::default());
+    let mut a = ent_core::analyze_trace(&trace, &PipelineConfig::default());
+    a.health.capture = capture_stats;
     println!(
         "trace: {} packets ({} IP, {} ARP, {} IPX, {} other)",
         a.packets, a.ip_packets, a.arp_packets, a.ipx_packets, a.other_l3_packets
     );
+    println!("ingest health: {}", a.health);
     println!("connections: {}", a.conns.len());
     println!(
         "scanner sources removed: {:?} ({} conns)",

@@ -38,6 +38,7 @@
 #![allow(clippy::type_complexity)]
 
 pub mod analyses;
+pub mod error;
 pub mod pipeline;
 pub mod records;
 pub mod report;
@@ -46,7 +47,8 @@ pub mod scanners;
 pub mod stats;
 pub mod study;
 
-pub use pipeline::{analyze_trace, PipelineConfig};
-pub use records::TraceAnalysis;
+pub use error::AnalysisError;
+pub use pipeline::{analyze_capture, analyze_trace, PipelineConfig};
+pub use records::{IngestHealth, TraceAnalysis};
 pub use run::{run_dataset, run_study, DatasetAnalysis, StudyConfig};
 pub use study::{build_report, StudyReport};

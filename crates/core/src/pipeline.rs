@@ -8,10 +8,11 @@
 //! (snaplen 68) traces exactly as the paper omits D1/D2 from payload
 //! analyses.
 
+use crate::error::AnalysisError;
 use crate::records::*;
 use crate::scanners::{remove_scanners, ScannerConfig};
 use ent_flow::{ConnIndex, ConnSummary, ConnTable, Dir, FlowHandler, FlowKey, Proto, TableConfig};
-use ent_pcap::Trace;
+use ent_pcap::{Trace, TraceMeta};
 use ent_proto::dns::QType;
 use ent_proto::http::HttpAnalyzer;
 use ent_proto::imap::ImapAnalyzer;
@@ -30,6 +31,15 @@ pub struct PipelineConfig {
     pub scanners: ScannerConfig,
     /// Keep scanner traffic (ablation; the paper removes it).
     pub keep_scanners: bool,
+    /// Connection-table cap forwarded to the flow engine (0 = unbounded).
+    /// When hit, the least-recently-active connections are evicted and
+    /// tallied in [`IngestHealth::evicted_conns`].
+    pub max_conns: usize,
+    /// Fault-injection hook: panic inside the application analyzer on
+    /// every Nth TCP data delivery (0 = never). Exercises the
+    /// analyzer-failure demotion path deterministically; never set outside
+    /// the fault harness.
+    pub analyzer_panic_every: u64,
 }
 
 #[derive(Default)]
@@ -68,6 +78,16 @@ struct Handler<'a> {
     conns: HashMap<ConnIndex, PerConn>,
     dynamic: DynamicPorts,
     payload_ok: bool,
+    panic_every: u64,
+    tcp_data_events: u64,
+}
+
+/// Note an analyzer failure: the connection keeps only its flow-level
+/// summary from here on — the paper's own posture for the header-only
+/// datasets D1/D2.
+fn demote(out: &mut TraceAnalysis) {
+    out.health.analyzer_failures += 1;
+    out.health.demoted_conns += 1;
 }
 
 impl Handler<'_> {
@@ -123,6 +143,23 @@ impl Handler<'_> {
                 _ => Category::OtherUdp,
             },
         };
+        // An analyzer that fails while draining costs its application
+        // records, never the connection summary itself.
+        let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.drain_app(&mut pc, summary);
+        }));
+        if drained.is_err() {
+            demote(self.out);
+        }
+        self.out.conns.push(ConnRecord {
+            summary: summary.clone(),
+            app: pc.app,
+            category,
+        });
+    }
+
+    /// Flush a closing connection's analyzer into the output records.
+    fn drain_app(&mut self, pc: &mut PerConn, summary: &ConnSummary) {
         match &mut pc.state {
             AppState::Http(h) => {
                 h.finish();
@@ -222,11 +259,6 @@ impl Handler<'_> {
             }
             AppState::Dns(_) | AppState::Nbns(_) | AppState::None => {}
         }
-        self.out.conns.push(ConnRecord {
-            summary: summary.clone(),
-            app: pc.app,
-            category,
-        });
     }
 }
 
@@ -248,42 +280,57 @@ impl FlowHandler for Handler<'_> {
         let Some(pc) = self.conns.get_mut(&idx) else {
             return;
         };
+        if matches!(pc.state, AppState::None | AppState::Dns(_) | AppState::Nbns(_)) {
+            return;
+        }
+        self.tcp_data_events += 1;
+        let inject = self.panic_every != 0 && self.tcp_data_events.is_multiple_of(self.panic_every);
         let from_client = dir == Dir::Orig;
-        match &mut pc.state {
-            AppState::Http(h) => {
-                if from_client {
-                    h.feed_request_data(data);
-                } else {
-                    h.feed_response_data(data);
-                }
-            }
-            AppState::Smtp(s) => {
-                if from_client {
-                    s.feed_client(data);
-                } else {
-                    s.feed_server(data);
-                }
-            }
-            AppState::Imap(i) => {
-                if from_client {
-                    i.feed_client(data);
-                }
-            }
-            AppState::Tls(t) => t.feed(from_client, data),
-            AppState::Cifs(c) => c.feed(from_client, data),
-            AppState::Dcerpc(d) => {
-                d.feed(from_client, data);
-                // Learn Endpoint-Mapper results immediately so follow-up
-                // connections to the mapped port classify as DCE/RPC.
-                if !d.mappings.is_empty() {
-                    for (_, addr, port) in d.mappings.drain(..) {
-                        self.dynamic.learn(addr, port, AppProtocol::DceRpc);
+        // Feed a detached analyzer state so a panicking analyzer is
+        // discarded instead of poisoning the connection entry.
+        let mut state = std::mem::replace(&mut pc.state, AppState::None);
+        let fed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            assert!(!inject, "injected analyzer fault");
+            match &mut state {
+                AppState::Http(h) => {
+                    if from_client {
+                        h.feed_request_data(data);
+                    } else {
+                        h.feed_response_data(data);
                     }
                 }
+                AppState::Smtp(s) => {
+                    if from_client {
+                        s.feed_client(data);
+                    } else {
+                        s.feed_server(data);
+                    }
+                }
+                AppState::Imap(i) if from_client => i.feed_client(data),
+                AppState::Tls(t) => t.feed(from_client, data),
+                AppState::Cifs(c) => c.feed(from_client, data),
+                AppState::Dcerpc(d) => d.feed(from_client, data),
+                AppState::NfsTcp(n) => n.feed_tcp(from_client, _ts, data),
+                AppState::Ncp(n) => n.feed(from_client, _ts, data),
+                _ => {}
             }
-            AppState::NfsTcp(n) => n.feed_tcp(from_client, _ts, data),
-            AppState::Ncp(n) => n.feed(from_client, _ts, data),
-            _ => {}
+        }));
+        match fed {
+            Ok(()) => {
+                if let AppState::Dcerpc(d) = &mut state {
+                    // Learn Endpoint-Mapper results immediately so follow-up
+                    // connections to the mapped port classify as DCE/RPC.
+                    if !d.mappings.is_empty() {
+                        for (_, addr, port) in d.mappings.drain(..) {
+                            self.dynamic.learn(addr, port, AppProtocol::DceRpc);
+                        }
+                    }
+                }
+                pc.state = state;
+            }
+            // The connection entry already holds AppState::None: from here
+            // on it gets header-only treatment.
+            Err(_) => demote(self.out),
         }
     }
 
@@ -309,50 +356,64 @@ impl FlowHandler for Handler<'_> {
         let Some(pc) = self.conns.get_mut(&idx) else {
             return;
         };
+        if !matches!(
+            pc.state,
+            AppState::Dns(_) | AppState::Nbns(_) | AppState::NfsUdp(_)
+        ) {
+            return;
+        }
         let from_client = dir == Dir::Orig;
         let (server, client) = (pc.key.resp.addr, pc.key.orig.addr);
-        match &mut pc.state {
-            AppState::Dns(st) => {
-                let Some(msg) = dns::parse(data) else {
-                    return;
-                };
-                if !msg.is_response {
-                    if let Some(qt) = msg.qtype {
-                        st.pending.insert(msg.id, (ts, qt));
-                    }
-                } else if let Some((t0, qt)) = st.pending.remove(&msg.id) {
-                    self.out.dns.push(DnsRecord {
-                        qtype: qt,
-                        rcode: Some(msg.rcode),
-                        latency_us: Some(ts.saturating_micros_since(t0)),
-                        client,
-                        server,
-                        server_internal: is_internal(server),
-                    });
-                }
-            }
-            AppState::Nbns(st) => {
-                let Some(msg) = netbios::parse_ns(data) else {
-                    return;
-                };
-                if !msg.is_response {
-                    let rec = NbnsRecord {
-                        opcode: msg.opcode,
-                        name: msg.name,
-                        name_type: msg.name_type,
-                        rcode: None,
-                        client,
+        let mut state = std::mem::replace(&mut pc.state, AppState::None);
+        let out = &mut *self.out;
+        let fed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match &mut state {
+                AppState::Dns(st) => {
+                    let Some(msg) = dns::parse(data) else {
+                        return;
                     };
-                    st.pending.insert(msg.id, self.out.nbns.len());
-                    self.out.nbns.push(rec);
-                } else if let Some(i) = st.pending.remove(&msg.id) {
-                    if let Some(rec) = self.out.nbns.get_mut(i) {
-                        rec.rcode = Some(msg.rcode);
+                    if !msg.is_response {
+                        if let Some(qt) = msg.qtype {
+                            st.pending.insert(msg.id, (ts, qt));
+                        }
+                    } else if let Some((t0, qt)) = st.pending.remove(&msg.id) {
+                        out.dns.push(DnsRecord {
+                            qtype: qt,
+                            rcode: Some(msg.rcode),
+                            latency_us: Some(ts.saturating_micros_since(t0)),
+                            client,
+                            server,
+                            server_internal: is_internal(server),
+                        });
                     }
                 }
+                AppState::Nbns(st) => {
+                    let Some(msg) = netbios::parse_ns(data) else {
+                        return;
+                    };
+                    if !msg.is_response {
+                        let rec = NbnsRecord {
+                            opcode: msg.opcode,
+                            name: msg.name,
+                            name_type: msg.name_type,
+                            rcode: None,
+                            client,
+                        };
+                        st.pending.insert(msg.id, out.nbns.len());
+                        out.nbns.push(rec);
+                    } else if let Some(i) = st.pending.remove(&msg.id) {
+                        if let Some(rec) = out.nbns.get_mut(i) {
+                            rec.rcode = Some(msg.rcode);
+                        }
+                    }
+                }
+                AppState::NfsUdp(n) => n.feed_udp(from_client, ts, data),
+                _ => {}
             }
-            AppState::NfsUdp(n) => n.feed_udp(from_client, ts, data),
-            _ => {}
+        }));
+        match fed {
+            Ok(()) => pc.state = state,
+            Err(_) => demote(self.out),
         }
     }
 
@@ -389,15 +450,23 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
         ..Default::default()
     };
     let payload_ok = trace.meta.has_payload();
-    let mut table = ConnTable::new(TableConfig::default());
+    let mut table = ConnTable::new(TableConfig {
+        max_conns: config.max_conns,
+        ..TableConfig::default()
+    });
     let mut handler = Handler {
         out: &mut out,
         conns: HashMap::new(),
         dynamic: DynamicPorts::new(),
         payload_ok,
+        panic_every: config.analyzer_panic_every,
+        tcp_data_events: 0,
     };
     for p in &trace.packets {
         let Ok(pkt) = Packet::parse(&p.frame) else {
+            // Undissectable frame: count it rather than silently narrowing
+            // the trace — the analyses' denominators stay honest.
+            handler.out.health.malformed_frames += 1;
             continue;
         };
         handler.out.packets += 1;
@@ -417,6 +486,9 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
     }
     table.finish(trace.meta.duration, &mut handler);
     drop(handler);
+    let fstats = *table.stats();
+    out.health.clock_regressions = fstats.clock_regressions;
+    out.health.evicted_conns = fstats.evicted_conns;
     // Scanner removal (paper §3), unless the ablation keeps them.
     if !config.keep_scanners {
         let (flagged, removed) = remove_scanners(&mut out.conns, &config.scanners);
@@ -448,6 +520,25 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
         slot.1 += retx;
     }
     out
+}
+
+/// Analyze a serialized (possibly damaged) capture end-to-end.
+///
+/// The buffer is ingested with the recovering pcap reader — per-record
+/// damage is salvaged and tallied, not fatal — then run through
+/// [`analyze_trace`]; the capture-layer tally lands in
+/// [`TraceAnalysis::health`] next to the pipeline's own counters. The only
+/// error is [`AnalysisError::Ingest`]: an unusable global header leaves
+/// nothing to salvage.
+pub fn analyze_capture(
+    data: &[u8],
+    meta: TraceMeta,
+    config: &PipelineConfig,
+) -> Result<TraceAnalysis, AnalysisError> {
+    let (trace, stats) = Trace::read_pcap_recovering(data, meta)?;
+    let mut analysis = analyze_trace(&trace, config);
+    analysis.health.capture = stats;
+    Ok(analysis)
 }
 
 #[cfg(test)]
@@ -545,6 +636,126 @@ mod tests {
             .filter(|r| r.function == dcerpc::RpcFunction::SpoolssWritePrinter)
             .count();
         assert!(writes > 0, "no WritePrinter calls seen");
+    }
+
+    fn generated(dataset_idx: usize, subnet: u16) -> ent_pcap::Trace {
+        let specs = dataset::all_datasets();
+        let config = GenConfig {
+            scale: 0.03,
+            seed: 11,
+            hosts_per_subnet: Some(10),
+        };
+        let (site, wan) = build::build_site(&specs[dataset_idx], &config);
+        build::generate_trace(&site, &wan, &specs[dataset_idx], subnet, 1, &config)
+    }
+
+    #[test]
+    fn clean_trace_reports_clean_health() {
+        let a = analyzed(0, 3);
+        assert!(a.health.is_clean(), "unexpected damage: {}", a.health);
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_not_silently_dropped() {
+        let mut trace = generated(0, 3);
+        let clean = analyze_trace(&trace, &PipelineConfig::default());
+        // Graft three undissectable frames into the middle of the trace:
+        // empty, shorter than an Ethernet header, and an IPv4 ethertype
+        // followed by a truncated IP header.
+        let mut bad_ipv4 = vec![0u8; 14];
+        bad_ipv4[12..14].copy_from_slice(&[0x08, 0x00]);
+        bad_ipv4.extend_from_slice(&[0xFF; 2]);
+        for (i, frame) in [vec![], vec![0xFF; 7], bad_ipv4].into_iter().enumerate() {
+            let ts = trace.packets[10 * (i + 1)].ts;
+            trace
+                .packets
+                .insert(10 * (i + 1), ent_pcap::TimedPacket::new(ts, frame));
+        }
+        let a = analyze_trace(&trace, &PipelineConfig::default());
+        assert_eq!(a.health.malformed_frames, 3);
+        assert!(!a.health.is_clean());
+        // The rest of the analysis is unaffected.
+        assert_eq!(a.packets, clean.packets);
+        assert_eq!(a.conns.len(), clean.conns.len());
+    }
+
+    #[test]
+    fn analyzer_panic_demotes_connection_but_keeps_summary() {
+        let trace = generated(0, 3);
+        let clean = analyze_trace(&trace, &PipelineConfig::default());
+        // Silence the default panic hook around the injected faults so the
+        // test log stays readable; the injection itself is deterministic.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let a = analyze_trace(
+            &trace,
+            &PipelineConfig {
+                analyzer_panic_every: 7,
+                ..Default::default()
+            },
+        );
+        std::panic::set_hook(hook);
+        assert!(a.health.analyzer_failures > 0, "no injected faults fired");
+        assert_eq!(a.health.analyzer_failures, a.health.demoted_conns);
+        // Flow-level results survive every analyzer loss...
+        assert_eq!(a.conns.len() + a.scanner_conns.len(),
+            clean.conns.len() + clean.scanner_conns.len());
+        // ...while application records shrink (demoted conns stop parsing).
+        let app_records = |t: &TraceAnalysis| {
+            t.http.len() + t.nfs.len() + t.ncp.len() + t.rpc.len() + t.cifs.len()
+        };
+        assert!(app_records(&a) < app_records(&clean));
+    }
+
+    #[test]
+    fn conn_cap_flows_into_health() {
+        let trace = generated(0, 3);
+        let a = analyze_trace(
+            &trace,
+            &PipelineConfig {
+                max_conns: 8,
+                ..Default::default()
+            },
+        );
+        assert!(a.health.evicted_conns > 0);
+        // Eviction summarizes connections early (a flow continuing past its
+        // eviction reopens as a new conn); nothing is dropped.
+        let unbounded = analyze_trace(&trace, &PipelineConfig::default());
+        assert!(
+            a.conns.len() + a.scanner_conns.len()
+                >= unbounded.conns.len() + unbounded.scanner_conns.len()
+        );
+    }
+
+    #[test]
+    fn analyze_capture_carries_capture_damage_into_health() {
+        let trace = generated(0, 3);
+        let mut bytes = Vec::new();
+        trace.write_pcap(&mut bytes).expect("serialize");
+        let clean = analyze_capture(&bytes, trace.meta.clone(), &PipelineConfig::default())
+            .expect("clean capture");
+        assert!(clean.health.capture.is_clean());
+        assert_eq!(clean.packets, trace.packets.len() as u64);
+        // Corrupt one record header mid-file: the reader resynchronizes and
+        // the damage shows up in the analysis health.
+        let mut offsets = Vec::new();
+        let mut off = 24;
+        while off + 16 <= bytes.len() {
+            let caplen =
+                u32::from_le_bytes(bytes[off + 8..off + 12].try_into().expect("4 bytes"));
+            offsets.push(off);
+            off += 16 + caplen as usize;
+        }
+        let rec = offsets[offsets.len() / 2];
+        bytes[rec + 4..rec + 8].copy_from_slice(&0x7FFF_FFFFu32.to_le_bytes());
+        let a = analyze_capture(&bytes, trace.meta.clone(), &PipelineConfig::default())
+            .expect("damaged but salvageable");
+        assert!(a.health.capture.malformed_records > 0);
+        assert!(a.packets > clean.packets / 2, "most packets salvaged");
+        // An unusable global header is the one fatal case.
+        bytes[0] = 0;
+        let err = analyze_capture(&bytes, trace.meta.clone(), &PipelineConfig::default());
+        assert!(matches!(err, Err(AnalysisError::Ingest(_))));
     }
 
     #[test]

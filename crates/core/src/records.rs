@@ -209,6 +209,84 @@ pub struct TlsRecord {
     pub pair: (ipv4::Addr, ipv4::Addr),
 }
 
+/// Per-stage damage tallies for one trace's ingest: how much of the input
+/// was salvaged, repaired, or demoted on the way into the analyses.
+///
+/// Every counter is a *degradation*, not an error — the analysis completed,
+/// but these events narrow what it can claim. A trace with a non-zero
+/// [`analyzer_failures`](Self::analyzer_failures) count still reports its
+/// connection-level results; the failed connections are simply held at the
+/// header-only posture the paper itself uses for its snaplen-68 datasets
+/// D1/D2.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct IngestHealth {
+    /// Capture-layer salvage statistics (zeroed when the trace was built
+    /// in memory rather than read from a serialized capture).
+    pub capture: ent_pcap::IngestStats,
+    /// Frames the link/network/transport dissector rejected outright.
+    pub malformed_frames: u64,
+    /// Packets whose timestamps ran backwards at the flow layer and were
+    /// clamped forward to keep connection timelines monotone.
+    pub clock_regressions: u64,
+    /// Connections evicted early because the connection table hit its
+    /// configured cap.
+    pub evicted_conns: u64,
+    /// Application-analyzer failures caught mid-connection.
+    pub analyzer_failures: u64,
+    /// Connections demoted to header-only treatment (D1/D2 posture) after
+    /// an analyzer failure.
+    pub demoted_conns: u64,
+}
+
+impl IngestHealth {
+    /// No damage anywhere in the ingest path?
+    pub fn is_clean(&self) -> bool {
+        self.capture.is_clean()
+            && self.malformed_frames == 0
+            && self.clock_regressions == 0
+            && self.evicted_conns == 0
+            && self.analyzer_failures == 0
+            && self.demoted_conns == 0
+    }
+
+    /// Total damage events past the capture layer.
+    pub fn pipeline_events(&self) -> u64 {
+        self.malformed_frames
+            + self.clock_regressions
+            + self.evicted_conns
+            + self.analyzer_failures
+    }
+
+    /// Fold another trace's health into this one (dataset aggregation).
+    pub fn absorb(&mut self, other: &IngestHealth) {
+        self.capture.absorb(&other.capture);
+        self.malformed_frames += other.malformed_frames;
+        self.clock_regressions += other.clock_regressions;
+        self.evicted_conns += other.evicted_conns;
+        self.analyzer_failures += other.analyzer_failures;
+        self.demoted_conns += other.demoted_conns;
+    }
+}
+
+impl core::fmt::Display for IngestHealth {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        write!(
+            f,
+            "capture[{}], {} malformed frames, {} clock regressions, \
+             {} evicted conns, {} analyzer failures ({} conns demoted)",
+            self.capture,
+            self.malformed_frames,
+            self.clock_regressions,
+            self.evicted_conns,
+            self.analyzer_failures,
+            self.demoted_conns,
+        )
+    }
+}
+
 /// Everything extracted from one trace.
 #[derive(Debug, Default, Clone)]
 pub struct TraceAnalysis {
@@ -269,6 +347,8 @@ pub struct TraceAnalysis {
     /// the scanning traffic can be characterized — the paper flags this
     /// as "a fruitful area for future work").
     pub scanner_conns: Vec<ConnRecord>,
+    /// Per-stage ingest damage tallies (all zero for a clean trace).
+    pub health: IngestHealth,
 }
 
 impl TraceAnalysis {

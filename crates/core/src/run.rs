@@ -3,10 +3,10 @@
 //! per-subnet capture files).
 
 use crate::pipeline::{analyze_trace, PipelineConfig};
-use crate::records::TraceAnalysis;
+use crate::records::{IngestHealth, TraceAnalysis};
 use ent_gen::build::{build_site, generate_trace, GenConfig};
 use ent_gen::dataset::{all_datasets, DatasetSpec};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Configuration for a study run.
 #[derive(Debug, Clone)]
@@ -28,6 +28,17 @@ pub struct DatasetAnalysis {
     pub spec: DatasetSpec,
     /// Per-trace analyses, ordered by (pass, subnet).
     pub traces: Vec<TraceAnalysis>,
+}
+
+impl DatasetAnalysis {
+    /// Ingest damage aggregated across every trace of the dataset.
+    pub fn ingest_health(&self) -> IngestHealth {
+        let mut h = IngestHealth::default();
+        for t in &self.traces {
+            h.absorb(&t.health);
+        }
+        h
+    }
 }
 
 /// Generate and analyze one dataset, trace-parallel. Packets are dropped
@@ -54,21 +65,27 @@ pub fn run_dataset(spec: &DatasetSpec, config: &StudyConfig) -> DatasetAnalysis 
     };
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, TraceAnalysis)>> = Mutex::new(Vec::with_capacity(work.len()));
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(subnet, pass)) = work.get(i) else {
                     break;
                 };
                 let trace = generate_trace(&site, &wan, spec, subnet, pass, &config.gen);
                 let analysis = analyze_trace(&trace, &config.pipeline);
-                results.lock().push((i, analysis));
+                // A worker that panicked poisons the lock; the analysis it
+                // produced is still valid, so recover the guard.
+                results
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((i, analysis));
             });
         }
-    })
-    .expect("analysis worker panicked");
-    let mut results = results.into_inner();
+    });
+    let mut results = results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
     results.sort_by_key(|(i, _)| *i);
     DatasetAnalysis {
         spec: spec.clone(),
@@ -134,6 +151,7 @@ mod tests {
             assert_eq!(a.packets, b.packets);
             assert_eq!(a.conns.len(), b.conns.len());
             assert_eq!(a.subnet, b.subnet);
+            assert_eq!(a.health, b.health);
         }
     }
 }

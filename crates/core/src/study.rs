@@ -54,6 +54,45 @@ pub fn build_report(studies: &[DatasetAnalysis]) -> StudyReport {
         .collect();
     rep.tables.push(summary::table1(&summaries));
 
+    // Ingest health: per-stage damage tallies (methodology, not a paper
+    // table — real captures arrive damaged and the analyses' credibility
+    // rests on knowing how much was salvaged vs. skipped).
+    {
+        let mut t = Table::new(
+            "Ingest health (damage absorbed per dataset)",
+            &[
+                "dataset",
+                "records",
+                "malformed",
+                "repaired",
+                "skipped B",
+                "bad frames",
+                "clock regr",
+                "evicted",
+                "demoted",
+            ],
+        );
+        for d in studies {
+            let h = d.ingest_health();
+            t.row(vec![
+                d.spec.name.to_string(),
+                h.capture.records.to_string(),
+                h.capture.malformed_records.to_string(),
+                h.capture.repaired_records.to_string(),
+                h.capture.bytes_skipped.to_string(),
+                h.malformed_frames.to_string(),
+                (h.capture.clock_regressions + h.clock_regressions).to_string(),
+                h.evicted_conns.to_string(),
+                h.demoted_conns.to_string(),
+            ]);
+            if !h.is_clean() {
+                rep.notes
+                    .push(format!("[{}] degraded ingest: {h}", d.spec.name));
+            }
+        }
+        rep.tables.push(t);
+    }
+
     // Table 2.
     let nl: Vec<_> = studies
         .iter()
@@ -421,6 +460,7 @@ mod tests {
         let text = report.render();
         for needle in [
             "Table 1",
+            "Ingest health",
             "Table 2",
             "Table 3",
             "Figure 1(a)",

@@ -1,0 +1,231 @@
+//! # ent-criterion — vendored minimal benchmark harness
+//!
+//! Implements the small slice of the `criterion` API this workspace's
+//! benches use (`criterion_group!` / `criterion_main!`, `Criterion`,
+//! benchmark groups, `Bencher::iter`, `Throughput`) on plain
+//! `std::time::Instant`, so `cargo bench` runs with no network-fetched
+//! dependencies. Statistics are intentionally simple — warmup, a fixed
+//! sample count, and a median-of-samples report — because the benches
+//! here are regression *smoke tests*, not publication-grade measurements.
+//!
+//! Environment knobs:
+//! * `ENT_BENCH_SAMPLES` — samples per benchmark (default 10).
+//! * `ENT_BENCH_MIN_ITERS` — iterations folded into one sample (default
+//!   adaptive: enough to exceed ~5 ms per sample).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (per-iteration volume).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`];
+/// `iter` times the supplied routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            sample_count,
+        }
+    }
+
+    /// Time `routine`, collecting `sample_count` samples after warmup.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: find an iteration count giving ≥ ~5 ms
+        // per sample so Instant quantization doesn't dominate.
+        let mut iters: u64 = std::env::var("ENT_BENCH_MIN_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if iters == 0 {
+            iters = 1;
+            loop {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                let dt = t0.elapsed();
+                if dt >= Duration::from_millis(5) || iters >= 1 << 20 {
+                    break;
+                }
+                iters *= 4;
+            }
+        }
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("ENT_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set per-iteration throughput, reported as rate alongside time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_count);
+        f(&mut b);
+        let med = b.median();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+                format!("  {:>12.0} elem/s", n as f64 / med.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+                format!("  {:>12.0} B/s", n as f64 / med.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<32} {:>12.3?}{}", self.name, id, med, rate);
+        self
+    }
+
+    /// End the group (parity with criterion; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_count: default_samples(),
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Prevent the optimizer from eliding a value (re-export convenience; the
+/// benches mostly use `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// Define a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(3);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.median() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(2);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    criterion_group!(demo_group, demo_bench);
+    fn demo_bench(c: &mut Criterion) {
+        c.bench_function("demo", |b| b.iter(|| 2 * 2));
+    }
+
+    #[test]
+    fn macros_compose() {
+        demo_group();
+    }
+}

@@ -57,6 +57,9 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+// Ingest code must degrade gracefully, never abort: panicking escape
+// hatches are compile errors outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod handler;
 pub mod key;
@@ -67,7 +70,7 @@ pub mod tcp;
 pub use handler::{CollectSummaries, FlowHandler};
 pub use key::{ConnIndex, Dir, Endpoint, FlowKey, Proto};
 pub use summary::{ConnSummary, DirStats, TcpOutcome, TcpState};
-pub use table::{ConnTable, TableConfig};
+pub use table::{ConnTable, FlowStats, TableConfig};
 
 #[cfg(test)]
 mod integration_tests {

@@ -20,6 +20,12 @@ pub struct TableConfig {
     /// Inactivity gap after which an *unestablished* TCP attempt is flushed
     /// (so periodic reconnection attempts count as distinct attempts).
     pub tcp_attempt_timeout_us: u64,
+    /// Upper bound on simultaneously open connections (0 = unlimited).
+    /// When a new connection would exceed it, the least-recently-active
+    /// open connections are closed early in a batch, each counted in
+    /// [`FlowStats::evicted_conns`]. This bounds table memory against
+    /// SYN floods and scan storms in damaged or adversarial traces.
+    pub max_conns: usize,
 }
 
 impl Default for TableConfig {
@@ -28,8 +34,19 @@ impl Default for TableConfig {
             udp_timeout_us: 60_000_000,
             icmp_timeout_us: 60_000_000,
             tcp_attempt_timeout_us: 60_000_000,
+            max_conns: 0,
         }
     }
+}
+
+/// Robustness counters for one table's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Packets whose timestamp ran behind the table clock; their
+    /// timestamps were clamped forward so flow durations stay sane.
+    pub clock_regressions: u64,
+    /// Connections closed early to enforce [`TableConfig::max_conns`].
+    pub evicted_conns: u64,
 }
 
 struct Conn {
@@ -111,6 +128,8 @@ pub struct ConnTable {
     conns: Vec<Option<Conn>>, // slot per ConnIndex; None once closed
     next_idx: ConnIndex,
     packets_seen: u64,
+    last_ts: Option<Timestamp>,
+    stats: FlowStats,
 }
 
 impl ConnTable {
@@ -122,6 +141,8 @@ impl ConnTable {
             conns: Vec::new(),
             next_idx: 0,
             packets_seen: 0,
+            last_ts: None,
+            stats: FlowStats::default(),
         }
     }
 
@@ -133,6 +154,49 @@ impl ConnTable {
     /// Currently-open connections.
     pub fn open_conns(&self) -> usize {
         self.map.len()
+    }
+
+    /// Robustness counters accumulated so far.
+    pub fn stats(&self) -> &FlowStats {
+        &self.stats
+    }
+
+    /// Clamp a regressed timestamp forward to the table clock, counting
+    /// the intervention; capture damage must not produce negative
+    /// durations or spurious inactivity splits.
+    fn monotone_ts(&mut self, ts: Timestamp) -> Timestamp {
+        match self.last_ts {
+            Some(last) if ts < last => {
+                self.stats.clock_regressions += 1;
+                last
+            }
+            _ => {
+                self.last_ts = Some(ts);
+                ts
+            }
+        }
+    }
+
+    /// Enforce [`TableConfig::max_conns`] by closing the least-recently-
+    /// active open connections in a batch (amortizing the scan), walking
+    /// slots in creation order so eviction is deterministic.
+    fn enforce_cap<H: FlowHandler>(&mut self, handler: &mut H) {
+        let cap = self.config.max_conns;
+        if cap == 0 || self.map.len() < cap {
+            return;
+        }
+        let batch = (cap / 32).max(1);
+        let mut live: Vec<(Timestamp, usize)> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, c)| c.as_ref().map(|c| (c.end, slot)))
+            .collect();
+        live.sort_unstable_by_key(|&(end, slot)| (end, slot));
+        for &(_, slot) in live.iter().take(batch) {
+            self.close_slot(slot, handler);
+            self.stats.evicted_conns += 1;
+        }
     }
 
     fn close_slot<H: FlowHandler>(&mut self, slot: usize, handler: &mut H) {
@@ -149,6 +213,7 @@ impl ConnTable {
         multicast: bool,
         handler: &mut H,
     ) -> usize {
+        self.enforce_cap(handler);
         let idx = self.next_idx;
         self.next_idx += 1;
         let conn = Conn {
@@ -184,8 +249,13 @@ impl ConnTable {
         handler: &mut H,
     ) -> usize {
         if let Some(&slot) = self.map.get(&key.canonical()) {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                // A mapped slot is always live; if the invariant is ever
+                // broken, repair the map instead of aborting the analysis.
+                self.map.remove(&key.canonical());
+                return self.open_conn(key, ts, multicast, handler);
+            };
             let (idle_limit, conn_done, established) = {
-                let conn = self.conns[slot].as_ref().expect("mapped slot live");
                 let idle = ts.saturating_micros_since(conn.end);
                 let (done, established) = match &conn.tcp {
                     Some(t) => (t.done(), !matches!(t.state(), TcpState::SynSent)),
@@ -215,9 +285,11 @@ impl ConnTable {
         self.open_conn(key, ts, multicast, handler)
     }
 
-    /// Ingest one dissected packet.
+    /// Ingest one dissected packet. Timestamps that run behind the table
+    /// clock are clamped forward (see [`FlowStats::clock_regressions`]).
     pub fn ingest<H: FlowHandler>(&mut self, pkt: &Packet<'_>, ts: Timestamp, handler: &mut H) {
         self.packets_seen += 1;
+        let ts = self.monotone_ts(ts);
         let Some((src_ip, dst_ip)) = pkt.ipv4_addrs() else {
             return; // non-IPv4: counted by the caller's layer breakdown
         };
@@ -226,7 +298,9 @@ impl ConnTable {
             Transport::Tcp {
                 src_port, dst_port, ..
             } => {
-                let tcp = pkt.tcp().expect("transport is TCP");
+                let Some(tcp) = pkt.tcp() else {
+                    return; // transport said TCP but the header view is gone
+                };
                 let fresh_syn = tcp.flags.syn() && !tcp.flags.ack();
                 // Orient: SYN-only → sender is originator; SYN-ACK → sender
                 // is responder; otherwise first-seen sender is originator.
@@ -247,14 +321,17 @@ impl ConnTable {
                     resp,
                 };
                 let slot = self.lookup_or_open(key, ts, multicast, fresh_syn, handler);
-                let conn = self.conns[slot].as_mut().expect("slot live");
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    return;
+                };
                 let dir = conn.dir_of(Endpoint::new(src_ip, *src_port));
                 conn.end = ts;
-                let disp = conn
-                    .tcp
-                    .as_mut()
-                    .expect("tcp conn")
-                    .process(dir, &tcp, pkt.payload().len());
+                let disp = match conn.tcp.as_mut() {
+                    Some(t) => t.process(dir, &tcp, pkt.payload().len()),
+                    // A TCP key always carries a TCP tracker; degrade to
+                    // raw packet counting if that invariant ever breaks.
+                    None => Default::default(),
+                };
                 let idx = conn.idx;
                 {
                     let s = conn.stats(dir);
@@ -291,7 +368,9 @@ impl ConnTable {
                     resp: Endpoint::new(dst_ip, *dst_port),
                 };
                 let slot = self.lookup_or_open(key, ts, multicast, false, handler);
-                let conn = self.conns[slot].as_mut().expect("slot live");
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    return;
+                };
                 let dir = conn.dir_of(Endpoint::new(src_ip, *src_port));
                 conn.end = ts;
                 let idx = conn.idx;
@@ -328,7 +407,9 @@ impl ConnTable {
                     resp: b,
                 };
                 let slot = self.lookup_or_open(key, ts, multicast, false, handler);
-                let conn = self.conns[slot].as_mut().expect("slot live");
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    return;
+                };
                 let dir = conn.dir_of(Endpoint::new(src_ip, port));
                 conn.end = ts;
                 if *mtype == MessageType::EchoReply && dir == Dir::Resp {
@@ -591,6 +672,75 @@ mod tests {
         t.finish(Timestamp::from_secs(1), &mut h);
         assert_eq!(h.summaries.len(), 3);
         assert!(h.summaries.iter().all(|s| s.outcome == TcpOutcome::Rejected));
+    }
+
+    #[test]
+    fn timestamp_regression_clamped_and_counted() {
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 53);
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        let f1 = udp_frame(a, b, 5000, 53, 30);
+        let f2 = udp_frame(b, a, 53, 5000, 80);
+        t.ingest(&Packet::parse(&f1).unwrap(), Timestamp::from_micros(700), &mut h);
+        // The reply's timestamp runs *behind* the request's.
+        t.ingest(&Packet::parse(&f2).unwrap(), Timestamp::from_micros(100), &mut h);
+        t.finish(Timestamp::from_secs(1), &mut h);
+        assert_eq!(t.stats().clock_regressions, 1);
+        assert_eq!(h.summaries.len(), 1);
+        // Clamping keeps the duration non-negative instead of absurd.
+        assert_eq!(h.summaries[0].duration_us(), 0);
+    }
+
+    #[test]
+    fn conn_cap_evicts_least_recently_active() {
+        let mut t = ConnTable::new(TableConfig {
+            max_conns: 10,
+            ..Default::default()
+        });
+        let mut h = CollectSummaries::default();
+        // A scan storm: 50 distinct UDP flows, one packet each.
+        for i in 0..50u16 {
+            let src = Addr::new(10, 0, (i / 250) as u8, (i % 250) as u8 + 1);
+            let f = udp_frame(src, Addr::new(10, 0, 9, 9), 4000 + i, 53, 20);
+            t.ingest(
+                &Packet::parse(&f).unwrap(),
+                Timestamp::from_millis(u64::from(i)),
+                &mut h,
+            );
+        }
+        assert!(t.open_conns() <= 10, "cap not enforced: {}", t.open_conns());
+        assert!(t.stats().evicted_conns >= 40);
+        t.finish(Timestamp::from_secs(1), &mut h);
+        // Every flow still produces a summary — eviction closes early, it
+        // does not lose connections.
+        assert_eq!(h.summaries.len(), 50);
+    }
+
+    #[test]
+    fn eviction_prefers_oldest_activity() {
+        let mut t = ConnTable::new(TableConfig {
+            max_conns: 4,
+            ..Default::default()
+        });
+        let mut h = CollectSummaries::default();
+        let server = Addr::new(10, 0, 9, 9);
+        let mk = |i: u16| udp_frame(Addr::new(10, 0, 0, i as u8 + 1), server, 4000 + i, 53, 20);
+        for i in 0..4u16 {
+            t.ingest(
+                &Packet::parse(&mk(i)).unwrap(),
+                Timestamp::from_millis(u64::from(i)),
+                &mut h,
+            );
+        }
+        // Refresh flow 0 so flow 1 is now the least recently active.
+        t.ingest(&Packet::parse(&mk(0)).unwrap(), Timestamp::from_millis(100), &mut h);
+        // A fifth flow forces an eviction.
+        t.ingest(&Packet::parse(&mk(9)).unwrap(), Timestamp::from_millis(101), &mut h);
+        assert_eq!(t.stats().evicted_conns, 1);
+        assert_eq!(h.summaries.len(), 1);
+        // The evicted flow is the stale one (flow 1), not the refreshed one.
+        assert_eq!(h.summaries[0].key.orig.port, 4001);
     }
 
     #[test]

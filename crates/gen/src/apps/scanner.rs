@@ -176,7 +176,7 @@ fn external_icmp_scanners(ctx: &mut TraceCtx<'_>) {
             let limit = ent_wire::Timestamp::from_micros(ctx.duration_us);
             let pkts: Vec<_> = pkts.into_iter().filter(|p| p.ts < limit).collect();
             ctx.push(pkts);
-            t += pace + ctx.rng.random_range(0..5_000);
+            t += pace + ctx.rng.random_range(0..5_000u64);
             if t.micros() >= ctx.duration_us {
                 break;
             }

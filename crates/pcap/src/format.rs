@@ -13,6 +13,19 @@ use std::io::{Read, Write};
 pub const MAGIC_USEC: u32 = 0xA1B2_C3D4;
 /// LINKTYPE_ETHERNET (DLT_EN10MB).
 pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Upper bound on a single record's captured bytes, regardless of the
+/// snaplen claimed by the file header. A crafted header advertising a
+/// multi-gigabyte snaplen must not let one 16-byte record header drive a
+/// multi-gigabyte allocation; 256 KiB comfortably exceeds any real
+/// Ethernet frame (even jumbo + encapsulation).
+pub const MAX_RECORD_BYTES: u32 = 256 * 1024;
+
+/// The per-record caplen bound implied by a file-header snaplen: at least
+/// the classic 64 KiB (tolerating files whose header understates their
+/// records), never more than [`MAX_RECORD_BYTES`].
+pub(crate) fn record_limit(snaplen: u32) -> u32 {
+    snaplen.clamp(65_535, MAX_RECORD_BYTES)
+}
 
 /// Streaming pcap writer.
 pub struct PcapWriter<W: Write> {
@@ -142,9 +155,11 @@ impl<R: Read> PcapReader<R> {
         if usec >= 1_000_000 {
             return Err(PcapError::BadFormat("microseconds out of range"));
         }
-        if caplen > self.snaplen.max(65_535) {
+        if caplen > record_limit(self.snaplen) {
             return Err(PcapError::BadFormat("caplen exceeds snaplen"));
         }
+        // `caplen` is bounded by MAX_RECORD_BYTES above, so this allocation
+        // is small even when the file header advertises an absurd snaplen.
         let mut frame = vec![0u8; caplen as usize];
         self.input.read_exact(&mut frame)?;
         Ok(Some(TimedPacket {
@@ -257,6 +272,37 @@ mod tests {
             PcapReader::new(&buf[..]),
             Err(PcapError::BadFormat("nanosecond pcap not supported"))
         ));
+    }
+
+    #[test]
+    fn absurd_snaplen_cannot_drive_giant_allocation() {
+        // A crafted header advertising snaplen u32::MAX must not let a
+        // record claiming a ~3 GiB caplen reach the allocator.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_USEC.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // snaplen
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sec
+        buf.extend_from_slice(&0u32.to_le_bytes()); // usec
+        buf.extend_from_slice(&0xC000_0000u32.to_le_bytes()); // caplen
+        buf.extend_from_slice(&0xC000_0000u32.to_le_bytes()); // origlen
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::BadFormat("caplen exceeds snaplen"))
+        ));
+    }
+
+    #[test]
+    fn record_limit_clamps_both_ways() {
+        assert_eq!(record_limit(68), 65_535);
+        assert_eq!(record_limit(65_535), 65_535);
+        assert_eq!(record_limit(100_000), 100_000);
+        assert_eq!(record_limit(u32::MAX), MAX_RECORD_BYTES);
     }
 
     #[test]

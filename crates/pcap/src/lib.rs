@@ -25,14 +25,21 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+// Ingest code must degrade gracefully, never abort: panicking escape
+// hatches are compile errors outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod fault;
 pub mod format;
 pub mod merge;
+pub mod recover;
 pub mod tap;
 pub mod trace;
 
-pub use format::{PcapReader, PcapWriter, LINKTYPE_ETHERNET};
-pub use merge::merge_streams;
+pub use fault::{Fault, FaultInjector};
+pub use format::{PcapReader, PcapWriter, LINKTYPE_ETHERNET, MAX_RECORD_BYTES};
+pub use merge::{merge_streams, merge_streams_with_stats, MergeStats};
+pub use recover::{IngestStats, RecoveringReader};
 pub use tap::Tap;
 pub use trace::{Trace, TraceMeta};
 

@@ -5,10 +5,62 @@
 //! streams by NIC-synchronized timestamps. This module reproduces that merge
 //! as a k-way stable merge, with optional per-stream clock offsets modeling
 //! residual skew between NICs.
+//!
+//! Real capture streams are not perfectly sorted: NIC interrupt coalescing
+//! and driver buffering reorder nearby packets, and clock steps move
+//! timestamps backwards outright. The merge therefore tolerates
+//! out-of-order input: each stream is repaired through a **bounded reorder
+//! window** before merging — a late packet is re-inserted if its true
+//! position lies within the window, and clamped to the window floor if it
+//! is older than that — with every intervention counted in [`MergeStats`].
 
 use crate::TimedPacket;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Default bounded reorder window (records) used by [`merge_streams`].
+pub const DEFAULT_REORDER_WINDOW: usize = 64;
+
+/// Tally of out-of-order repairs performed during a merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Packets re-inserted at their true position within the window.
+    pub reordered: u64,
+    /// Packets older than the window floor, whose timestamps were clamped
+    /// forward to it (a bounded window cannot seat them exactly).
+    pub clamped: u64,
+}
+
+impl MergeStats {
+    /// Total input-order violations encountered.
+    pub fn regressions(&self) -> u64 {
+        self.reordered + self.clamped
+    }
+}
+
+/// Repair an almost-sorted packet sequence in place using a bounded
+/// reorder window, counting interventions into `stats`.
+pub fn restore_order(packets: &mut [TimedPacket], window: usize, stats: &mut MergeStats) {
+    let window = window.max(1);
+    for i in 1..packets.len() {
+        if packets[i].ts >= packets[i - 1].ts {
+            continue;
+        }
+        let lo = i.saturating_sub(window);
+        let ts = packets[i].ts;
+        if ts < packets[lo].ts && lo > 0 {
+            // Older than everything the window retains: clamp forward to
+            // the window floor instead of teleporting arbitrarily far back.
+            packets[i].ts = packets[lo].ts;
+            stats.clamped += 1;
+        } else {
+            stats.reordered += 1;
+        }
+        let ts = packets[i].ts;
+        let pos = lo + packets[lo..i].partition_point(|p| p.ts <= ts);
+        packets[pos..=i].rotate_right(1);
+    }
+}
 
 /// One unidirectional capture stream plus the clock offset (microseconds,
 /// may be negative) of its NIC relative to the reference clock.
@@ -68,17 +120,27 @@ fn adjusted_ts(p: &TimedPacket, offset_us: i64) -> u64 {
 }
 
 /// Merge capture streams into one timestamp-ordered trace, applying each
-/// stream's clock offset. Input streams must individually be sorted by
-/// timestamp; the merge is stable across streams.
+/// stream's clock offset. Out-of-order input is tolerated via a
+/// [`DEFAULT_REORDER_WINDOW`]-record repair pass per stream; use
+/// [`merge_streams_with_stats`] to observe how much repair was needed.
 pub fn merge_streams(streams: Vec<Stream>) -> Vec<TimedPacket> {
+    merge_streams_with_stats(streams, DEFAULT_REORDER_WINDOW).0
+}
+
+/// [`merge_streams`] with an explicit reorder window, returning the repair
+/// tally alongside the merged trace.
+pub fn merge_streams_with_stats(
+    mut streams: Vec<Stream>,
+    window: usize,
+) -> (Vec<TimedPacket>, MergeStats) {
+    let mut stats = MergeStats::default();
+    for s in &mut streams {
+        restore_order(&mut s.packets, window, &mut stats);
+    }
     let total: usize = streams.iter().map(|s| s.packets.len()).sum();
     let mut out = Vec::with_capacity(total);
     let mut heap = BinaryHeap::with_capacity(streams.len());
     for (si, s) in streams.iter().enumerate() {
-        debug_assert!(
-            s.packets.windows(2).all(|w| w[0].ts <= w[1].ts),
-            "merge input stream {si} not sorted"
-        );
         if let Some(p) = s.packets.first() {
             heap.push(HeapEntry {
                 ts_us: adjusted_ts(p, s.clock_offset_us),
@@ -101,7 +163,7 @@ pub fn merge_streams(streams: Vec<Stream>) -> Vec<TimedPacket> {
             });
         }
     }
-    out
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -154,6 +216,57 @@ mod tests {
         let e = Stream::synchronized(vec![]);
         let b = Stream::synchronized(vec![pkt(3, 2)]);
         assert_eq!(merge_streams(vec![e, b]).len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_input_repaired_within_window() {
+        // 30 is 20 µs late; within a 4-record window it seats exactly.
+        let a = Stream::synchronized(vec![pkt(10, 1), pkt(40, 1), pkt(30, 1), pkt(50, 1)]);
+        let (merged, stats) = merge_streams_with_stats(vec![a], 4);
+        let ts: Vec<u64> = merged.iter().map(|p| p.ts.micros()).collect();
+        assert_eq!(ts, vec![10, 30, 40, 50]);
+        assert_eq!(stats.reordered, 1);
+        assert_eq!(stats.clamped, 0);
+    }
+
+    #[test]
+    fn regression_beyond_window_clamps_to_floor() {
+        // The late packet is older than everything a 2-record window
+        // retains: it cannot be seated exactly, so its timestamp clamps to
+        // the window floor and the output stays sorted.
+        let a = Stream::synchronized(vec![
+            pkt(100, 1),
+            pkt(200, 1),
+            pkt(300, 1),
+            pkt(400, 1),
+            pkt(5, 9),
+        ]);
+        let (merged, stats) = merge_streams_with_stats(vec![a], 2);
+        assert!(merged.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert_eq!(merged.len(), 5);
+        assert_eq!(stats.clamped, 1);
+        assert_eq!(stats.regressions(), 1);
+        // The late packet survives, clamped into the window.
+        assert!(merged.iter().any(|p| p.frame[0] == 9));
+    }
+
+    #[test]
+    fn default_merge_tolerates_unsorted_streams() {
+        let a = Stream::synchronized(vec![pkt(30, 1), pkt(10, 1), pkt(20, 1)]);
+        let b = Stream::synchronized(vec![pkt(15, 2)]);
+        let merged = merge_streams(vec![a, b]);
+        assert_eq!(merged.len(), 4);
+        assert!(merged.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn restore_order_is_identity_on_sorted_input() {
+        let mut pkts = vec![pkt(1, 1), pkt(2, 1), pkt(3, 1)];
+        let orig = pkts.clone();
+        let mut stats = MergeStats::default();
+        restore_order(&mut pkts, 8, &mut stats);
+        assert_eq!(pkts, orig);
+        assert_eq!(stats, MergeStats::default());
     }
 
     #[test]

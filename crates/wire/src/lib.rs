@@ -39,6 +39,9 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+// Parsing must be total over arbitrary bytes: panicking escape hatches
+// are compile errors outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod arp;
 pub mod build;

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local quality gate: build, tests, lints. Mirrors what CI would run;
+# everything is offline (no crates.io, no network).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."
