@@ -54,7 +54,7 @@ pub fn siphash24(key: &Key, data: &[u8]) -> u64 {
     ];
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
-        let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let m = chunk.try_into().map(u64::from_le_bytes).unwrap_or(0);
         v[3] ^= m;
         sipround(&mut v);
         sipround(&mut v);

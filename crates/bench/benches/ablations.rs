@@ -1,5 +1,8 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out.
 
+// Bench harnesses are not public API and may abort on setup failure.
+#![allow(missing_docs, clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use ent_bench::{bench_gen_config, raw_trace};
 use ent_core::run::{run_dataset, StudyConfig};

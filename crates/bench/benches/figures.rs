@@ -1,6 +1,9 @@
 //! One Criterion bench per paper *figure*, with once-per-process shape
 //! assertions mirroring EXPERIMENTS.md.
 
+// Bench harnesses are not public API and may abort on setup failure.
+#![allow(missing_docs, clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use ent_bench::{datasets, payload_datasets};
 use ent_core::analyses::*;

@@ -1,6 +1,9 @@
 //! Pipeline-throughput benchmarks: generation, packet parsing, flow
 //! tracking, full per-trace analysis, pcap I/O and anonymization.
 
+// Bench harnesses are not public API and may abort on setup failure.
+#![allow(missing_docs, clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ent_bench::{bench_gen_config, raw_trace};
 use ent_core::{analyze_trace, PipelineConfig};

@@ -3,6 +3,9 @@
 //! step), and asserts the headline shape once per process so a silent
 //! regression cannot hide behind timing noise.
 
+// Bench harnesses are not public API and may abort on setup failure.
+#![allow(missing_docs, clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use ent_bench::{datasets, payload_datasets};
 use ent_core::analyses::*;

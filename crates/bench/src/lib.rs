@@ -4,6 +4,9 @@
 //! built once per process and shared across benches, so the measured cost
 //! is the *analysis*, separated from generation (which has its own
 //! throughput benches).
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use ent_core::run::{run_dataset, DatasetAnalysis, StudyConfig};
 use ent_gen::build::{build_site, generate_trace};

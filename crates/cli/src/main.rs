@@ -6,6 +6,9 @@
 //! * `generate`  — write one synthetic trace as a pcap file.
 //! * `analyze`   — analyze a pcap file (ours or any Ethernet capture).
 //! * `anonymize` — prefix-preserving anonymization of a pcap file.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use ent_core::run::{run_dataset, StudyConfig};
 use ent_core::study::build_report;
@@ -18,6 +21,15 @@ use ent_wire::Timestamp;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
+
+/// Unwrap a CLI-level result or exit with a message. Failures here are
+/// user-environment errors (bad path, full disk, truncated file), not bugs.
+fn or_die<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("entreport: {what}: {e}");
+        std::process::exit(1);
+    })
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -47,8 +59,9 @@ fn parse_args(raw: &[String]) -> Args {
         if let Some(name) = arg.strip_prefix("--") {
             match it.peek() {
                 Some(v) if !v.starts_with("--") => {
-                    a.flags
-                        .insert(name.to_string(), it.next().expect("peeked").clone());
+                    if let Some(v) = it.next() {
+                        a.flags.insert(name.to_string(), v.clone());
+                    }
                 }
                 _ => {
                     a.switches.insert(name.to_string());
@@ -153,14 +166,14 @@ fn cmd_study(args: &Args) -> ExitCode {
     }
     println!("{}", report.render());
     if let Some(dir) = args.flags.get("csv-dir") {
-        std::fs::create_dir_all(dir).expect("create csv dir");
+        or_die(std::fs::create_dir_all(dir), "create csv dir");
         for t in &report.tables {
             let fname = slug(&t.title);
-            std::fs::write(format!("{dir}/{fname}.csv"), t.to_csv()).expect("write csv");
+            or_die(std::fs::write(format!("{dir}/{fname}.csv"), t.to_csv()), "write csv");
         }
         for f in &report.figures {
             let fname = slug(&f.title);
-            std::fs::write(format!("{dir}/{fname}.csv"), f.to_csv(64)).expect("write csv");
+            or_die(std::fs::write(format!("{dir}/{fname}.csv"), f.to_csv(64)), "write csv");
         }
         eprintln!("CSV exports written to {dir}/");
     }
@@ -208,8 +221,8 @@ fn cmd_generate(args: &Args) -> ExitCode {
     let config = gen_config(args);
     let (site, wan) = build_site(&spec, &config);
     let trace = generate_trace(&site, &wan, &spec, subnet, pass, &config);
-    let f = File::create(out).expect("create output file");
-    trace.write_pcap(BufWriter::new(f)).expect("write pcap");
+    let f = or_die(File::create(out), "create output file");
+    or_die(trace.write_pcap(BufWriter::new(f)), "write pcap");
     eprintln!(
         "wrote {}: {} packets, {} wire bytes, snaplen {}",
         out,
@@ -312,7 +325,7 @@ fn cmd_anonymize(args: &Args) -> ExitCode {
         .get("key")
         .cloned()
         .unwrap_or_else(|| "default-key".into());
-    let f = File::open(input).expect("open input pcap");
+    let f = or_die(File::open(input), "open input pcap");
     let meta = TraceMeta {
         dataset: "anon".into(),
         subnet: 0,
@@ -321,12 +334,12 @@ fn cmd_anonymize(args: &Args) -> ExitCode {
         snaplen: 1500,
         link_capacity_bps: 100_000_000,
     };
-    let trace = Trace::read_pcap(BufReader::new(f), meta).expect("read pcap");
+    let trace = or_die(Trace::read_pcap(BufReader::new(f), meta), "read pcap");
     let anon = ent_anon::anonymize_trace(&trace, &key);
-    let out = File::create(output).expect("create output pcap");
+    let out = or_die(File::create(output), "create output pcap");
     let mut w = BufWriter::new(out);
-    anon.write_pcap(&mut w).expect("write pcap");
-    w.flush().expect("flush");
+    or_die(anon.write_pcap(&mut w), "write pcap");
+    or_die(w.flush(), "flush output");
     eprintln!("anonymized {} packets -> {}", anon.packets.len(), output);
     ExitCode::SUCCESS
 }

@@ -82,7 +82,11 @@ pub fn app_locality_table(rows: &[(&str, Vec<(Category, CategoryLocality)>)]) ->
     for (i, &cat) in Category::ALL.iter().enumerate() {
         let mut row = vec![cat.label().to_string()];
         for (_, locs) in rows {
-            let l = &locs[i].1;
+            let Some(l) = locs.get(i).map(|x| &x.1) else {
+                row.push("-".into());
+                row.push("-".into());
+                continue;
+            };
             if l.flows == 0 {
                 row.push("-".into());
                 row.push("-".into());

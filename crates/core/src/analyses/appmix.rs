@@ -141,7 +141,9 @@ pub fn figure1(rows: &[(&str, AppMix)], bytes: bool) -> Table {
     for (i, &cat) in Category::ALL.iter().enumerate() {
         let mut row = vec![cat.label().to_string()];
         for (_, mix) in rows {
-            let s = mix.shares[i].1;
+            let Some(s) = mix.shares.get(i).map(|x| x.1) else {
+                continue;
+            };
             if bytes {
                 row.push(format!("{:.1}", s.bytes_ent_pct));
                 row.push(format!("{:.1}", s.bytes_wan_pct));

@@ -165,7 +165,9 @@ mod tests {
         // quiet has only-internal fan-out; host has WAN too => 1/2.
         assert!((l.only_internal_fan_out - 0.5).abs() < 1e-9);
         let (a, b) = figure2(&[("D2", &l)]);
+        assert!(a.render().contains("Figure 2(a)"));
         assert!(a.render().contains("D2-enterprise"));
+        assert!(b.render().contains("Figure 2(b)"));
         assert!(b.render().contains("D2-WAN"));
     }
 }

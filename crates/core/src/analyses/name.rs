@@ -71,7 +71,9 @@ pub fn dns_characteristics(traces: &DatasetTraces) -> DnsCharacteristics {
                 QType::Mx => 3,
                 _ => 4,
             };
-            qtypes[qi] += 1;
+            if let Some(q) = qtypes.get_mut(qi) {
+                *q += 1;
+            }
             if let Some(rc) = d.rcode {
                 answered += 1;
                 match rc {

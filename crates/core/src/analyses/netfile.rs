@@ -165,12 +165,16 @@ pub fn op_table(title: &str, rows: &[(&str, (u64, u64, OpBreakdown))]) -> Table 
     for i in 0..n_ops {
         let label = rows
             .first()
-            .map(|(_, (_, _, b))| b[i].0.clone())
+            .and_then(|(_, (_, _, b))| b.get(i))
+            .map(|op| op.0.clone())
             .unwrap_or_default();
         let mut row = vec![label];
         for (_, (_, _, b)) in rows {
-            row.push(format!("{:.0}%", b[i].1));
-            row.push(format!("{:.0}%", b[i].2));
+            let Some(op) = b.get(i) else {
+                continue;
+            };
+            row.push(format!("{:.0}%", op.1));
+            row.push(format!("{:.0}%", op.2));
         }
         t.row(row);
     }
@@ -375,7 +379,9 @@ mod tests {
         assert!(d.nfs_reply_sizes.quantile(0.9).unwrap() > 8_000.0);
         assert!(d.nfs_req_sizes.quantile(0.5).unwrap() < 200.0);
         let (f7, f8) = figures78(&[("D0", d)]);
+        assert!(f7.render().contains("Figure 7"));
         assert!(f7.render().contains("nfs:D0"));
+        assert!(f8.render().contains("Figure 8"));
         assert!(f8.render().contains("ncp-rep:D0"));
     }
 

@@ -38,8 +38,12 @@ pub fn transport(traces: &DatasetTraces) -> TransportBreakdown {
                 Proto::Udp => 1,
                 Proto::Icmp => 2,
             };
-            bytes[i] += c.payload_bytes();
-            conns[i] += 1;
+            if let Some(b) = bytes.get_mut(i) {
+                *b += c.payload_bytes();
+            }
+            if let Some(n) = conns.get_mut(i) {
+                *n += 1;
+            }
         }
     }
     let tb: u64 = bytes.iter().sum();

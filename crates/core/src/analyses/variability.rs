@@ -84,7 +84,9 @@ pub fn variability_table(rows: &[(&str, Vec<(Category, CategoryVariability)>)]) 
     for (i, &cat) in Category::ALL.iter().enumerate() {
         let mut row = vec![cat.label().to_string()];
         for (_, v) in rows {
-            let cv = v[i].1;
+            let Some(cv) = v.get(i).map(|x| x.1) else {
+                continue;
+            };
             row.push(format!("{:.1}", cv.mean_pct));
             row.push(format!("{:.1}", cv.cv));
         }

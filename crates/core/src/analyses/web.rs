@@ -87,12 +87,16 @@ pub fn table6(rows: &[(&str, AutomatedClients)]) -> Table {
     for i in 0..4 {
         let label = rows
             .first()
-            .map(|(_, a)| a.rows[i].0.clone())
+            .and_then(|(_, a)| a.rows.get(i))
+            .map(|r| r.0.clone())
             .unwrap_or_default();
         let mut row = vec![label];
         for (_, a) in rows {
-            row.push(format!("{:.1}%", a.rows[i].1));
-            row.push(format!("{:.1}%", a.rows[i].2));
+            let Some(r) = a.rows.get(i) else {
+                continue;
+            };
+            row.push(format!("{:.1}%", r.1));
+            row.push(format!("{:.1}%", r.2));
         }
         t.row(row);
     }
@@ -247,18 +251,24 @@ pub fn content_types(traces: &DatasetTraces) -> ContentTypes {
                 ContentClass::None => continue,
             };
             let loc = usize::from(!h.server_internal);
-            req[class][loc] += 1;
-            bytes[class][loc] += h.tx.response_body_len;
+            if let Some(cell) = req.get_mut(class).and_then(|r| r.get_mut(loc)) {
+                *cell += 1;
+            }
+            if let Some(cell) = bytes.get_mut(class).and_then(|r| r.get_mut(loc)) {
+                *cell += h.tx.response_body_len;
+            }
         }
     }
-    let req_tot = [0usize, 1].map(|l| req.iter().map(|r| r[l]).sum::<u64>());
-    let byte_tot = [0usize, 1].map(|l| bytes.iter().map(|r| r[l]).sum::<u64>());
+    let req_tot = [0usize, 1].map(|l| req.iter().map(|r| r.get(l).copied().unwrap_or(0)).sum::<u64>());
+    let byte_tot = [0usize, 1].map(|l| bytes.iter().map(|r| r.get(l).copied().unwrap_or(0)).sum::<u64>());
     let row = |i: usize| {
+        let r = req.get(i).copied().unwrap_or([0; 2]);
+        let b = bytes.get(i).copied().unwrap_or([0; 2]);
         (
-            pct(req[i][0], req_tot[0]),
-            pct(req[i][1], req_tot[1]),
-            pct(bytes[i][0], byte_tot[0]),
-            pct(bytes[i][1], byte_tot[1]),
+            pct(r[0], req_tot[0]),
+            pct(r[1], req_tot[1]),
+            pct(b[0], byte_tot[0]),
+            pct(b[1], byte_tot[1]),
         )
     };
     ContentTypes {
@@ -401,6 +411,13 @@ mod tests {
         let (ent, wan) = http_fanout(&[t]);
         assert_eq!(wan.quantile(1.0), Some(5.0));
         assert!(ent.is_empty());
+        let (f3, _f4) = figures34(&[(
+            "D0",
+            (ent, wan),
+            (Ecdf::new(Vec::new()), Ecdf::new(Vec::new())),
+        )]);
+        assert!(f3.render().contains("Figure 3"));
+        assert!(f3.render().contains("wan:D0"));
     }
 
     #[test]

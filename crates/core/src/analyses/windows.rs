@@ -185,12 +185,16 @@ pub fn table10(rows: &[(&str, CifsBreakdown)]) -> Table {
     for i in 0..5 {
         let label = rows
             .first()
-            .map(|(_, b)| b.per_class[i].0.label().to_string())
+            .and_then(|(_, b)| b.per_class.get(i))
+            .map(|c| c.0.label().to_string())
             .unwrap_or_default();
         let mut row = vec![label];
         for (_, b) in rows {
-            row.push(format!("{:.0}%", b.per_class[i].1));
-            row.push(format!("{:.0}%", b.per_class[i].2));
+            let Some(c) = b.per_class.get(i) else {
+                continue;
+            };
+            row.push(format!("{:.0}%", c.1));
+            row.push(format!("{:.0}%", c.2));
         }
         t.row(row);
     }
@@ -271,12 +275,16 @@ pub fn table11(rows: &[(&str, RpcBreakdown)]) -> Table {
     for i in 0..5 {
         let label = rows
             .first()
-            .map(|(_, b)| b.per_function[i].0.label().to_string())
+            .and_then(|(_, b)| b.per_function.get(i))
+            .map(|f| f.0.label().to_string())
             .unwrap_or_default();
         let mut row = vec![label];
         for (_, b) in rows {
-            row.push(format!("{:.1}%", b.per_function[i].1));
-            row.push(format!("{:.1}%", b.per_function[i].2));
+            let Some(f) = b.per_function.get(i) else {
+                continue;
+            };
+            row.push(format!("{:.1}%", f.1));
+            row.push(format!("{:.1}%", f.2));
         }
         t.row(row);
     }

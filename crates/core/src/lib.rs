@@ -33,6 +33,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 // Table-rendering helpers pass (label, getter) arrays whose types are
 // verbose but local and single-use; naming them would add noise.
 #![allow(clippy::type_complexity)]

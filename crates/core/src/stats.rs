@@ -11,7 +11,7 @@ impl Ecdf {
     /// Build from samples (NaNs are dropped).
     pub fn new(mut samples: Vec<f64>) -> Ecdf {
         samples.retain(|x| !x.is_nan());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs remain"));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
         Ecdf { sorted: samples }
     }
 
@@ -32,7 +32,7 @@ impl Ecdf {
         }
         let q = q.clamp(0.0, 1.0);
         let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
-        Some(self.sorted[idx])
+        self.sorted.get(idx).copied()
     }
 
     /// Median.
@@ -72,7 +72,7 @@ impl Ecdf {
         (0..=count)
             .map(|i| {
                 let q = i as f64 / count as f64;
-                (self.quantile(q).expect("non-empty"), q)
+                (self.quantile(q).unwrap_or_default(), q)
             })
             .collect()
     }

@@ -200,7 +200,7 @@ impl ConnTable {
     }
 
     fn close_slot<H: FlowHandler>(&mut self, slot: usize, handler: &mut H) {
-        if let Some(conn) = self.conns[slot].take() {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(|c| c.take()) {
             self.map.remove(&conn.key.canonical());
             handler.on_conn_closed(conn.idx, &conn.summarize());
         }
@@ -249,7 +249,7 @@ impl ConnTable {
         handler: &mut H,
     ) -> usize {
         if let Some(&slot) = self.map.get(&key.canonical()) {
-            let Some(conn) = self.conns[slot].as_ref() else {
+            let Some(conn) = self.conns.get(slot).and_then(|c| c.as_ref()) else {
                 // A mapped slot is always live; if the invariant is ever
                 // broken, repair the map instead of aborting the analysis.
                 self.map.remove(&key.canonical());
@@ -321,7 +321,7 @@ impl ConnTable {
                     resp,
                 };
                 let slot = self.lookup_or_open(key, ts, multicast, fresh_syn, handler);
-                let Some(conn) = self.conns[slot].as_mut() else {
+                let Some(conn) = self.conns.get_mut(slot).and_then(|c| c.as_mut()) else {
                     return;
                 };
                 let dir = conn.dir_of(Endpoint::new(src_ip, *src_port));
@@ -353,8 +353,9 @@ impl ConnTable {
                     handler.on_tcp_gap(idx, dir, disp.gap_bytes as u64);
                 }
                 if disp.deliver_captured > 0 {
-                    let data = &pkt.payload()[pkt.payload().len() - disp.deliver_captured.min(pkt.payload().len())..];
-                    handler.on_tcp_data(idx, dir, ts, data);
+                    let payload = pkt.payload();
+                    let start = payload.len().saturating_sub(disp.deliver_captured);
+                    handler.on_tcp_data(idx, dir, ts, payload.get(start..).unwrap_or(&[]));
                 }
             }
             Transport::Udp {
@@ -368,7 +369,7 @@ impl ConnTable {
                     resp: Endpoint::new(dst_ip, *dst_port),
                 };
                 let slot = self.lookup_or_open(key, ts, multicast, false, handler);
-                let Some(conn) = self.conns[slot].as_mut() else {
+                let Some(conn) = self.conns.get_mut(slot).and_then(|c| c.as_mut()) else {
                     return;
                 };
                 let dir = conn.dir_of(Endpoint::new(src_ip, *src_port));
@@ -407,7 +408,7 @@ impl ConnTable {
                     resp: b,
                 };
                 let slot = self.lookup_or_open(key, ts, multicast, false, handler);
-                let Some(conn) = self.conns[slot].as_mut() else {
+                let Some(conn) = self.conns.get_mut(slot).and_then(|c| c.as_mut()) else {
                     return;
                 };
                 let dir = conn.dir_of(Endpoint::new(src_ip, port));

@@ -89,7 +89,7 @@ fn smtp_traffic(ctx: &mut TraceCtx<'_>) {
         let kind: f64 = ctx.rng.random();
         if mail_here && kind < 0.45 {
             // Inbound WAN mail to the relay (success dips at mail vantage).
-            let srv = ctx.server(Role::SmtpServer).expect("mail server here");
+            let Some(srv) = ctx.server(Role::SmtpServer) else { continue };
             let server = ctx.peer_of(&srv, 25);
             let cport = ctx.eph();
             let client = ctx.wan_peer(cport);
@@ -109,7 +109,7 @@ fn smtp_traffic(ctx: &mut TraceCtx<'_>) {
             }
         } else if mail_here && kind < 0.7 {
             // Outbound relay to WAN MX hosts: high success away from spam.
-            let srv = ctx.server(Role::SmtpServer).expect("mail server here");
+            let Some(srv) = ctx.server(Role::SmtpServer) else { continue };
             let client = ctx.peer_eph(&srv);
             let server = ctx.wan_peer(25);
             let rtt = ctx.rtt_wan();
@@ -249,9 +249,10 @@ fn other_email(ctx: &mut TraceCtx<'_>) {
         };
         let client_host = ctx.local_client();
         let client = ctx.peer_eph(&client_host);
-        let port = *[110u16, 995, 389]
+        let port = [110u16, 995, 389]
             .get(ctx.rng.random_range(0..3usize))
-            .expect("index in range");
+            .copied()
+            .unwrap_or(110);
         let server = ctx.peer_of(&srv, port);
         let rtt = ctx.rtt_internal();
         let exchanges = if port == 995 {

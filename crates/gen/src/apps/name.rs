@@ -137,7 +137,7 @@ fn dns_traffic(ctx: &mut TraceCtx<'_>) {
         let heavy_smtp_client = smtp_here && coin(&mut ctx.rng, 0.45);
         let external = coin(&mut ctx.rng, 0.05);
         let client_host = if heavy_smtp_client {
-            ctx.server(Role::SmtpServer).expect("smtp exists")
+            ctx.server(Role::SmtpServer).unwrap_or_else(|| ctx.local_client())
         } else if external {
             ctx.local_wan_client()
         } else {
@@ -161,7 +161,7 @@ fn dns_traffic(ctx: &mut TraceCtx<'_>) {
         ctx.push(pkts);
         if dns_here && coin(&mut ctx.rng, 0.25) {
             // Recursive lookups the local DNS server makes upstream.
-            let srv = dns_server.expect("dns server on this subnet");
+            let Some(srv) = dns_server else { continue };
             let client = ctx.peer_eph(&srv);
             let upstream = ctx.wan_peer(53);
             let rtt = ctx.rtt_wan();

@@ -154,7 +154,7 @@ fn nfs_traffic(ctx: &mut TraceCtx<'_>) {
     // Heavy hitters: present when an NFS server subnet is monitored.
     if nfs_here {
         let hh_pairs = 3;
-        let srv = ctx.server(Role::NfsServer).expect("nfs server here");
+        let srv = ctx.server(Role::NfsServer).unwrap_or_else(|| ctx.remote_internal());
         for i in 0..hh_pairs {
             let client_host = ctx.remote_internal();
             let client = ctx.peer_eph(&client_host);
@@ -168,7 +168,7 @@ fn nfs_traffic(ctx: &mut TraceCtx<'_>) {
     // Ordinary pairs: small request counts, 90% UDP.
     for _ in 0..n {
         let (client, server) = if nfs_here && coin(&mut ctx.rng, 0.6) {
-            let srv = ctx.server(Role::NfsServer).expect("nfs server here");
+            let srv = ctx.server(Role::NfsServer).unwrap_or_else(|| ctx.remote_internal());
             let ch = ctx.internal_peer_client();
             (ctx.peer_eph(&ch), ctx.peer_of(&srv, 2049))
         } else {

@@ -51,7 +51,7 @@ fn background_radiation(ctx: &mut TraceCtx<'_>) {
             ctx.push(pkts);
         } else if kind < 0.70 {
             // UDP worm traffic (Slammer-style 1434, NBNS probes).
-            let port = *[1434u16, 137, 1026].get(ctx.rng.random_range(0..3usize)).expect("in range");
+            let port = [1434u16, 137, 1026].get(ctx.rng.random_range(0..3usize)).copied().unwrap_or(1434);
             let dst = Peer { addr: target, mac: dst_mac, port, ttl: 48 };
             let spec = crate::synth::UdpFlowSpec {
                 start,
@@ -69,7 +69,7 @@ fn background_radiation(ctx: &mut TraceCtx<'_>) {
             ctx.push(pkts);
         } else {
             // TCP probes at Windows service ports.
-            let port = *[445u16, 135, 139, 1_025].get(ctx.rng.random_range(0..4usize)).expect("in range");
+            let port = [445u16, 135, 139, 1_025].get(ctx.rng.random_range(0..4usize)).copied().unwrap_or(445);
             let dst = Peer { addr: target, mac: dst_mac, port, ttl: 48 };
             let mut spec = TcpSessionSpec::success(start, src, dst, 40_000, vec![]);
             // Only populated addresses can actively reject.

@@ -199,13 +199,14 @@ fn automated_clients(ctx: &mut TraceCtx<'_>) {
     // address-sweeping hosts removed by the paper's sec-3 heuristic (it
     // contacts few servers, so it survives that removal and is instead
     // excluded in the HTTP analysis, as in the paper).
-    let scanner_host = *ctx
+    let scanner_host = ctx
         .site
         .by_subnet[9]
         .iter()
         .map(|&id| ctx.site.host(id))
         .find(|h| h.role == Role::Workstation)
-        .expect("subnet 9 has workstations");
+        .copied();
+    let scanner_host = scanner_host.unwrap_or_else(|| ctx.local_client());
     for _ in 0..n {
         let client = ctx.peer_eph(&scanner_host);
         let server = ctx.peer_of(&web, 80);
@@ -301,7 +302,7 @@ fn https_traffic(ctx: &mut TraceCtx<'_>) {
     // The buggy pair: ~800 short handshake-then-close connections/hour.
     if ctx.spec.name == "D4" && ctx.hosts_role(Role::WebServer) {
         let client_host = ctx.local_client();
-        let srv = ctx.server(Role::WebServer).expect("web server here");
+        let srv = ctx.server(Role::WebServer).unwrap_or_else(|| ctx.remote_internal());
         let n = ctx.count(795.0);
         for _ in 0..n {
             let client = ctx.peer_eph(&client_host);

@@ -181,7 +181,7 @@ fn lanman_dialogue(ctx: &mut TraceCtx<'_>, exchanges: &mut Vec<Exchange>) {
 fn cifs_session(ctx: &mut TraceCtx<'_>) {
     let client_host = ctx.local_client();
     let server_host = if ctx.hosts_role(Role::CifsServer) && coin(&mut ctx.rng, 0.5) {
-        ctx.server(Role::CifsServer).expect("cifs server here")
+        ctx.server(Role::CifsServer).unwrap_or_else(|| ctx.remote_internal())
     } else if coin(&mut ctx.rng, 0.4) {
         match ctx.spec.rpc_profile {
             RpcProfile::AuthHeavy => ctx.server(Role::AuthServer),

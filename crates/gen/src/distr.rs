@@ -107,7 +107,7 @@ impl Zipf {
     /// Draw a rank in `0..n` (rank 0 most popular).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap_or(core::cmp::Ordering::Less)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

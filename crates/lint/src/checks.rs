@@ -1,0 +1,607 @@
+//! The lint rules E001–E005.
+//!
+//! Each check walks the token streams produced by [`crate::lexer`] and
+//! emits [`Finding`]s. Suppression filtering happens centrally in
+//! [`crate::lint_sources`], so checks report everything they see.
+
+use crate::config::LintConfig;
+use crate::report::{Code, Finding, Severity};
+use crate::source::SourceFile;
+use crate::lexer::TokKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn finding(code: Code, file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding { code, severity: Severity::Error, file: file.rel.clone(), line, message }
+}
+
+/// Keywords that can precede a `[` without making it an index expression
+/// (`if let [a, b] = …`, `return [x]`, `in [..]`).
+const KEYWORDS: [&str; 24] = [
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "break",
+    "continue", "where", "use", "pub", "const", "static", "fn", "impl", "for", "while", "loop",
+    "struct", "enum",
+];
+
+/// Is `name` const-like (SCREAMING_SNAKE_CASE)? Indexing with a named
+/// constant is treated like a literal index: it is part of the audited
+/// up-front-length-check idiom, not a computed offset.
+fn const_like(name: &str) -> bool {
+    name.chars().any(|c| c.is_ascii_uppercase())
+        && name.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Does `name` look like it carries a wire length/offset?
+fn lenish(name: &str, cfg: &LintConfig) -> bool {
+    let lower = name.to_ascii_lowercase();
+    cfg.lenish_markers.iter().any(|m| lower.contains(m))
+}
+
+/// Is the `fn` named `name` a parser hot path?
+fn hot_fn(name: &str, cfg: &LintConfig) -> bool {
+    let lower = name.to_ascii_lowercase();
+    cfg.hot_fn_markers.iter().any(|m| lower.contains(m))
+}
+
+/// E001: panic surface in ingest crates — panicking calls/macros and
+/// computed slice indexing in non-test code.
+pub fn e001(file: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
+    if !cfg.panic_crates.iter().any(|c| c == &file.crate_name) || file.is_test_file {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..file.toks.len() {
+        let t = &file.toks[i];
+        if t.kind == TokKind::Comment || file.is_test_line(t.line) {
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            let text = file.text(i);
+            match text.as_ref() {
+                "unwrap" | "expect" | "unwrap_err" | "expect_err" => {
+                    let dot = file.prev_sig(i).is_some_and(|p| file.toks[p].kind == TokKind::Punct('.'));
+                    let call = file.next_sig(i).is_some_and(|n| file.toks[n].kind == TokKind::Punct('('));
+                    if dot && call {
+                        out.push(finding(
+                            Code::E001,
+                            file,
+                            t.line,
+                            format!("call to `.{text}()` in ingest code can abort on hostile input; propagate an error or use a total fallback"),
+                        ));
+                    }
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if file.next_sig(i).is_some_and(|n| file.toks[n].kind == TokKind::Punct('!')) =>
+                {
+                    out.push(finding(
+                        Code::E001,
+                        file,
+                        t.line,
+                        format!("`{text}!` in ingest code aborts the pipeline; degrade gracefully instead"),
+                    ));
+                }
+                _ => {}
+            }
+        } else if t.kind == TokKind::Punct('[') {
+            // Indexing: `expr[...]` where expr ends with an ident, `)` or `]`.
+            let Some(p) = file.prev_sig(i) else { continue };
+            let is_index = match file.toks[p].kind {
+                TokKind::Ident => !KEYWORDS.contains(&file.text(p).as_ref()),
+                TokKind::Punct(')') | TokKind::Punct(']') => true,
+                _ => false,
+            };
+            if !is_index {
+                continue;
+            }
+            // `#[...]` attributes: previous significant token is `#` or `!`,
+            // already excluded; `ident!` macro calls have `!` before `[`.
+            let Some(close) = file.matching_close(i) else { continue };
+            let mut computed = false;
+            for j in i + 1..close {
+                match file.toks[j].kind {
+                    TokKind::Ident if !const_like(&file.text(j)) => {
+                        computed = true;
+                        break;
+                    }
+                    TokKind::Str => {
+                        computed = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if computed {
+                out.push(finding(
+                    Code::E001,
+                    file,
+                    t.line,
+                    "indexing with a computed offset can panic on truncated input; use `.get(..)` with a total fallback (or justify with an `ent-lint: allow(E001)` after auditing)".to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// E002: unchecked offset arithmetic and truncating casts of
+/// length-derived values inside parser hot paths.
+pub fn e002(file: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
+    if !cfg.arith_crates.iter().any(|c| c == &file.crate_name) || file.is_test_file {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..file.toks.len() {
+        let t = &file.toks[i];
+        if t.kind == TokKind::Comment || file.is_test_line(t.line) {
+            continue;
+        }
+        let in_hot = file.enclosing_fn(t.line).is_some_and(|n| hot_fn(n, cfg));
+        if !in_hot {
+            continue;
+        }
+        if t.kind == TokKind::Ident && file.text(i) == "as" {
+            let Some(n) = file.next_sig(i) else { continue };
+            let target = file.text(n);
+            let truncating = matches!(target.as_ref(), "u8" | "u16" | "u32" | "i8" | "i16" | "i32");
+            if truncating && operand_is_lenish(file, i, cfg) {
+                out.push(finding(
+                    Code::E002,
+                    file,
+                    t.line,
+                    format!("truncating `as {target}` cast of a length-derived value in a parser hot path; use `try_from` or an explicit clamp"),
+                ));
+            }
+        } else if let TokKind::Punct(op @ ('+' | '-' | '*')) = t.kind {
+            let Some(p) = file.prev_sig(i) else { continue };
+            let Some(n) = file.next_sig(i) else { continue };
+            // Binary only: previous token must be an operand end.
+            let binary = matches!(file.toks[p].kind, TokKind::Ident | TokKind::Num | TokKind::Punct(')') | TokKind::Punct(']'));
+            if !binary {
+                continue;
+            }
+            // `->` arrow, `*=`-style compound handled: `+=`/`-=`/`*=` have
+            // ident before them and `=` after — still arithmetic, keep them.
+            if op == '-' && file.toks[n].kind == TokKind::Punct('>') {
+                continue;
+            }
+            let prev_lenish = match file.toks[p].kind {
+                TokKind::Ident => lenish(&file.text(p), cfg),
+                TokKind::Punct(')') => call_is_lenish(file, p, cfg),
+                _ => false,
+            };
+            let next_lenish = file.toks[n].kind == TokKind::Ident && lenish(&file.text(n), cfg);
+            if prev_lenish || next_lenish {
+                let line_text = file.line_text(t.line);
+                if line_text.contains("checked_")
+                    || line_text.contains("saturating_")
+                    || line_text.contains("wrapping_")
+                {
+                    continue;
+                }
+                out.push(finding(
+                    Code::E002,
+                    file,
+                    t.line,
+                    format!("unchecked `{op}` on a length-derived value in a parser hot path; use `checked_`/`saturating_` arithmetic"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// For `…) as u16` / `…) + off`: scan the parenthesized operand ending at
+/// `close_idx` (a `)`) plus the callee ident before the `(` for a lenish
+/// name (`buf.len()`, `(total_len + 4)`).
+fn call_is_lenish(file: &SourceFile, close_idx: usize, cfg: &LintConfig) -> bool {
+    let mut depth = 0i64;
+    let mut open = None;
+    for j in (0..=close_idx).rev() {
+        match file.toks[j].kind {
+            TokKind::Punct(')') => depth += 1,
+            TokKind::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(j);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else { return false };
+    for j in open..close_idx {
+        if file.toks[j].kind == TokKind::Ident && lenish(&file.text(j), cfg) {
+            return true;
+        }
+    }
+    if let Some(callee) = file.prev_sig(open) {
+        if file.toks[callee].kind == TokKind::Ident && lenish(&file.text(callee), cfg) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The operand of `… as uN` ending just before token `as_idx`.
+fn operand_is_lenish(file: &SourceFile, as_idx: usize, cfg: &LintConfig) -> bool {
+    let Some(p) = file.prev_sig(as_idx) else { return false };
+    match file.toks[p].kind {
+        TokKind::Ident => lenish(&file.text(p), cfg),
+        TokKind::Punct(')') => call_is_lenish(file, p, cfg),
+        _ => false,
+    }
+}
+
+/// E003: crate roots must carry the hygiene attributes.
+pub fn e003(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        let is_root = file.rel.starts_with("crates/")
+            && (file.rel.ends_with("/src/lib.rs") || file.rel.ends_with("/src/main.rs"));
+        if !is_root {
+            continue;
+        }
+        let mut has_forbid_unsafe = false;
+        let mut has_deny_missing_docs = false;
+        let mut has_unwrap_gate = false;
+        let mut i = 0usize;
+        while i + 2 < file.toks.len() {
+            if file.toks[i].kind == TokKind::Punct('#')
+                && file.toks[i + 1].kind == TokKind::Punct('!')
+                && file.toks[i + 2].kind == TokKind::Punct('[')
+            {
+                if let Some(close) = file.matching_close(i + 2) {
+                    let mut canon = String::new();
+                    for j in i + 3..close {
+                        if file.toks[j].kind != TokKind::Comment {
+                            canon.push_str(&file.text(j));
+                        }
+                    }
+                    if canon.starts_with("forbid(") && canon.contains("unsafe_code") {
+                        has_forbid_unsafe = true;
+                    }
+                    if canon.starts_with("deny(") && canon.contains("missing_docs") {
+                        has_deny_missing_docs = true;
+                    }
+                    if canon.starts_with("cfg_attr(not(test)")
+                        && canon.contains("clippy::unwrap_used")
+                        && canon.contains("clippy::expect_used")
+                    {
+                        has_unwrap_gate = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        let mut missing = Vec::new();
+        if !has_forbid_unsafe {
+            missing.push("#![forbid(unsafe_code)]");
+        }
+        if !has_deny_missing_docs {
+            missing.push("#![deny(missing_docs)]");
+        }
+        if !has_unwrap_gate {
+            missing.push("#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]");
+        }
+        for attr in missing {
+            out.push(finding(
+                Code::E003,
+                file,
+                1,
+                format!("crate `{}` root is missing `{attr}`", file.crate_name),
+            ));
+        }
+    }
+    out
+}
+
+/// E004: every analyzer module under `crates/proto/src/` must appear in
+/// `registry.rs`'s `ANALYZER_MODULES`, and every listed name must have a
+/// module file.
+pub fn e004(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut modules = BTreeSet::new();
+    let mut registry: Option<&SourceFile> = None;
+    for file in files {
+        let Some(rest) = file.rel.strip_prefix("crates/proto/src/") else { continue };
+        if rest.contains('/') {
+            continue;
+        }
+        let Some(stem) = rest.strip_suffix(".rs") else { continue };
+        match stem {
+            "lib" | "mod" => {}
+            "registry" => registry = Some(file),
+            _ => {
+                modules.insert(stem.to_string());
+            }
+        }
+    }
+    if modules.is_empty() && registry.is_none() {
+        return out; // workspace has no proto crate (e.g. fixture trees)
+    }
+    let Some(reg) = registry else {
+        if let Some(any) = files.iter().find(|f| f.rel.starts_with("crates/proto/src/")) {
+            out.push(finding(
+                Code::E004,
+                any,
+                1,
+                "crates/proto/src/registry.rs not found; analyzer modules cannot be checked for registration".to_string(),
+            ));
+        }
+        return out;
+    };
+    // Locate `ANALYZER_MODULES` and collect its string entries.
+    let mut listed: BTreeMap<String, u32> = BTreeMap::new();
+    let mut const_line = None;
+    for i in 0..reg.toks.len() {
+        if reg.toks[i].kind == TokKind::Ident && reg.text(i) == "ANALYZER_MODULES" {
+            const_line = Some(reg.toks[i].line);
+            for j in i + 1..reg.toks.len() {
+                match reg.toks[j].kind {
+                    TokKind::Str => {
+                        let raw = reg.text(j);
+                        let name = raw.trim_matches(|c| c == '"');
+                        listed.insert(name.to_string(), reg.toks[j].line);
+                    }
+                    TokKind::Punct(';') => break,
+                    _ => {}
+                }
+            }
+            break;
+        }
+    }
+    let Some(const_line) = const_line else {
+        out.push(finding(
+            Code::E004,
+            reg,
+            1,
+            "registry.rs does not declare `ANALYZER_MODULES`; the protocol registry cannot be checked for totality".to_string(),
+        ));
+        return out;
+    };
+    for m in &modules {
+        if !listed.contains_key(m) {
+            out.push(finding(
+                Code::E004,
+                reg,
+                const_line,
+                format!("analyzer module `{m}.rs` is not listed in ANALYZER_MODULES; wire it into the registry"),
+            ));
+        }
+    }
+    for (m, line) in &listed {
+        if !modules.contains(m) {
+            out.push(finding(
+                Code::E004,
+                reg,
+                *line,
+                format!("ANALYZER_MODULES lists `{m}` but crates/proto/src/{m}.rs does not exist"),
+            ));
+        }
+    }
+    out
+}
+
+/// Extract `(kind, number)` paper-artifact IDs (`Table 7`, `Figure 10`)
+/// from one line of text. Matching is case-insensitive and
+/// word-boundary-exact on the number (a `Figure 1` claim is not covered by
+/// a `Figure 10` reference).
+fn artifact_ids(line: &str) -> Vec<(String, u32)> {
+    let lower = line.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    let mut out = Vec::new();
+    for kind in ["table", "figure"] {
+        let mut from = 0usize;
+        while let Some(pos) = lower[from..].find(kind) {
+            let at = from + pos;
+            from = at + kind.len();
+            // Word boundary on the left.
+            if at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_') {
+                continue;
+            }
+            let rest = &lower[at + kind.len()..];
+            let rest_trim = rest.trim_start_matches([' ', '\t']);
+            if rest_trim.len() == rest.len() && !rest.is_empty() {
+                continue; // "tables", "figures", "table4" — not an ID claim
+            }
+            let digits: String = rest_trim.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if digits.is_empty() {
+                continue;
+            }
+            // Word boundary on the right of the number.
+            let after = rest_trim[digits.len()..].chars().next();
+            if after.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                continue;
+            }
+            if let Ok(n) = digits.parse::<u32>() {
+                out.push((kind.to_string(), n));
+            }
+        }
+    }
+    out
+}
+
+/// E005: every paper artifact claimed in `crates/core/src/analyses` must be
+/// referenced from test context (a file under `tests/`, or a
+/// `#[cfg(test)]` region anywhere in the workspace).
+pub fn e005(files: &[SourceFile]) -> Vec<Finding> {
+    // Claims: first claiming site per artifact.
+    let mut claims: BTreeMap<(String, u32), (usize, u32)> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if !file.rel.starts_with("crates/core/src/analyses/") {
+            continue;
+        }
+        for line in 1..=file.line_count() {
+            for id in artifact_ids(&file.line_text(line)) {
+                claims.entry(id).or_insert((fi, line));
+            }
+        }
+    }
+    if claims.is_empty() {
+        return Vec::new();
+    }
+    // Coverage: IDs mentioned anywhere in test context.
+    let mut covered: BTreeSet<(String, u32)> = BTreeSet::new();
+    for file in files {
+        for line in 1..=file.line_count() {
+            if !file.is_test_line(line) {
+                continue;
+            }
+            for id in artifact_ids(&file.line_text(line)) {
+                covered.insert(id);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for ((kind, n), (fi, line)) in &claims {
+        if !covered.contains(&(kind.clone(), *n)) {
+            let file = &files[*fi];
+            let cap = {
+                let mut c = kind.clone();
+                if let Some(first) = c.get_mut(0..1) {
+                    first.make_ascii_uppercase();
+                }
+                c
+            };
+            out.push(finding(
+                Code::E005,
+                file,
+                *line,
+                format!("{cap} {n} is claimed here but never referenced from any test; add a test that mentions `{cap} {n}`"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+
+    fn wire_file(src: &str) -> SourceFile {
+        SourceFile::new("crates/wire/src/x.rs".into(), "wire".into(), false, src.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn e001_flags_unwrap_and_macros() {
+        let cfg = LintConfig::default();
+        let f = wire_file("fn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\nfn g() {\n    panic!(\"boom\");\n}\n");
+        let got = e001(&f, &cfg);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].line, 2);
+        assert_eq!(got[1].line, 5);
+    }
+
+    #[test]
+    fn e001_ignores_test_regions_and_literal_indexing() {
+        let cfg = LintConfig::default();
+        let f = wire_file(
+            "fn f(b: &[u8]) -> u8 {\n    b[0] ^ b[4..8][0] ^ b[MIN_LEN]\n}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        assert!(e001(&f, &cfg).is_empty());
+    }
+
+    #[test]
+    fn e001_flags_computed_indexing() {
+        let cfg = LintConfig::default();
+        let f = wire_file("fn f(b: &[u8], off: usize) -> u8 {\n    b[off]\n}\n");
+        let got = e001(&f, &cfg);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn e001_out_of_scope_crate_is_ignored() {
+        let cfg = LintConfig::default();
+        let f = SourceFile::new("crates/gen/src/x.rs".into(), "gen".into(), false, b"fn f() { x.unwrap(); }".to_vec());
+        assert!(e001(&f, &cfg).is_empty());
+    }
+
+    #[test]
+    fn e002_flags_hot_path_arith_and_casts() {
+        let cfg = LintConfig::default();
+        let f = wire_file(
+            "fn parse(b: &[u8], off: usize, total_len: usize) -> u16 {\n    let end = off + 4;\n    total_len as u16\n}\nfn helper(off: usize) -> usize {\n    off + 4\n}\n",
+        );
+        let got = e002(&f, &cfg);
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert_eq!(got[0].line, 2);
+        assert_eq!(got[1].line, 3);
+    }
+
+    #[test]
+    fn e002_checked_forms_pass() {
+        let cfg = LintConfig::default();
+        let f = wire_file("fn parse(off: usize) -> Option<usize> {\n    off.checked_add(4)\n}\n");
+        assert!(e002(&f, &cfg).is_empty());
+    }
+
+    #[test]
+    fn e002_len_call_cast() {
+        let cfg = LintConfig::default();
+        let f = wire_file("fn read_rec(b: &[u8]) -> u32 {\n    b.len() as u32\n}\n");
+        assert_eq!(e002(&f, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn e003_reports_each_missing_attr() {
+        let lib = SourceFile::new(
+            "crates/foo/src/lib.rs".into(),
+            "foo".into(),
+            false,
+            b"#![forbid(unsafe_code)]\npub fn x() {}\n".to_vec(),
+        );
+        let got = e003(&[lib]);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|f| f.code == Code::E003));
+    }
+
+    #[test]
+    fn e003_satisfied_root_is_clean() {
+        let src = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]\n";
+        let lib = SourceFile::new("crates/foo/src/lib.rs".into(), "foo".into(), false, src.as_bytes().to_vec());
+        assert!(e003(&[lib]).is_empty());
+    }
+
+    #[test]
+    fn artifact_id_extraction() {
+        assert_eq!(artifact_ids("reproduces Table 7 and Figure 10"), vec![("table".into(), 7), ("figure".into(), 10)]);
+        assert_eq!(artifact_ids("tables and figures in general"), vec![]);
+        assert_eq!(artifact_ids("Figure 1"), vec![("figure".into(), 1)]);
+        // `Figure 10` must not cover `Figure 1`.
+        assert_ne!(artifact_ids("Figure 10"), vec![("figure".into(), 1)]);
+    }
+
+    #[test]
+    fn e005_claim_without_test_reference() {
+        let claim = SourceFile::new(
+            "crates/core/src/analyses/foo.rs".into(),
+            "core".into(),
+            false,
+            b"//! Reproduces Table 99 of the paper.\npub fn t() {}\n".to_vec(),
+        );
+        let test = SourceFile::new(
+            "tests/tests/t.rs".into(),
+            "tests".into(),
+            true,
+            b"// checks Table 98 only\n".to_vec(),
+        );
+        let got = e005(&[claim, test]);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("Table 99"));
+    }
+
+    #[test]
+    fn e005_covered_by_cfg_test_region() {
+        let claim = SourceFile::new(
+            "crates/core/src/analyses/foo.rs".into(),
+            "core".into(),
+            false,
+            b"//! Reproduces Table 99.\n#[cfg(test)]\nmod tests {\n    // asserts Table 99 shape\n}\n".to_vec(),
+        );
+        assert!(e005(&[claim]).is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Lint configuration: which crates each check covers and the name
+//! heuristics used by the token-level rules.
+
+/// Tunable scope for the checks. [`LintConfig::default`] encodes the
+/// workspace policy that the tier-1 self-host test enforces.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates whose non-test code must be panic-free (E001). These are the
+    /// crates on the ingest path: a panic here aborts trace analysis.
+    pub panic_crates: Vec<String>,
+    /// Crates whose parser hot paths are checked for unchecked offset
+    /// arithmetic and truncating casts (E002).
+    pub arith_crates: Vec<String>,
+    /// Substrings identifying parser hot-path function names for E002.
+    pub hot_fn_markers: Vec<String>,
+    /// Substrings identifying length/offset-carrying identifiers for E002.
+    pub lenish_markers: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+        LintConfig {
+            panic_crates: v(&["wire", "pcap", "proto", "flow", "core"]),
+            arith_crates: v(&["wire", "pcap", "proto"]),
+            hot_fn_markers: v(&["parse", "read", "next", "decode", "feed", "recover", "resync", "merge", "ingest"]),
+            lenish_markers: v(&["len", "off", "size", "total", "ihl", "cap", "snap", "pos", "idx", "count"]),
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! `ent-lint` deliberately avoids `syn` (the workspace builds offline with
+//! vendored crates only), so lint checks run over a flat token stream
+//! instead of a syntax tree. The lexer understands exactly as much Rust as
+//! the checks need: comments (kept as tokens, since suppressions and paper
+//! references live in them), string/char/byte/raw literals (skipped
+//! wholesale so their contents can never masquerade as code), lifetimes
+//! versus char literals, numbers, identifiers and single-char punctuation.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (the leading alnum run only; `1.5` lexes as three
+    /// tokens, which is fine for every check in this crate).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Line or block comment, doc or plain.
+    Comment,
+    /// Any other single character.
+    Punct(char),
+}
+
+/// One token: kind, 1-based line of its first character, byte span.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// 1-based source line where the token starts.
+    pub line: u32,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text within `src` (lossy on stray non-UTF-8 bytes).
+    pub fn text<'a>(&self, src: &'a [u8]) -> std::borrow::Cow<'a, str> {
+        String::from_utf8_lossy(&src[self.start..self.end])
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `src` into a token vector. Never fails: unterminated constructs run
+/// to end-of-input, and unexpected bytes become punctuation tokens.
+pub fn lex(src: &[u8]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = src.len();
+    while i < n {
+        let b = src[i];
+        let start = i;
+        let start_line = line;
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if b.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < n && src[i + 1] == b'/' => {
+                while i < n && src[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Comment, line: start_line, start, end: i });
+            }
+            b'/' if i + 1 < n && src[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1u32;
+                while i < n && depth > 0 {
+                    if src[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if src[i] == b'/' && i + 1 < n && src[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if src[i] == b'*' && i + 1 < n && src[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Comment, line: start_line, start, end: i });
+            }
+            b'"' => {
+                i = scan_string(src, i, &mut line);
+                toks.push(Tok { kind: TokKind::Str, line: start_line, start, end: i });
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                if i + 1 < n && src[i + 1] == b'\\' {
+                    i = scan_char(src, i, &mut line);
+                    toks.push(Tok { kind: TokKind::Char, line: start_line, start, end: i });
+                } else if i + 2 < n && src[i + 2] == b'\'' {
+                    i += 3;
+                    toks.push(Tok { kind: TokKind::Char, line: start_line, start, end: i });
+                } else if i + 1 < n && is_ident_start(src[i + 1]) {
+                    i += 1;
+                    while i < n && is_ident_continue(src[i]) {
+                        i += 1;
+                    }
+                    toks.push(Tok { kind: TokKind::Lifetime, line: start_line, start, end: i });
+                } else {
+                    i += 1;
+                    toks.push(Tok { kind: TokKind::Punct('\''), line: start_line, start, end: i });
+                }
+            }
+            b'r' | b'b' if starts_string_prefix(src, i) => {
+                i = scan_prefixed_literal(src, i, &mut line);
+                let kind = if src[start] == b'b' && i > start + 1 && src[start + 1] == b'\'' {
+                    TokKind::Char
+                } else {
+                    TokKind::Str
+                };
+                toks.push(Tok { kind, line: start_line, start, end: i });
+            }
+            _ if b.is_ascii_digit() => {
+                while i < n && is_ident_continue(src[i]) {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Num, line: start_line, start, end: i });
+            }
+            _ if is_ident_start(b) => {
+                while i < n && is_ident_continue(src[i]) {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Ident, line: start_line, start, end: i });
+            }
+            _ => {
+                i += 1;
+                toks.push(Tok {
+                    kind: TokKind::Punct(if b.is_ascii() { b as char } else { '?' }),
+                    line: start_line,
+                    start,
+                    end: i,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// Does `src[i..]` begin a raw/byte string or byte-char literal prefix
+/// (`r"`, `r#`, `b"`, `b'`, `br"`, `br#`)? Plain `r`/`b` identifiers fall
+/// through to ident lexing.
+fn starts_string_prefix(src: &[u8], i: usize) -> bool {
+    let n = src.len();
+    match src[i] {
+        b'r' => {
+            let mut j = i + 1;
+            while j < n && src[j] == b'#' {
+                j += 1;
+            }
+            j > i + 1 && j < n && src[j] == b'"' || (i + 1 < n && src[i + 1] == b'"')
+        }
+        b'b' => match src.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => {
+                let mut j = i + 2;
+                while j < n && src[j] == b'#' {
+                    j += 1;
+                }
+                j < n && src[j] == b'"'
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scan a literal starting with an `r`/`b`/`br` prefix; returns end offset.
+fn scan_prefixed_literal(src: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let n = src.len();
+    if src[i] == b'b' {
+        i += 1;
+        if i < n && src[i] == b'\'' {
+            return scan_char(src, i, line);
+        }
+    }
+    if i < n && src[i] == b'r' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < n && src[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || src[i] != b'"' {
+        return i;
+    }
+    if hashes == 0 && src[i] == b'"' && src.get(i.wrapping_sub(1)) == Some(&b'r') {
+        // raw string without hashes: no escapes, ends at next quote
+        i += 1;
+        while i < n {
+            if src[i] == b'\n' {
+                *line += 1;
+            }
+            if src[i] == b'"' {
+                return i + 1;
+            }
+            i += 1;
+        }
+        return i;
+    }
+    if hashes == 0 {
+        // b"..." — ordinary escaping rules
+        return scan_string(src, i, line);
+    }
+    // r#"..."# with `hashes` trailing hashes
+    i += 1;
+    while i < n {
+        if src[i] == b'\n' {
+            *line += 1;
+        }
+        if src[i] == b'"' && src.len() >= i + 1 + hashes && src[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#') {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scan a `"…"` string starting at the opening quote; returns end offset.
+fn scan_string(src: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let n = src.len();
+    i += 1;
+    while i < n {
+        match src[i] {
+            b'\\' => {
+                // A `\` line continuation hides a newline inside the escape.
+                if src.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scan a `'…'` char literal starting at the opening quote; returns end.
+fn scan_char(src: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let n = src.len();
+    i += 1;
+    while i < n {
+        match src[i] {
+            b'\\' => {
+                if src.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src.as_bytes()).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src.as_bytes())
+            .iter()
+            .map(|t| t.text(src.as_bytes()).into_owned())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("let x = a[1];"),
+            vec![
+                TokKind::Ident,
+                TokKind::Ident,
+                TokKind::Punct('='),
+                TokKind::Ident,
+                TokKind::Punct('['),
+                TokKind::Num,
+                TokKind::Punct(']'),
+                TokKind::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let t = lex(b"a // ent-lint: allow(E001)\nb /* block */ c");
+        assert_eq!(
+            t.iter().map(|t| t.kind).collect::<Vec<_>>(),
+            vec![TokKind::Ident, TokKind::Comment, TokKind::Ident, TokKind::Comment, TokKind::Ident]
+        );
+        assert_eq!(t[2].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // The word `unwrap` inside a string must not lex as an ident.
+        assert_eq!(kinds(r#"let s = "call .unwrap() here";"#).iter().filter(|k| **k == TokKind::Ident).count(), 2);
+        assert_eq!(kinds(r##"let s = r#"raw "quoted" body"#;"##).iter().filter(|k| **k == TokKind::Str).count(), 1);
+        assert_eq!(kinds(r#"let b = b"bytes";"#).iter().filter(|k| **k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let k = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        assert_eq!(k.iter().filter(|k| **k == TokKind::Lifetime).count(), 2);
+        assert_eq!(k.iter().filter(|k| **k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_across_multiline_strings() {
+        let t = lex(b"let a = \"x\ny\";\nlet b = 1;");
+        let b_tok = t.iter().find(|t| t.text(b"let a = \"x\ny\";\nlet b = 1;") == "b");
+        assert_eq!(b_tok.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn line_numbers_across_backslash_continuations() {
+        let src = b"let a = \"x \\\n y\";\nlet b = 1;";
+        let t = lex(src);
+        let b_tok = t.iter().find(|t| t.text(src) == "b");
+        assert_eq!(b_tok.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let k = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(k, vec![TokKind::Ident, TokKind::Comment, TokKind::Ident]);
+    }
+
+    #[test]
+    fn byte_char_and_raw_ident_prefixes() {
+        assert_eq!(kinds("b'\\xFF'")[0], TokKind::Char);
+        // `r` and `b` as plain identifiers still lex as idents.
+        assert_eq!(texts("r + b"), vec!["r", "+", "b"]);
+    }
+}

@@ -1,0 +1,123 @@
+//! # ent-lint — workspace static analysis for parser-safety invariants
+//!
+//! An offline, dependency-free analyzer that machine-checks the repo
+//! invariants PR 1's graceful-degradation work relies on. It lexes the
+//! workspace with a hand-rolled Rust lexer (no `syn`: the build is
+//! vendored-only) and enforces five coded lints:
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | E001 | no panic surface (`unwrap`/`expect`/`panic!`/`unreachable!`/computed indexing) in non-test ingest code (`wire`, `pcap`, `proto`, `flow`, `core`) |
+//! | E002 | no unchecked offset arithmetic or truncating casts of length-derived values in parser hot paths (`wire`, `pcap`, `proto`) |
+//! | E003 | every crate root carries `#![forbid(unsafe_code)]`, `#![deny(missing_docs)]` and the `cfg_attr(not(test))` unwrap/expect gate |
+//! | E004 | every `crates/proto/src/*.rs` analyzer module is listed in `registry.rs`'s `ANALYZER_MODULES` (and vice versa) |
+//! | E005 | every `Table N`/`Figure N` claimed in `crates/core/src/analyses` is referenced from test code |
+//!
+//! Findings carry `file:line` anchors and can be emitted as JSON
+//! (`ent-lint --json`). A finding is silenced by an inline comment on the
+//! same line or the line above:
+//!
+//! ```text
+//! // ent-lint: allow(E001) — index bounded by the length check above
+//! let b = buf[off];
+//! ```
+//!
+//! The workspace runs `ent-lint` self-hosted as a tier-1 test
+//! (`crates/lint/tests/selfhost.rs`): the tree must stay at zero findings.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod checks;
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod source;
+pub mod walk;
+
+pub use config::LintConfig;
+pub use report::{Code, Finding, Report, Severity};
+
+use source::SourceFile;
+use std::io;
+use std::path::Path;
+
+/// Lint a whole workspace rooted at `root` (the directory holding
+/// `crates/`). Reads every `.rs` file outside skipped directories, runs
+/// all checks, applies inline suppressions, and returns the sorted report.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Report> {
+    let entries = walk::walk_workspace(root)?;
+    let mut sources = Vec::with_capacity(entries.len());
+    for e in entries {
+        let bytes = std::fs::read(&e.abs)?;
+        sources.push(SourceFile::new(e.rel, e.crate_name, e.is_test_file, bytes));
+    }
+    Ok(lint_sources(sources, cfg))
+}
+
+/// Run all checks over pre-loaded sources. Exposed for the fixture tests.
+pub fn lint_sources(sources: Vec<SourceFile>, cfg: &LintConfig) -> Report {
+    let mut findings = Vec::new();
+    for file in &sources {
+        findings.extend(checks::e001(file, cfg));
+        findings.extend(checks::e002(file, cfg));
+    }
+    findings.extend(checks::e003(&sources));
+    findings.extend(checks::e004(&sources));
+    findings.extend(checks::e005(&sources));
+
+    let mut suppressed = 0usize;
+    findings.retain(|f| {
+        let keep = !sources
+            .iter()
+            .find(|s| s.rel == f.file)
+            .is_some_and(|s| s.suppressed(f.line, f.code));
+        if !keep {
+            suppressed += 1;
+        }
+        keep
+    });
+    findings.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    Report { files_scanned: sources.len(), findings, suppressed }
+}
+
+/// Walk upward from `start` to find the workspace root: the first ancestor
+/// containing both `Cargo.toml` and a `crates/` directory.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_is_applied_and_counted() {
+        let src = "fn f(o: Option<u8>) -> u8 {\n    // ent-lint: allow(E001)\n    o.unwrap()\n}\n";
+        let file = SourceFile::new("crates/wire/src/x.rs".into(), "wire".into(), false, src.as_bytes().to_vec());
+        let report = lint_sources(vec![file], &LintConfig::default());
+        assert!(report.findings.iter().all(|f| f.code != Code::E001));
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn findings_sorted_by_location() {
+        let src = "fn f(o: Option<u8>, b: &[u8], i: usize) -> u8 {\n    o.unwrap() + b[i]\n}\nfn g(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n";
+        let file = SourceFile::new("crates/wire/src/x.rs".into(), "wire".into(), false, src.as_bytes().to_vec());
+        let report = lint_sources(vec![file], &LintConfig::default());
+        let lines: Vec<u32> = report.findings.iter().map(|f| f.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        assert_eq!(report.count(Code::E001), 3);
+    }
+}

@@ -1,0 +1,5 @@
+//! Reproduces Table 42 and Figure 77 of the paper. The fixture test file
+//! references Table 42 only, so E005 must flag exactly Figure 77.
+
+/// Placeholder analysis entry point.
+pub fn foo() {}

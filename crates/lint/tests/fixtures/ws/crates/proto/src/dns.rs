@@ -1,0 +1,2 @@
+//! DNS analyzer stub: listed in the registry and present on disk, so E004
+//! must not flag it.

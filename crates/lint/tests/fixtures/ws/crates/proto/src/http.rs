@@ -1,0 +1,2 @@
+//! HTTP analyzer stub: present on disk but missing from
+//! `ANALYZER_MODULES`, which E004 must flag.

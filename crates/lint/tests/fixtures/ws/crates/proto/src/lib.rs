@@ -1,0 +1,5 @@
+//! Fixture proto crate root carrying the full hygiene header; E003 must
+//! stay quiet about this file.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]

@@ -1,0 +1,6 @@
+//! Fixture registry with deliberate E004 mismatches in both directions:
+//! `ghost` is listed but has no module file, and `http.rs` exists but is
+//! not listed.
+
+/// The analyzer roster the linter cross-checks against `src/*.rs`.
+pub const ANALYZER_MODULES: &[&str] = &["dns", "ghost"];

@@ -1,0 +1,26 @@
+//! Fixture crate root with seeded E001 panic-surface violations and an
+//! incomplete hygiene header (E003: the `missing_docs` deny and the
+//! unwrap/expect gate are deliberately absent).
+#![forbid(unsafe_code)]
+
+/// Seeded E001: `.unwrap()` in ingest code.
+pub fn first_byte(o: Option<u8>) -> u8 {
+    o.unwrap()
+}
+
+/// Seeded E001: `panic!` in ingest code.
+pub fn boom() {
+    panic!("boom");
+}
+
+/// Seeded E001: computed slice index in ingest code.
+pub fn at(b: &[u8], off: usize) -> u8 {
+    b[off]
+}
+
+/// A justified, suppressed index: the fixture tests assert this one does
+/// NOT appear in the findings but DOES appear in the suppressed count.
+pub fn at_guarded(b: &[u8], off: usize) -> u8 {
+    // ent-lint: allow(E001) — caller guarantees off < b.len()
+    b[off]
+}

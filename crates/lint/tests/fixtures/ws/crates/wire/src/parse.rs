@@ -1,0 +1,21 @@
+//! Seeded E002 violations: unchecked offset arithmetic and a truncating
+//! cast of a length-derived value, both inside a parser hot-path function.
+
+/// Hot path (name contains `parse`): both lines below must be flagged.
+pub fn parse_rec(buf: &[u8], off: usize) -> u16 {
+    let end = off + 4;
+    let cap = buf.len() as u16;
+    let _ = end;
+    cap
+}
+
+/// Checked arithmetic is the accepted form and must pass.
+pub fn parse_ok(off: usize) -> Option<usize> {
+    off.checked_add(4)
+}
+
+/// Cold path: identical arithmetic outside a hot-path function name is out
+/// of E002 scope.
+pub fn helper(off: usize) -> usize {
+    off + 4
+}

@@ -1,0 +1,2 @@
+//! Asserts the Table 42 shape — this reference is what keeps the
+//! fixture's Table 42 claim out of the E005 findings.

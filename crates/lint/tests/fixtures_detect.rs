@@ -1,0 +1,74 @@
+//! Every seeded violation in `tests/fixtures/ws` must be detected, with
+//! the expected counts per code, and the one inline suppression honored.
+
+use ent_lint::{lint_workspace, Code, LintConfig, Report};
+use std::path::Path;
+
+fn fixture_report() -> Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    lint_workspace(&root, &LintConfig::default()).expect("fixture tree readable")
+}
+
+#[test]
+fn every_code_is_detected() {
+    let r = fixture_report();
+    assert_eq!(r.count(Code::E001), 3, "unwrap, panic!, computed index:\n{:#?}", r.findings);
+    assert_eq!(r.count(Code::E002), 2, "off + 4 and len() as u16:\n{:#?}", r.findings);
+    assert_eq!(r.count(Code::E003), 2, "wire root misses two attrs:\n{:#?}", r.findings);
+    assert_eq!(r.count(Code::E004), 2, "ghost listed, http unlisted:\n{:#?}", r.findings);
+    assert_eq!(r.count(Code::E005), 1, "Figure 77 has no test reference:\n{:#?}", r.findings);
+}
+
+#[test]
+fn findings_anchor_to_the_seeded_lines() {
+    let r = fixture_report();
+    let has = |code: Code, file: &str, line: u32| {
+        r.findings
+            .iter()
+            .any(|f| f.code == code && f.file == file && f.line == line)
+    };
+    assert!(has(Code::E001, "crates/wire/src/lib.rs", 8), "unwrap site");
+    assert!(has(Code::E001, "crates/wire/src/lib.rs", 13), "panic! site");
+    assert!(has(Code::E001, "crates/wire/src/lib.rs", 18), "computed index site");
+    assert!(has(Code::E002, "crates/wire/src/parse.rs", 6), "off + 4 site");
+    assert!(has(Code::E002, "crates/wire/src/parse.rs", 7), "len() as u16 site");
+    assert!(has(Code::E005, "crates/core/src/analyses/foo.rs", 1), "Figure 77 claim");
+}
+
+#[test]
+fn suppression_is_honored() {
+    let r = fixture_report();
+    assert_eq!(r.suppressed, 1, "exactly the at_guarded index is silenced");
+    // The suppressed site (lib.rs:25) must not surface as a finding.
+    assert!(
+        !r.findings
+            .iter()
+            .any(|f| f.file == "crates/wire/src/lib.rs" && f.line == 25),
+        "suppressed finding leaked:\n{:#?}",
+        r.findings
+    );
+}
+
+#[test]
+fn cold_paths_and_checked_forms_stay_quiet() {
+    let r = fixture_report();
+    // parse_ok (checked_add) and helper (cold path) must not be flagged.
+    assert!(
+        !r.findings
+            .iter()
+            .any(|f| f.file == "crates/wire/src/parse.rs" && f.line > 8),
+        "false positive past the seeded lines:\n{:#?}",
+        r.findings
+    );
+    // The clean proto root and the registered dns module are quiet.
+    assert!(!r.findings.iter().any(|f| f.file == "crates/proto/src/lib.rs"));
+    assert!(!r.findings.iter().any(|f| f.message.contains("`dns`")));
+}
+
+#[test]
+fn json_report_carries_every_code() {
+    let json = fixture_report().to_json();
+    for code in ["E001", "E002", "E003", "E004", "E005"] {
+        assert!(json.contains(code), "JSON output missing {code}:\n{json}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Tier-1 gate: `ent-lint` run self-hosted over this workspace must report
+//! zero findings. Any new panic surface, unchecked parser arithmetic,
+//! missing hygiene attribute, unregistered analyzer or untested paper
+//! artifact fails `cargo test` — not just `scripts/check.sh`.
+
+use ent_lint::{find_workspace_root, lint_workspace, LintConfig};
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let report = lint_workspace(&root, &LintConfig::default()).expect("workspace readable");
+    assert!(report.files_scanned > 50, "walker saw too few files: {}", report.files_scanned);
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.findings.is_empty(),
+        "ent-lint found {} issue(s) in the workspace:\n{}",
+        report.findings.len(),
+        rendered.join("\n")
+    );
+}

@@ -71,13 +71,28 @@ impl Fault {
     }
 }
 
+/// Little-endian u32 at `off`, or 0 when out of range.
+fn le32_at(data: &[u8], off: usize) -> u32 {
+    match data.get(off..off.saturating_add(4)) {
+        Some(&[a, b, c, d]) => u32::from_le_bytes([a, b, c, d]),
+        _ => 0,
+    }
+}
+
+/// Overwrite `bytes.len()` bytes at `off`; out-of-range writes are dropped.
+fn put_at(data: &mut [u8], off: usize, bytes: &[u8]) {
+    if let Some(dst) = data.get_mut(off..off.saturating_add(bytes.len())) {
+        dst.copy_from_slice(bytes);
+    }
+}
+
 /// Byte offsets of each record in a well-formed little-endian capture
 /// buffer, paired with its caplen.
 fn record_offsets(data: &[u8]) -> Vec<(usize, u32)> {
     let mut v = Vec::new();
     let mut pos = 24;
     while pos + 16 <= data.len() {
-        let caplen = u32::from_le_bytes([data[pos + 8], data[pos + 9], data[pos + 10], data[pos + 11]]);
+        let caplen = le32_at(data, pos + 8);
         let Some(end) = (pos + 16).checked_add(caplen as usize) else {
             break;
         };
@@ -134,7 +149,7 @@ impl FaultInjector {
                 let Some(&(off, caplen)) = self.pick(&recs) else {
                     return false;
                 };
-                data[off + 8..off + 12].copy_from_slice(&0u32.to_le_bytes());
+                put_at(data, off + 8, &0u32.to_le_bytes());
                 data.drain(off + 16..off + 16 + caplen as usize);
             }
             Fault::AbsurdCaplen => {
@@ -142,7 +157,7 @@ impl FaultInjector {
                     return false;
                 };
                 let absurd = 0x4000_0000u32 | self.rng.random_range(0u32..0x1000);
-                data[off + 8..off + 12].copy_from_slice(&absurd.to_le_bytes());
+                put_at(data, off + 8, &absurd.to_le_bytes());
             }
             Fault::CaplenExceedsOrig => {
                 let candidates: Vec<_> = recs.iter().filter(|(_, c)| *c > 0).copied().collect();
@@ -150,38 +165,40 @@ impl FaultInjector {
                     return false;
                 };
                 let orig = self.rng.random_range(0..caplen);
-                data[off + 12..off + 16].copy_from_slice(&orig.to_le_bytes());
+                put_at(data, off + 12, &orig.to_le_bytes());
             }
             Fault::GarbageRecordHeader => {
                 let Some(&(off, _)) = self.pick(&recs) else {
                     return false;
                 };
-                for b in &mut data[off..off + 16] {
-                    *b = self.rng.random::<u8>();
+                if let Some(hdr) = data.get_mut(off..off + 16) {
+                    for b in hdr {
+                        *b = self.rng.random::<u8>();
+                    }
                 }
                 // Guarantee implausibility so the damage is detectable
                 // regardless of the random draw.
-                data[off + 4..off + 8].copy_from_slice(&0x7FFF_FFFFu32.to_le_bytes());
+                put_at(data, off + 4, &0x7FFF_FFFFu32.to_le_bytes());
             }
             Fault::TimestampRegression => {
                 if recs.len() < 2 {
                     return false;
                 }
                 let i = self.rng.random_range(1..recs.len());
-                let prev = recs[i - 1].0;
-                let prev_sec =
-                    u32::from_le_bytes([data[prev], data[prev + 1], data[prev + 2], data[prev + 3]]);
+                let (Some(&(prev, _)), Some(&(off, _))) = (recs.get(i - 1), recs.get(i)) else {
+                    return false;
+                };
+                let prev_sec = le32_at(data, prev);
                 let back = self.rng.random_range(1u32..100);
-                let off = recs[i].0;
-                data[off..off + 4].copy_from_slice(&prev_sec.saturating_sub(back).to_le_bytes());
-                data[off + 4..off + 8].copy_from_slice(&0u32.to_le_bytes());
+                put_at(data, off, &prev_sec.saturating_sub(back).to_le_bytes());
+                put_at(data, off + 4, &0u32.to_le_bytes());
             }
             Fault::DuplicateRecord => {
                 let Some(&(off, caplen)) = self.pick(&recs) else {
                     return false;
                 };
                 let end = off + 16 + caplen as usize;
-                let copy = data[off..end].to_vec();
+                let copy = data.get(off..end).unwrap_or(&[]).to_vec();
                 data.splice(end..end, copy);
             }
             Fault::ReorderRecords => {
@@ -189,13 +206,15 @@ impl FaultInjector {
                     return false;
                 }
                 let i = self.rng.random_range(0..recs.len() - 1);
-                let (a_off, a_cap) = recs[i];
-                let (b_off, b_cap) = recs[i + 1];
+                let (Some(&(a_off, a_cap)), Some(&(b_off, b_cap))) = (recs.get(i), recs.get(i + 1))
+                else {
+                    return false;
+                };
                 let a_end = a_off + 16 + a_cap as usize;
                 let b_end = b_off + 16 + b_cap as usize;
                 let mut swapped = Vec::with_capacity(b_end - a_off);
-                swapped.extend_from_slice(&data[b_off..b_end]);
-                swapped.extend_from_slice(&data[a_off..a_end]);
+                swapped.extend_from_slice(data.get(b_off..b_end).unwrap_or(&[]));
+                swapped.extend_from_slice(data.get(a_off..a_end).unwrap_or(&[]));
                 data.splice(a_off..b_end, swapped);
             }
             Fault::InsertGarbage => {
@@ -214,7 +233,10 @@ impl FaultInjector {
                 let flips = self.rng.random_range(1usize..8);
                 for _ in 0..flips {
                     let byte = off + 16 + self.rng.random_range(0..caplen as usize);
-                    data[byte] ^= 1 << self.rng.random_range(0u32..8);
+                    let mask = 1u8 << self.rng.random_range(0u32..8);
+                    if let Some(b) = data.get_mut(byte) {
+                        *b ^= mask;
+                    }
                 }
             }
         }

@@ -63,7 +63,7 @@ impl<W: Write> PcapWriter<W> {
         rec[8..12].copy_from_slice(&(caplen as u32).to_le_bytes());
         rec[12..16].copy_from_slice(&pkt.orig_len.to_le_bytes());
         self.out.write_all(&rec)?;
-        self.out.write_all(&pkt.frame[..caplen])?;
+        self.out.write_all(pkt.frame.get(..caplen).unwrap_or(&[]))?;
         self.packets_written += 1;
         Ok(())
     }
@@ -103,7 +103,10 @@ impl<R: Read> PcapReader<R> {
             _ => return Err(PcapError::BadFormat("bad magic")),
         };
         let u32_at = |off: usize| {
-            let b = [hdr[off], hdr[off + 1], hdr[off + 2], hdr[off + 3]];
+            let b = match hdr.get(off..off.saturating_add(4)) {
+                Some(&[a, b, c, d]) => [a, b, c, d],
+                _ => [0; 4],
+            };
             if swapped {
                 u32::from_be_bytes(b)
             } else {
@@ -141,7 +144,10 @@ impl<R: Read> PcapReader<R> {
             Err(e) => return Err(e.into()),
         }
         let u32_at = |off: usize| {
-            let b = [rec[off], rec[off + 1], rec[off + 2], rec[off + 3]];
+            let b = match rec.get(off..off.saturating_add(4)) {
+                Some(&[a, b, c, d]) => [a, b, c, d],
+                _ => [0; 4],
+            };
             if self.swapped {
                 u32::from_be_bytes(b)
             } else {

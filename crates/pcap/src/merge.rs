@@ -43,22 +43,34 @@ impl MergeStats {
 pub fn restore_order(packets: &mut [TimedPacket], window: usize, stats: &mut MergeStats) {
     let window = window.max(1);
     for i in 1..packets.len() {
-        if packets[i].ts >= packets[i - 1].ts {
+        let (Some(prev), Some(cur)) = (packets.get(i - 1), packets.get(i)) else {
+            break;
+        };
+        if cur.ts >= prev.ts {
             continue;
         }
         let lo = i.saturating_sub(window);
-        let ts = packets[i].ts;
-        if ts < packets[lo].ts && lo > 0 {
+        let Some(floor_ts) = packets.get(lo).map(|p| p.ts) else {
+            continue;
+        };
+        if cur.ts < floor_ts && lo > 0 {
             // Older than everything the window retains: clamp forward to
             // the window floor instead of teleporting arbitrarily far back.
-            packets[i].ts = packets[lo].ts;
+            if let Some(p) = packets.get_mut(i) {
+                p.ts = floor_ts;
+            }
             stats.clamped += 1;
         } else {
             stats.reordered += 1;
         }
-        let ts = packets[i].ts;
-        let pos = lo + packets[lo..i].partition_point(|p| p.ts <= ts);
-        packets[pos..=i].rotate_right(1);
+        let Some(ts) = packets.get(i).map(|p| p.ts) else {
+            continue;
+        };
+        let seated = packets.get(lo..i).map_or(0, |w| w.partition_point(|p| p.ts <= ts));
+        let pos = lo + seated;
+        if let Some(run) = packets.get_mut(pos..=i) {
+            run.rotate_right(1);
+        }
     }
 }
 
@@ -150,14 +162,19 @@ pub fn merge_streams_with_stats(
         }
     }
     while let Some(e) = heap.pop() {
-        let s = &streams[e.stream];
-        let mut pkt = s.packets[e.index].clone();
+        let Some(s) = streams.get(e.stream) else {
+            continue;
+        };
+        let Some(cur) = s.packets.get(e.index) else {
+            continue;
+        };
+        let mut pkt = cur.clone();
         pkt.ts = ent_wire::Timestamp::from_micros(e.ts_us);
         out.push(pkt);
         let next = e.index + 1;
-        if next < s.packets.len() {
+        if let Some(np) = s.packets.get(next) {
             heap.push(HeapEntry {
-                ts_us: adjusted_ts(&s.packets[next], s.clock_offset_us),
+                ts_us: adjusted_ts(np, s.clock_offset_us),
                 stream: e.stream,
                 index: next,
             });

@@ -163,7 +163,10 @@ impl<'a> RecoveringReader<'a> {
             _ => return Err(PcapError::BadFormat("bad magic")),
         };
         let u32_at = |off: usize| {
-            let b = [data[off], data[off + 1], data[off + 2], data[off + 3]];
+            let b = match data.get(off..off.saturating_add(4)) {
+                Some(&[a, b, c, d]) => [a, b, c, d],
+                _ => [0; 4],
+            };
             if swapped {
                 u32::from_be_bytes(b)
             } else {
@@ -202,12 +205,10 @@ impl<'a> RecoveringReader<'a> {
 
     fn header_at(&self, off: usize) -> RecordHeader {
         let u32_at = |o: usize| {
-            let b = [
-                self.data[o],
-                self.data[o + 1],
-                self.data[o + 2],
-                self.data[o + 3],
-            ];
+            let b = match self.data.get(o..o.saturating_add(4)) {
+                Some(&[a, b, c, d]) => [a, b, c, d],
+                _ => [0; 4],
+            };
             if self.swapped {
                 u32::from_be_bytes(b)
             } else {
@@ -287,11 +288,11 @@ impl<'a> RecoveringReader<'a> {
         let start = self.pos;
         self.stats.malformed_records += 1;
         let mut fallback: Option<usize> = None;
-        let mut off = self.pos + 1;
+        let mut off = self.pos.saturating_add(1);
         let mut lock: Option<usize> = None;
-        while off + 16 <= self.data.len() {
+        while off.saturating_add(16) <= self.data.len() {
             if let Some(f) = fallback {
-                if off > f + RESYNC_CLOCK_SCAN {
+                if off > f.saturating_add(RESYNC_CLOCK_SCAN) {
                     break;
                 }
             }
@@ -302,10 +303,10 @@ impl<'a> RecoveringReader<'a> {
                 }
                 fallback.get_or_insert(off);
             }
-            off += 1;
+            off = off.saturating_add(1);
         }
         self.pos = lock.or(fallback).unwrap_or(self.data.len());
-        self.stats.bytes_skipped += (self.pos - start) as u64;
+        self.stats.bytes_skipped += self.pos.saturating_sub(start) as u64;
         self.resynced = true;
     }
 
@@ -316,7 +317,7 @@ impl<'a> RecoveringReader<'a> {
     #[allow(clippy::should_implement_trait)] // mirrors PcapReader::next_packet
     pub fn next_packet(&mut self) -> Option<TimedPacket> {
         loop {
-            let remaining = self.data.len() - self.pos;
+            let remaining = self.data.len().saturating_sub(self.pos);
             if remaining == 0 {
                 return None;
             }
@@ -333,20 +334,26 @@ impl<'a> RecoveringReader<'a> {
                 continue;
             }
             if h.caplen == 0 {
+                // ent-lint: allow(E002) — u64 damage counter, not offset math
                 self.stats.zero_len_records += 1;
-                self.pos += 16;
+                self.pos = self.pos.saturating_add(16);
                 continue;
             }
             let cap = h.caplen as usize;
-            if cap > remaining - 16 {
+            if cap > remaining.saturating_sub(16) {
                 // Payload runs past end-of-file: mid-record EOF.
                 self.stats.truncated_tail = true;
                 self.stats.bytes_skipped += remaining as u64;
                 self.pos = self.data.len();
                 return None;
             }
-            let frame = self.data[self.pos + 16..self.pos + 16 + cap].to_vec();
-            self.pos += 16 + cap;
+            let payload_start = self.pos.saturating_add(16);
+            let frame = self
+                .data
+                .get(payload_start..payload_start.saturating_add(cap))
+                .unwrap_or(&[])
+                .to_vec();
+            self.pos = payload_start.saturating_add(cap);
             let mut orig_len = h.orig_len;
             if orig_len < h.caplen {
                 self.stats.repaired_records += 1;

@@ -168,8 +168,8 @@ pub fn parse_smb(buf: &[u8]) -> Option<CifsMessage> {
         let bc = c.le16()? as usize;
         let body = c.take(bc)?;
         let nul = body.iter().position(|&b| b == 0)?;
-        pipe = Some(String::from_utf8_lossy(&body[..nul]).into_owned());
-        trans_data = body[nul + 1..].to_vec();
+        pipe = Some(String::from_utf8_lossy(body.get(..nul).unwrap_or(&[])).into_owned());
+        trans_data = body.get(nul + 1..).unwrap_or(&[]).to_vec();
     }
     Some(CifsMessage {
         command,
@@ -268,7 +268,7 @@ impl CifsAnalyzer {
             let Some((frame, used)) = netbios::parse_ssn_frame(buf.bytes()) else {
                 return;
             };
-            let payload = buf.bytes()[4..used].to_vec();
+            let payload = buf.bytes().get(4..used).unwrap_or(&[]).to_vec();
             buf.consume(used);
             match frame.stype {
                 SsnType::Request => self.out.push(CifsEvent::SsnRequest),

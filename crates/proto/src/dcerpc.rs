@@ -161,7 +161,7 @@ pub fn parse_pdu(buf: &[u8]) -> Option<(Pdu, usize)> {
     if (frag_len as usize) < HEADER_LEN || buf.len() < frag_len as usize {
         return None;
     }
-    let body = &buf[HEADER_LEN..frag_len as usize];
+    let body = buf.get(HEADER_LEN..frag_len as usize).unwrap_or(&[]);
     let mut pdu = Pdu {
         ptype,
         frag_len,

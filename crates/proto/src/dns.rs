@@ -223,7 +223,7 @@ fn encode_name(buf: &mut Vec<u8>, name: &str) {
     for label in name.split('.').filter(|l| !l.is_empty()) {
         let l = label.len().min(63);
         buf.push(l as u8);
-        buf.extend_from_slice(&label.as_bytes()[..l]);
+        buf.extend_from_slice(label.as_bytes().get(..l).unwrap_or(&[]));
     }
     buf.push(0);
 }

@@ -226,7 +226,9 @@ impl HttpAnalyzer {
                     let Some(end) = find_headers_end(self.req_buf.bytes()) else {
                         return;
                     };
-                    let head = String::from_utf8_lossy(&self.req_buf.bytes()[..end]).into_owned();
+                    let head =
+                        String::from_utf8_lossy(self.req_buf.bytes().get(..end).unwrap_or(&[]))
+                            .into_owned();
                     self.req_buf.consume(end);
                     let mut lines = head.lines();
                     let request_line = lines.next().unwrap_or("");
@@ -267,7 +269,12 @@ impl HttpAnalyzer {
                     }
                     self.req_state = BodyState::Headers;
                 }
-                BodyState::UntilClose(_) => unreachable!("requests never read-until-close"),
+                // Requests never legitimately read until close; if state
+                // drifts here anyway, reset rather than abort the pipeline.
+                BodyState::UntilClose(_) => {
+                    self.req_state = BodyState::Headers;
+                    return;
+                }
             }
         }
     }
@@ -279,7 +286,9 @@ impl HttpAnalyzer {
                     let Some(end) = find_headers_end(self.resp_buf.bytes()) else {
                         return;
                     };
-                    let head = String::from_utf8_lossy(&self.resp_buf.bytes()[..end]).into_owned();
+                    let head =
+                        String::from_utf8_lossy(self.resp_buf.bytes().get(..end).unwrap_or(&[]))
+                            .into_owned();
                     self.resp_buf.consume(end);
                     let status: u16 = head
                         .lines()

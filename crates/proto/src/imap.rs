@@ -73,8 +73,9 @@ impl ImapAnalyzer {
     pub fn feed_client(&mut self, data: &[u8]) {
         self.buf.push(data);
         while let Some(pos) = self.buf.bytes().windows(2).position(|w| w == b"\r\n") {
-            let line = String::from_utf8_lossy(&self.buf.bytes()[..pos]).into_owned();
-            self.buf.consume(pos + 2);
+            let line = String::from_utf8_lossy(self.buf.bytes().get(..pos).unwrap_or(&[]))
+                .into_owned();
+            self.buf.consume(pos.saturating_add(2));
             // "a001 SELECT INBOX" — tag, then verb.
             if let Some(verb) = line.split_whitespace().nth(1) {
                 let cmd = Command::parse(verb);

@@ -33,6 +33,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cifs;
 pub mod dcerpc;
@@ -84,7 +85,7 @@ pub(crate) mod cursor {
             if self.remaining() < n {
                 return None;
             }
-            let s = &self.buf[self.pos..self.pos + n];
+            let s = self.buf.get(self.pos..self.pos + n)?;
             self.pos += n;
             Some(s)
         }

@@ -108,7 +108,7 @@ fn next_frame(buf: &[u8]) -> Option<(&[u8], usize)> {
     if total < 8 || buf.len() < total {
         return None;
     }
-    Some((&buf[8..total], total))
+    Some((buf.get(8..total).unwrap_or(&[]), total))
 }
 
 /// Encode an NCP request with the given function and `extra` filler bytes.

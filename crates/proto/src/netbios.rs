@@ -145,14 +145,20 @@ impl NsMessage {
 pub fn encode_nb_name(name: &str, ntype: NameType) -> [u8; 34] {
     let mut raw = [b' '; 16];
     for (i, b) in name.bytes().take(15).enumerate() {
-        raw[i] = b.to_ascii_uppercase();
+        if let Some(slot) = raw.get_mut(i) {
+            *slot = b.to_ascii_uppercase();
+        }
     }
     raw[15] = ntype.to_u8();
     let mut out = [0u8; 34];
     out[0] = 32;
     for (i, &b) in raw.iter().enumerate() {
-        out[1 + i * 2] = b'A' + (b >> 4);
-        out[2 + i * 2] = b'A' + (b & 0x0F);
+        if let Some(slot) = out.get_mut(1 + i * 2) {
+            *slot = b'A' + (b >> 4);
+        }
+        if let Some(slot) = out.get_mut(2 + i * 2) {
+            *slot = b'A' + (b & 0x0F);
+        }
     }
     out[33] = 0;
     out
@@ -164,12 +170,14 @@ fn decode_nb_name(label: &[u8]) -> Option<(String, NameType)> {
     }
     let mut raw = [0u8; 16];
     for i in 0..16 {
-        let hi = label[i * 2].checked_sub(b'A')?;
-        let lo = label[i * 2 + 1].checked_sub(b'A')?;
+        let hi = label.get(i * 2)?.checked_sub(b'A')?;
+        let lo = label.get(i * 2 + 1)?.checked_sub(b'A')?;
         if hi > 15 || lo > 15 {
             return None;
         }
-        raw[i] = (hi << 4) | lo;
+        if let Some(slot) = raw.get_mut(i) {
+            *slot = (hi << 4) | lo;
+        }
     }
     let ntype = NameType::from_u8(raw[15]);
     let name = String::from_utf8_lossy(&raw[..15]).trim_end().to_string();
@@ -313,10 +321,11 @@ pub fn parse_ssn_frame(buf: &[u8]) -> Option<(SsnFrame, usize)> {
     }
     let stype = SsnType::from_u8(buf[0]);
     let length = ((buf[1] as usize & 0x01) << 16) | ((buf[2] as usize) << 8) | buf[3] as usize;
-    if buf.len() < 4 + length {
+    let total = 4usize.saturating_add(length);
+    if buf.len() < total {
         return None;
     }
-    Some((SsnFrame { stype, length }, 4 + length))
+    Some((SsnFrame { stype, length }, total))
 }
 
 /// Encode a session frame with the given payload.

@@ -9,6 +9,14 @@
 
 use crate::Transport;
 
+/// Every analyzer module under `crates/proto/src/` that the registry wires
+/// into identification. `ent-lint` (E004) cross-checks this list against
+/// the files on disk in both directions, so adding an analyzer without
+/// registering it here — or listing one that does not exist — fails CI.
+pub const ANALYZER_MODULES: &[&str] = &[
+    "cifs", "dcerpc", "dns", "http", "imap", "ncp", "netbios", "nfs", "smtp", "ssl", "sunrpc",
+];
+
 /// Application protocols distinguished in the study (Table 4 plus the
 /// protocols it groups). Representative port assignments for
 /// site-specific services are documented on each variant.

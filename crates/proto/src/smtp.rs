@@ -112,8 +112,8 @@ impl SmtpAnalyzer {
 
     fn next_line(buf: &mut StreamBuf) -> Option<String> {
         let pos = buf.bytes().windows(2).position(|w| w == b"\r\n")?;
-        let line = String::from_utf8_lossy(&buf.bytes()[..pos]).into_owned();
-        buf.consume(pos + 2);
+        let line = String::from_utf8_lossy(buf.bytes().get(..pos).unwrap_or(&[])).into_owned();
+        buf.consume(pos.saturating_add(2));
         Some(line)
     }
 

@@ -66,7 +66,7 @@ pub fn parse_record(buf: &[u8]) -> Option<(Record, usize)> {
             version: (major, minor),
             length: len,
         },
-        5 + len,
+        5usize.saturating_add(len),
     ))
 }
 
@@ -118,7 +118,7 @@ impl TlsTracker {
                 RecordType::ApplicationData => self.app_records += 1,
                 _ => {}
             }
-            data = &data[used..];
+            data = data.get(used..).unwrap_or(&[]);
         }
     }
 

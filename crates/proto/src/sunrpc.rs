@@ -79,7 +79,7 @@ pub fn parse_message(buf: &[u8]) -> Option<Message> {
             for _ in 0..2 {
                 c.be32()?;
                 let len = c.be32()? as usize;
-                c.skip((len + 3) & !3)?;
+                c.skip(len.saturating_add(3) & !3)?;
             }
             Some(Message::Call(Call {
                 xid,
@@ -94,7 +94,7 @@ pub fn parse_message(buf: &[u8]) -> Option<Message> {
             // Verifier.
             c.be32()?;
             let len = c.be32()? as usize;
-            c.skip((len + 3) & !3)?;
+            c.skip(len.saturating_add(3) & !3)?;
             let accept_stat = c.be32()?;
             let status_word = c.be32().unwrap_or(0);
             Some(Message::Reply(Reply {
@@ -161,10 +161,11 @@ pub fn next_record(buf: &[u8]) -> Option<(&[u8], usize)> {
         // Multi-fragment records are not generated; treat as unparseable.
         return None;
     }
-    if buf.len() < 4 + len {
+    let end = 4usize.saturating_add(len);
+    if buf.len() < end {
         return None;
     }
-    Some((&buf[4..4 + len], 4 + len))
+    Some((buf.get(4..end).unwrap_or(&[]), end))
 }
 
 #[cfg(test)]

@@ -65,7 +65,9 @@ impl Packet {
         }
         let mac = |off: usize| {
             let mut m = [0u8; 6];
-            m.copy_from_slice(&buf[off..off + 6]);
+            if let Some(src) = buf.get(off..off.saturating_add(6)) {
+                m.copy_from_slice(src);
+            }
             MacAddr(m)
         };
         Ok(Packet {

@@ -132,7 +132,7 @@ impl<'a> Header<'a> {
         if buf[0] >> 4 != 4 {
             return Err(Error::Malformed);
         }
-        let ihl = (buf[0] & 0x0F) as usize * 4;
+        let ihl = usize::from(buf[0] & 0x0F).saturating_mul(4);
         if ihl < MIN_HEADER_LEN {
             return Err(Error::Malformed);
         }
@@ -144,9 +144,11 @@ impl<'a> Header<'a> {
             return Err(Error::Malformed);
         }
         let captured_payload_end = core::cmp::min(buf.len(), total_len as usize);
-        let payload = &buf[ihl..core::cmp::max(ihl, captured_payload_end)];
+        let payload = buf
+            .get(ihl..core::cmp::max(ihl, captured_payload_end))
+            .unwrap_or(&[]);
         Ok(Header {
-            header_len: ihl as u8,
+            header_len: u8::try_from(ihl).unwrap_or(u8::MAX),
             total_len,
             ident: be16(buf, 4),
             ttl: buf[8],

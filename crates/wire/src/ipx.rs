@@ -84,11 +84,13 @@ pub struct Header<'a> {
 
 fn addr_at(buf: &[u8], off: usize) -> Addr {
     let mut node = [0u8; 6];
-    node.copy_from_slice(&buf[off + 4..off + 10]);
+    if let Some(src) = buf.get(off.saturating_add(4)..off.saturating_add(10)) {
+        node.copy_from_slice(src);
+    }
     Addr {
         network: crate::be32(buf, off),
         node,
-        socket: be16(buf, off + 10),
+        socket: be16(buf, off.saturating_add(10)),
     }
 }
 
@@ -112,7 +114,7 @@ impl<'a> Header<'a> {
             ptype: PacketType::from_u8(buf[5]),
             dst: addr_at(buf, 6),
             src: addr_at(buf, 18),
-            payload: &buf[HEADER_LEN..core::cmp::max(HEADER_LEN, end)],
+            payload: buf.get(HEADER_LEN..core::cmp::max(HEADER_LEN, end)).unwrap_or(&[]),
         })
     }
 }
@@ -126,9 +128,11 @@ pub fn emit(ptype: PacketType, src: Addr, dst: Addr, payload: &[u8]) -> Vec<u8> 
     buf[4] = 0; // transport control
     buf[5] = ptype.to_u8();
     let put_addr = |buf: &mut [u8], off: usize, a: &Addr| {
-        buf[off..off + 4].copy_from_slice(&a.network.to_be_bytes());
-        buf[off + 4..off + 10].copy_from_slice(&a.node);
-        buf[off + 10..off + 12].copy_from_slice(&a.socket.to_be_bytes());
+        crate::put_be32(buf, off, a.network);
+        if let Some(dst) = buf.get_mut(off.saturating_add(4)..off.saturating_add(10)) {
+            dst.copy_from_slice(&a.node);
+        }
+        put_be16(buf, off.saturating_add(10), a.socket);
     };
     put_addr(&mut buf, 6, &dst);
     put_addr(&mut buf, 18, &src);

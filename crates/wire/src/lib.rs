@@ -93,28 +93,41 @@ impl std::error::Error for Error {}
 /// Crate-wide parse result.
 pub type Result<T> = core::result::Result<T, Error>;
 
-/// Read a big-endian `u16` at `off`; the caller must have length-checked.
+/// Read a big-endian `u16` at `off`. Total: a read past the end of the
+/// buffer yields 0, so a missed caller-side length check degrades to a
+/// zero field instead of aborting ingest.
 #[inline]
 pub(crate) fn be16(buf: &[u8], off: usize) -> u16 {
-    u16::from_be_bytes([buf[off], buf[off + 1]])
+    match buf.get(off..off.saturating_add(2)) {
+        Some(&[a, b]) => u16::from_be_bytes([a, b]),
+        _ => 0,
+    }
 }
 
-/// Read a big-endian `u32` at `off`; the caller must have length-checked.
+/// Read a big-endian `u32` at `off`; total, like [`be16`].
 #[inline]
 pub(crate) fn be32(buf: &[u8], off: usize) -> u32 {
-    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+    match buf.get(off..off.saturating_add(4)) {
+        Some(&[a, b, c, d]) => u32::from_be_bytes([a, b, c, d]),
+        _ => 0,
+    }
 }
 
-/// Write a big-endian `u16`.
+/// Write a big-endian `u16`. Total: out-of-range writes are dropped
+/// (builders always size their buffers up front).
 #[inline]
 pub(crate) fn put_be16(buf: &mut [u8], off: usize, v: u16) {
-    buf[off..off + 2].copy_from_slice(&v.to_be_bytes());
+    if let Some(dst) = buf.get_mut(off..off.saturating_add(2)) {
+        dst.copy_from_slice(&v.to_be_bytes());
+    }
 }
 
-/// Write a big-endian `u32`.
+/// Write a big-endian `u32`; total, like [`put_be16`].
 #[inline]
 pub(crate) fn put_be32(buf: &mut [u8], off: usize, v: u32) {
-    buf[off..off + 4].copy_from_slice(&v.to_be_bytes());
+    if let Some(dst) = buf.get_mut(off..off.saturating_add(4)) {
+        dst.copy_from_slice(&v.to_be_bytes());
+    }
 }
 
 #[cfg(test)]

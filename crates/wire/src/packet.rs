@@ -150,7 +150,8 @@ impl<'a> Packet<'a> {
                             transport = Transport::Udp {
                                 src_port: dg.src_port,
                                 dst_port: dg.dst_port,
-                                wire_payload_len: dg.wire_payload_len() as u32,
+                                wire_payload_len: u32::try_from(dg.wire_payload_len())
+                                    .unwrap_or(u32::MAX),
                             };
                         }
                         Err(Error::Truncated) => transport = Transport::Other(17),

@@ -102,24 +102,20 @@ impl<'a> Segment<'a> {
         if buf.len() < MIN_HEADER_LEN {
             return Err(Error::Truncated);
         }
-        let data_off = (buf[12] >> 4) as usize * 4;
+        let data_off = usize::from(buf.get(12).copied().unwrap_or(0) >> 4).saturating_mul(4);
         if data_off < MIN_HEADER_LEN {
             return Err(Error::Malformed);
         }
         // Under snaplen truncation the options may be cut; degrade to the
         // 20-byte header and an empty payload rather than failing, so that
         // header-only traces (D1/D2) still yield flags and ports.
-        let (hdr_len, payload) = if buf.len() < data_off {
-            (data_off, &buf[buf.len()..])
-        } else {
-            (data_off, &buf[data_off..])
-        };
+        let (hdr_len, payload) = (data_off, buf.get(data_off..).unwrap_or(&[]));
         Ok(Segment {
             src_port: be16(buf, 0),
             dst_port: be16(buf, 2),
             seq: be32(buf, 4),
             ack: be32(buf, 8),
-            header_len: hdr_len as u8,
+            header_len: u8::try_from(hdr_len).unwrap_or(u8::MAX),
             flags: Flags(buf[13] & 0x3F),
             window: be16(buf, 14),
             payload,

@@ -34,7 +34,7 @@ impl<'a> Datagram<'a> {
             src_port: be16(buf, 0),
             dst_port: be16(buf, 2),
             length,
-            payload: &buf[HEADER_LEN..core::cmp::max(HEADER_LEN, end)],
+            payload: buf.get(HEADER_LEN..core::cmp::max(HEADER_LEN, end)).unwrap_or(&[]),
         })
     }
 

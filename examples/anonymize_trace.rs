@@ -6,6 +6,9 @@
 //!
 //! Run with: `cargo run --release -p ent-examples --bin anonymize_trace`
 
+// Examples abort on setup failure rather than degrade.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ent_anon::prefix::common_prefix_len;
 use ent_anon::{anonymize_trace, Anonymizer};
 use ent_core::{analyze_trace, PipelineConfig};

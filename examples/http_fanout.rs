@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release -p ent-examples --bin http_fanout [D0|D3|D4]`
 
+// Examples abort on setup failure rather than degrade.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ent_core::analyses::web;
 use ent_core::run::{run_dataset, StudyConfig};
 use ent_gen::dataset::dataset;

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release -p ent-examples --bin quickstart`
 
+// Examples abort on setup failure rather than degrade.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ent_core::{analyze_trace, PipelineConfig};
 use ent_gen::build::{build_site, generate_trace};
 use ent_gen::dataset::dataset;

@@ -6,6 +6,9 @@
 //!
 //! Run with: `cargo run --release -p ent-examples --bin windows_deep_dive`
 
+// Examples abort on setup failure rather than degrade.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ent_core::analyses::windows;
 use ent_core::run::{run_dataset, StudyConfig};
 use ent_gen::dataset::dataset;

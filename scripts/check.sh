@@ -13,4 +13,7 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets (warnings denied)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> ent-lint (workspace static analysis, zero findings required)"
+cargo run --release -q -p ent-lint
+
 echo "All checks passed."

@@ -15,11 +15,9 @@ pub fn test_gen_config() -> GenConfig {
 
 /// Run a reduced-subnet version of a dataset (fast but representative).
 pub fn small_dataset(name: &str, subnets: u16) -> DatasetAnalysis {
-    let spec = all_datasets()
-        .into_iter()
-        .find(|d| d.name == name)
-        .expect("known dataset");
-    let mut spec = spec;
+    let Some(mut spec) = all_datasets().into_iter().find(|d| d.name == name) else {
+        panic!("unknown dataset {name}");
+    };
     let start = spec.monitored.start;
     spec.monitored = start..(start + subnets).min(spec.monitored.end);
     run_dataset(

@@ -1,6 +1,9 @@
 //! Accounting invariants: nothing the pipeline reports can exceed (or
 //! silently drop) what is physically in the trace.
 
+// Test helpers may abort on setup failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ent_core::{analyze_trace, PipelineConfig};
 use ent_gen::build::{build_site, generate_trace};
 use ent_gen::dataset::all_datasets;

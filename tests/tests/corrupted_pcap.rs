@@ -4,6 +4,9 @@
 //! up in the analysis's ingest-health tallies — plus large seeded mutation
 //! harnesses over the raw parsers.
 
+// Test helpers may abort on setup failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ent_core::{analyze_capture, AnalysisError, PipelineConfig, TraceAnalysis};
 use ent_gen::build::{build_site, generate_trace};
 use ent_gen::dataset::all_datasets;

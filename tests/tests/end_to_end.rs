@@ -1,6 +1,9 @@
 //! End-to-end integration: generation → capture → flow tracking →
 //! protocol analysis → paper tables, across crates.
 
+// Test helpers may abort on setup failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ent_core::study::build_report;
 use ent_integration::small_dataset;
 

@@ -1,5 +1,8 @@
 //! Cross-crate invariants: pcap round trips and anonymization.
 
+// Test helpers may abort on setup failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ent_anon::anonymize_trace;
 use ent_core::{analyze_trace, PipelineConfig};
 use ent_gen::build::{build_site, generate_trace};
