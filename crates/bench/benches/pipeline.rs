@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ent_bench::{bench_gen_config, raw_trace};
-use ent_core::{analyze_trace, PipelineConfig};
+use ent_core::{analyze_trace, PipelineConfig, PipelineMetrics, StageTimer};
 use ent_flow::{CollectSummaries, ConnTable, TableConfig};
 use ent_gen::build::{build_site, generate_trace};
 use ent_gen::dataset::all_datasets;
@@ -97,6 +97,24 @@ fn bench_pcap_io(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_metrics_overhead(c: &mut Criterion) {
+    // The observability layer's per-packet cost: two timer laps and two
+    // StageStat updates. Measured standalone so a future perf PR can tell
+    // analysis regressions from instrumentation overhead.
+    let mut g = c.benchmark_group("metrics");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("per_packet_lap_chain", |b| {
+        let mut m = PipelineMetrics::default();
+        let mut t = StageTimer::start();
+        b.iter(|| {
+            m.frame_parse.add(t.lap(), 1, 64);
+            m.flow_ingest.add(t.lap(), 1, 64);
+            black_box(m.flow_ingest.events)
+        })
+    });
+    g.finish();
+}
+
 fn bench_anonymize(c: &mut Criterion) {
     let trace = raw_trace();
     let mut g = c.benchmark_group("anonymize");
@@ -114,6 +132,7 @@ criterion_group!(
     bench_flow_tracking,
     bench_full_analysis,
     bench_pcap_io,
+    bench_metrics_overhead,
     bench_anonymize
 );
 criterion_main!(pipeline);

@@ -10,9 +10,10 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use ent_core::run::{run_dataset, StudyConfig};
+use ent_core::metrics::{bench_json, validate_bench_json, BenchContext};
+use ent_core::run::{run_datasets, StudyConfig};
 use ent_core::study::build_report;
-use ent_core::PipelineConfig;
+use ent_core::{PipelineConfig, PipelineMetrics};
 use ent_gen::build::{build_site, generate_trace};
 use ent_gen::dataset::{all_datasets, dataset};
 use ent_gen::GenConfig;
@@ -34,10 +35,11 @@ fn or_die<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  entreport study [--scale S] [--seed N] [--datasets D0,D3] [--only 'table 9'] [--csv-dir DIR] [--keep-scanners]
+  entreport study [--scale S] [--seed N] [--threads N] [--datasets D0,D3] [--only 'table 9'] [--csv-dir DIR] [--keep-scanners] [--bench-json FILE.json]
   entreport generate --dataset D0 --subnet 3 [--pass 1] [--scale S] [--seed N] --out FILE.pcap
   entreport analyze FILE.pcap [--subnet N] [--name D0]
-  entreport anonymize IN.pcap OUT.pcap --key SEED"
+  entreport anonymize IN.pcap OUT.pcap --key SEED
+  entreport obs-check FILE.json"
     );
     ExitCode::from(2)
 }
@@ -85,6 +87,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args),
         "analyze" => cmd_analyze(&args),
         "anonymize" => cmd_anonymize(&args),
+        "obs-check" => cmd_obs_check(&args),
         _ => usage(),
     }
 }
@@ -137,20 +140,28 @@ fn cmd_study(args: &Args) -> ExitCode {
         config.gen.seed,
         specs.iter().map(|d| d.name).collect::<Vec<_>>()
     );
-    let mut studies = Vec::new();
-    for spec in &specs {
-        let t0 = std::time::Instant::now();
-        let da = run_dataset(spec, &config);
-        let pkts: u64 = da.traces.iter().map(|t| t.packets).sum();
+    // One global work queue across every dataset: no worker idles at a
+    // dataset boundary waiting for the previous dataset's stragglers.
+    let t0 = std::time::Instant::now();
+    let studies = run_datasets(&specs, &config);
+    let study_wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut total = PipelineMetrics::default();
+    for da in &studies {
+        let m = da.pipeline_metrics();
         eprintln!(
-            "  {}: {} traces, {} packets analyzed in {:.1}s",
-            spec.name,
+            "  {}: {} traces, {} packets, {:.1}s worker time",
+            da.spec.name,
             da.traces.len(),
-            pkts,
-            t0.elapsed().as_secs_f64()
+            m.packets(),
+            m.trace_wall_ns as f64 / 1e9
         );
-        studies.push(da);
+        total.absorb(&m);
     }
+    eprintln!(
+        "study wall {:.1}s ({:.0} packets/s worker throughput)",
+        study_wall_ns as f64 / 1e9,
+        total.packets_per_sec()
+    );
     let mut report = build_report(&studies);
     if let Some(only) = args.flags.get("only") {
         let needle = only.to_ascii_lowercase();
@@ -165,6 +176,41 @@ fn cmd_study(args: &Args) -> ExitCode {
             .retain(|n| n.to_ascii_lowercase().contains(&needle));
     }
     println!("{}", report.render());
+    if !args.flags.contains_key("only") {
+        println!("{}", total.stage_table("Pipeline stage metrics (study total)").render());
+    }
+    if let Some(path) = args.flags.get("bench-json") {
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            config.threads
+        };
+        let ctx = BenchContext {
+            scale: config.gen.scale,
+            seed: config.gen.seed,
+            threads,
+            study_wall_ns,
+            datasets: studies
+                .iter()
+                .map(|da| {
+                    let m = da.pipeline_metrics();
+                    (
+                        da.spec.name.to_string(),
+                        da.traces.len() as u64,
+                        m.trace_wall_ns,
+                        m.packets(),
+                        m.bytes(),
+                    )
+                })
+                .collect(),
+        };
+        let doc = bench_json(&ctx, &total);
+        or_die(validate_bench_json(&doc), "bench json self-check");
+        or_die(std::fs::write(path, &doc), "write bench json");
+        eprintln!("pipeline metrics written to {path}");
+    }
     if let Some(dir) = args.flags.get("csv-dir") {
         or_die(std::fs::create_dir_all(dir), "create csv dir");
         for t in &report.tables {
@@ -269,14 +315,15 @@ fn cmd_analyze(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Rebase timestamps so utilization bins start at zero.
-    if let Some(first) = trace.packets.first().map(|p| p.ts) {
-        for p in &mut trace.packets {
-            p.ts = Timestamp::from_micros(p.ts.saturating_micros_since(first));
-        }
-        if let Some(last) = trace.packets.last().map(|p| p.ts) {
-            trace.meta.duration = last + 1_000_000;
-        }
+    // Size the utilization bins to the capture's actual span. Binning is
+    // relative to the first packet wherever its clock starts (epoch or
+    // zero), so timestamps themselves need no rewriting.
+    if let (Some(first), Some(last)) = (
+        trace.packets.first().map(|p| p.ts),
+        trace.packets.last().map(|p| p.ts),
+    ) {
+        trace.meta.duration =
+            Timestamp::from_micros(last.saturating_micros_since(first) + 1_000_000);
     }
     let mut a = ent_core::analyze_trace(&trace, &PipelineConfig::default());
     a.health.capture = capture_stats;
@@ -313,7 +360,42 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     for (cat, (c, b)) in rows {
         println!("{cat:<14}{c:>10}{:>14}", ent_core::report::fmt_bytes(b));
     }
+    println!();
+    println!("{}", a.metrics.stage_table("Pipeline stage metrics").render());
     ExitCode::SUCCESS
+}
+
+/// Validate a `BENCH_pipeline.json` export: schema identifier, required
+/// fields, and nonzero wall time and events for every mandatory stage.
+fn cmd_obs_check(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.first() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_bench_json(&text) {
+        Ok(s) => {
+            println!(
+                "{path}: ok — {} traces, {} packets, study wall {:.1}s",
+                s.traces,
+                s.packets,
+                s.study_wall_us / 1e6
+            );
+            for (name, wall_us, events) in &s.stages {
+                println!("  {name:<16}{:>12.1} ms{:>14} events", wall_us / 1e3, events);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_anonymize(args: &Args) -> ExitCode {

@@ -40,6 +40,7 @@
 
 pub mod analyses;
 pub mod error;
+pub mod metrics;
 pub mod pipeline;
 pub mod records;
 pub mod report;
@@ -49,7 +50,8 @@ pub mod stats;
 pub mod study;
 
 pub use error::AnalysisError;
+pub use metrics::{PipelineMetrics, StageStat, StageTimer};
 pub use pipeline::{analyze_capture, analyze_trace, PipelineConfig};
 pub use records::{IngestHealth, TraceAnalysis};
-pub use run::{run_dataset, run_study, DatasetAnalysis, StudyConfig};
+pub use run::{run_dataset, run_datasets, run_study, DatasetAnalysis, StudyConfig};
 pub use study::{build_report, StudyReport};

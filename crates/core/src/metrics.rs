@@ -1,0 +1,914 @@
+//! `ent-obs` — pipeline observability: stage timers, throughput counters
+//! and the machine-readable perf trajectory (`BENCH_pipeline.json`).
+//!
+//! The paper's evaluation is throughput-heavy batch analysis (>100 hours
+//! of traces); the ROADMAP demands the pipeline run as fast as the
+//! hardware allows. Neither is achievable blind: this module records
+//! where a study run spends its time — per pipeline stage and per
+//! application analyzer — with cheap monotonic timers
+//! ([`std::time::Instant`] costs ~20 ns on Linux via the vDSO), threaded
+//! through [`crate::pipeline::analyze_trace`] exactly like
+//! [`crate::records::IngestHealth`]: accumulated per trace, merged
+//! lock-free per worker, aggregated per dataset and study-wide.
+//!
+//! Two invariants make the numbers trustworthy:
+//!
+//! * **Event and byte counts are deterministic** — independent of thread
+//!   count and work-queue scheduling, so they double as a correctness
+//!   fingerprint (see the determinism test in [`crate::run`]).
+//! * **Wall times are honest** — nested stages are documented as nested
+//!   (analyzer delivery time is *inside* flow-ingest time), never
+//!   double-reported as disjoint.
+
+use crate::report::Table;
+use std::time::Instant;
+
+/// Wall time, event count and byte volume for one pipeline stage.
+///
+/// `wall_ns` is cumulative monotonic time; `events` and `bytes` are
+/// stage-specific (documented per stage on [`PipelineMetrics`]) and are
+/// deterministic for a given input regardless of parallelism.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageStat {
+    /// Cumulative wall-clock nanoseconds spent in the stage.
+    pub wall_ns: u64,
+    /// Stage-specific event count (packets, deliveries, connections, …).
+    pub events: u64,
+    /// Bytes processed by the stage (0 where not meaningful).
+    pub bytes: u64,
+}
+
+impl StageStat {
+    /// Record one batch of work.
+    #[inline]
+    pub fn add(&mut self, wall_ns: u64, events: u64, bytes: u64) {
+        self.wall_ns += wall_ns;
+        self.events += events;
+        self.bytes += bytes;
+    }
+
+    /// Fold another stat into this one.
+    pub fn absorb(&mut self, other: &StageStat) {
+        self.wall_ns += other.wall_ns;
+        self.events += other.events;
+        self.bytes += other.bytes;
+    }
+
+    /// Wall time in (fractional) microseconds.
+    pub fn wall_us(&self) -> f64 {
+        self.wall_ns as f64 / 1_000.0
+    }
+
+    /// Events per second of stage wall time (0 when untimed).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.events as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// A cheap monotonic stopwatch for attributing wall time to stages.
+///
+/// `lap()` returns the nanoseconds since the previous lap (or start) and
+/// restarts the clock, so a chain of laps attributes a loop body to
+/// consecutive stages with one clock read per boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTimer(Instant);
+
+impl StageTimer {
+    /// Start the stopwatch.
+    #[inline]
+    pub fn start() -> StageTimer {
+        StageTimer(Instant::now())
+    }
+
+    /// Nanoseconds since start/previous lap; restarts the clock.
+    #[inline]
+    pub fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = now.duration_since(self.0).as_nanos() as u64;
+        self.0 = now;
+        ns
+    }
+
+    /// Nanoseconds since start/previous lap, without restarting.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
+/// Application analyzers with individually-attributed delivery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyzerKind {
+    /// HTTP transaction parsing.
+    Http,
+    /// SMTP session tracking.
+    Smtp,
+    /// Cleartext IMAP4 command tracking.
+    Imap,
+    /// TLS record/handshake tracking (HTTPS, IMAP-S, POP-S).
+    Tls,
+    /// CIFS/SMB (and NetBIOS-SSN) message parsing.
+    Cifs,
+    /// DCE/RPC call parsing (mapped ports and pipes).
+    Dcerpc,
+    /// NFS over TCP.
+    NfsTcp,
+    /// NFS over UDP.
+    NfsUdp,
+    /// NCP call parsing.
+    Ncp,
+    /// DNS query/response matching.
+    Dns,
+    /// NetBIOS-NS transaction matching.
+    Nbns,
+}
+
+/// Per-analyzer cumulative delivery time, event and byte counts.
+///
+/// One event is one payload delivery into the analyzer (a TCP segment's
+/// in-order data or one UDP datagram); bytes are the delivered payload
+/// bytes. Wall time is nested inside
+/// [`PipelineMetrics::flow_ingest`] (deliveries happen during ingest).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzerMetrics {
+    /// HTTP.
+    pub http: StageStat,
+    /// SMTP.
+    pub smtp: StageStat,
+    /// IMAP4 (cleartext).
+    pub imap: StageStat,
+    /// TLS.
+    pub tls: StageStat,
+    /// CIFS/SMB.
+    pub cifs: StageStat,
+    /// DCE/RPC.
+    pub dcerpc: StageStat,
+    /// NFS over TCP.
+    pub nfs_tcp: StageStat,
+    /// NFS over UDP.
+    pub nfs_udp: StageStat,
+    /// NCP.
+    pub ncp: StageStat,
+    /// DNS.
+    pub dns: StageStat,
+    /// NetBIOS-NS.
+    pub nbns: StageStat,
+}
+
+impl AnalyzerMetrics {
+    /// Mutable stat for one analyzer kind.
+    #[inline]
+    pub fn stat_mut(&mut self, kind: AnalyzerKind) -> &mut StageStat {
+        match kind {
+            AnalyzerKind::Http => &mut self.http,
+            AnalyzerKind::Smtp => &mut self.smtp,
+            AnalyzerKind::Imap => &mut self.imap,
+            AnalyzerKind::Tls => &mut self.tls,
+            AnalyzerKind::Cifs => &mut self.cifs,
+            AnalyzerKind::Dcerpc => &mut self.dcerpc,
+            AnalyzerKind::NfsTcp => &mut self.nfs_tcp,
+            AnalyzerKind::NfsUdp => &mut self.nfs_udp,
+            AnalyzerKind::Ncp => &mut self.ncp,
+            AnalyzerKind::Dns => &mut self.dns,
+            AnalyzerKind::Nbns => &mut self.nbns,
+        }
+    }
+
+    /// (name, stat) pairs in a stable order.
+    pub fn named(&self) -> [(&'static str, &StageStat); 11] {
+        [
+            ("http", &self.http),
+            ("smtp", &self.smtp),
+            ("imap", &self.imap),
+            ("tls", &self.tls),
+            ("cifs", &self.cifs),
+            ("dcerpc", &self.dcerpc),
+            ("nfs_tcp", &self.nfs_tcp),
+            ("nfs_udp", &self.nfs_udp),
+            ("ncp", &self.ncp),
+            ("dns", &self.dns),
+            ("nbns", &self.nbns),
+        ]
+    }
+
+    /// Fold another set of analyzer stats into this one.
+    pub fn absorb(&mut self, other: &AnalyzerMetrics) {
+        self.http.absorb(&other.http);
+        self.smtp.absorb(&other.smtp);
+        self.imap.absorb(&other.imap);
+        self.tls.absorb(&other.tls);
+        self.cifs.absorb(&other.cifs);
+        self.dcerpc.absorb(&other.dcerpc);
+        self.nfs_tcp.absorb(&other.nfs_tcp);
+        self.nfs_udp.absorb(&other.nfs_udp);
+        self.ncp.absorb(&other.ncp);
+        self.dns.absorb(&other.dns);
+        self.nbns.absorb(&other.nbns);
+    }
+}
+
+/// The seven pipeline stages required in every `BENCH_pipeline.json`.
+/// A zero-valued mandatory stage in a study run means the instrumentation
+/// rotted; `entreport obs-check` fails on it.
+pub const MANDATORY_STAGES: [&str; 7] = [
+    "generate",
+    "frame_parse",
+    "flow_ingest",
+    "tcp_deliver",
+    "udp_deliver",
+    "finalize",
+    "scanner_removal",
+];
+
+/// Stage-level observability for the analysis pipeline.
+///
+/// Accumulated per trace during [`crate::pipeline::analyze_trace`] (the
+/// `generate` stage is added by [`crate::run`], which is where generation
+/// happens), carried on [`crate::records::TraceAnalysis::metrics`], and
+/// aggregated with [`PipelineMetrics::absorb`].
+///
+/// Stage semantics (events / bytes):
+///
+/// * `generate` — synthesis of the trace: packets generated / wire bytes.
+/// * `frame_parse` — link/network/transport dissection: frames seen
+///   (including rejected ones) / captured bytes.
+/// * `flow_ingest` — connection demultiplexing *including* nested analyzer
+///   deliveries and conn finalization: packets ingested / wire bytes.
+/// * `tcp_deliver` — in-order TCP payload handed to an application
+///   analyzer: deliveries / delivered bytes. Nested inside `flow_ingest`.
+/// * `udp_deliver` — datagrams handed to an application analyzer:
+///   deliveries / delivered bytes. Nested inside `flow_ingest`.
+/// * `finalize` — per-connection analyzer drain at close: connections
+///   summarized / payload bytes of those connections. Nested inside
+///   `flow_ingest`.
+/// * `scanner_removal` — the paper's §3 scanner filter: connections
+///   examined / connections removed (in `bytes`, 0-cost reuse of the
+///   field as a count is *not* done — bytes is 0 here).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineMetrics {
+    /// Trace synthesis (`ent-gen`).
+    pub generate: StageStat,
+    /// Frame dissection (`ent-wire`).
+    pub frame_parse: StageStat,
+    /// Flow demultiplexing (`ent-flow`), nested stages included.
+    pub flow_ingest: StageStat,
+    /// TCP payload deliveries into analyzers (nested in `flow_ingest`).
+    pub tcp_deliver: StageStat,
+    /// UDP datagram deliveries into analyzers (nested in `flow_ingest`).
+    pub udp_deliver: StageStat,
+    /// Per-connection analyzer drain at close (nested in `flow_ingest`).
+    pub finalize: StageStat,
+    /// Scanner-removal pass over finished connections.
+    pub scanner_removal: StageStat,
+    /// Per-analyzer delivery time and event counts.
+    pub analyzers: AnalyzerMetrics,
+    /// High-water mark of simultaneously open connections (max, not sum,
+    /// under [`PipelineMetrics::absorb`]).
+    pub peak_open_conns: u64,
+    /// Total wall time attributed to traces (generation + analysis). Under
+    /// aggregation this is *worker* time: the sum over traces, which can
+    /// exceed elapsed wall clock when workers run in parallel.
+    pub trace_wall_ns: u64,
+    /// Traces folded into this record.
+    pub traces: u64,
+}
+
+impl PipelineMetrics {
+    /// (name, stat) pairs for the seven pipeline stages, in
+    /// [`MANDATORY_STAGES`] order.
+    pub fn stages(&self) -> [(&'static str, &StageStat); 7] {
+        [
+            ("generate", &self.generate),
+            ("frame_parse", &self.frame_parse),
+            ("flow_ingest", &self.flow_ingest),
+            ("tcp_deliver", &self.tcp_deliver),
+            ("udp_deliver", &self.udp_deliver),
+            ("finalize", &self.finalize),
+            ("scanner_removal", &self.scanner_removal),
+        ]
+    }
+
+    /// Fold another trace's (or dataset's) metrics into this one.
+    /// Wall times and counts add; `peak_open_conns` takes the max.
+    pub fn absorb(&mut self, other: &PipelineMetrics) {
+        self.generate.absorb(&other.generate);
+        self.frame_parse.absorb(&other.frame_parse);
+        self.flow_ingest.absorb(&other.flow_ingest);
+        self.tcp_deliver.absorb(&other.tcp_deliver);
+        self.udp_deliver.absorb(&other.udp_deliver);
+        self.finalize.absorb(&other.finalize);
+        self.scanner_removal.absorb(&other.scanner_removal);
+        self.analyzers.absorb(&other.analyzers);
+        self.peak_open_conns = self.peak_open_conns.max(other.peak_open_conns);
+        self.trace_wall_ns += other.trace_wall_ns;
+        self.traces += other.traces;
+    }
+
+    /// Packets analyzed (the flow-ingest event count).
+    pub fn packets(&self) -> u64 {
+        self.flow_ingest.events
+    }
+
+    /// Wire bytes analyzed.
+    pub fn bytes(&self) -> u64 {
+        self.flow_ingest.bytes
+    }
+
+    /// Packets per second of worker time (generation + analysis).
+    pub fn packets_per_sec(&self) -> f64 {
+        if self.trace_wall_ns == 0 {
+            return 0.0;
+        }
+        self.packets() as f64 / (self.trace_wall_ns as f64 / 1e9)
+    }
+
+    /// Wire bytes per second of worker time.
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.trace_wall_ns == 0 {
+            return 0.0;
+        }
+        self.bytes() as f64 / (self.trace_wall_ns as f64 / 1e9)
+    }
+
+    /// Deterministic fingerprint of the metrics: every stage's and
+    /// analyzer's (name, events, bytes), plus trace and packet totals.
+    /// Wall times are deliberately excluded — two runs of the same study
+    /// must produce identical signatures regardless of thread count.
+    pub fn events_signature(&self) -> Vec<(String, u64, u64)> {
+        let mut sig: Vec<(String, u64, u64)> = self
+            .stages()
+            .iter()
+            .map(|(n, s)| (format!("stage:{n}"), s.events, s.bytes))
+            .collect();
+        for (n, s) in self.analyzers.named() {
+            sig.push((format!("analyzer:{n}"), s.events, s.bytes));
+        }
+        sig.push(("traces".into(), self.traces, 0));
+        sig.push(("peak_open_conns".into(), self.peak_open_conns, 0));
+        sig
+    }
+
+    /// Render the study-wide per-stage table for the CLI.
+    pub fn stage_table(&self, title: &str) -> Table {
+        let mut t = Table::new(
+            title,
+            &["stage", "wall ms", "events", "Mbytes", "ev/s"],
+        );
+        for (name, s) in self.stages() {
+            t.row(stage_row(name, s));
+        }
+        for (name, s) in self.analyzers.named() {
+            if s.events == 0 {
+                continue;
+            }
+            t.row(stage_row(&format!("analyzer:{name}"), s));
+        }
+        t.row(vec![
+            "peak open conns".into(),
+            String::new(),
+            self.peak_open_conns.to_string(),
+            String::new(),
+            String::new(),
+        ]);
+        t
+    }
+}
+
+fn stage_row(name: &str, s: &StageStat) -> Vec<String> {
+    vec![
+        name.to_string(),
+        format!("{:.3}", s.wall_ns as f64 / 1e6),
+        s.events.to_string(),
+        format!("{:.3}", s.bytes as f64 / 1e6),
+        format!("{:.0}", s.events_per_sec()),
+    ]
+}
+
+/// Schema identifier emitted into and required from `BENCH_pipeline.json`.
+pub const BENCH_SCHEMA: &str = "ent-bench-pipeline/1";
+
+/// Study-level context for the perf-trajectory export.
+#[derive(Debug, Clone, Default)]
+pub struct BenchContext {
+    /// Generator scale of the run.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Worker threads used (resolved, not the `0 = auto` sentinel).
+    pub threads: usize,
+    /// Elapsed wall-clock nanoseconds for the whole study.
+    pub study_wall_ns: u64,
+    /// Per-dataset (name, traces, worker wall ns, packets, bytes).
+    pub datasets: Vec<(String, u64, u64, u64, u64)>,
+}
+
+fn push_stat(out: &mut String, name: &str, s: &StageStat) {
+    out.push_str(&format!(
+        "    \"{name}\": {{\"wall_us\": {:.3}, \"events\": {}, \"bytes\": {}}}",
+        s.wall_us(),
+        s.events,
+        s.bytes
+    ));
+}
+
+/// Serialize a study's metrics as the `BENCH_pipeline.json` document.
+///
+/// Schema (`ent-bench-pipeline/1`): a flat object with run parameters,
+/// study totals, and two maps — `stages` and `analyzers` — of
+/// `name → {wall_us, events, bytes}`, plus a `datasets` array of per-
+/// dataset totals. All seven [`MANDATORY_STAGES`] are always present.
+pub fn bench_json(ctx: &BenchContext, total: &PipelineMetrics) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"scale\": {},\n", ctx.scale));
+    out.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    out.push_str(&format!("  \"threads\": {},\n", ctx.threads));
+    out.push_str(&format!(
+        "  \"study_wall_us\": {:.3},\n",
+        ctx.study_wall_ns as f64 / 1e3
+    ));
+    out.push_str(&format!(
+        "  \"worker_wall_us\": {:.3},\n",
+        total.trace_wall_ns as f64 / 1e3
+    ));
+    out.push_str(&format!("  \"traces\": {},\n", total.traces));
+    out.push_str(&format!("  \"packets\": {},\n", total.packets()));
+    out.push_str(&format!("  \"bytes\": {},\n", total.bytes()));
+    out.push_str(&format!(
+        "  \"packets_per_sec\": {:.1},\n",
+        total.packets_per_sec()
+    ));
+    out.push_str(&format!(
+        "  \"bytes_per_sec\": {:.1},\n",
+        total.bytes_per_sec()
+    ));
+    out.push_str(&format!(
+        "  \"peak_open_conns\": {},\n",
+        total.peak_open_conns
+    ));
+    out.push_str("  \"stages\": {\n");
+    let stages = total.stages();
+    for (i, (name, s)) in stages.iter().enumerate() {
+        push_stat(&mut out, name, s);
+        out.push_str(if i + 1 < stages.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"analyzers\": {\n");
+    let an = total.analyzers.named();
+    for (i, (name, s)) in an.iter().enumerate() {
+        push_stat(&mut out, name, s);
+        out.push_str(if i + 1 < an.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"datasets\": [\n");
+    for (i, (name, traces, wall_ns, packets, bytes)) in ctx.datasets.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"traces\": {traces}, \"wall_us\": {:.3}, \"packets\": {packets}, \"bytes\": {bytes}}}",
+            *wall_ns as f64 / 1e3
+        ));
+        out.push_str(if i + 1 < ctx.datasets.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for schema validation (`entreport obs-check`) and
+// cross-run comparison. Hand-rolled because the workspace builds offline
+// with no registry dependencies. Accepts the JSON subset this module
+// emits (objects, arrays, strings without exotic escapes, numbers,
+// booleans, null) — enough to validate any conforming producer.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (f64 precision suffices for validation).
+    Number(f64),
+    /// A string (escape sequences decoded for `\" \\ \/ \n \t \r`).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, insertion-ordered.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct JsonReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonReader<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn require(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos.saturating_sub(1),
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        for expected in word.bytes() {
+            match self.bump() {
+                Some(got) if got == expected => {}
+                _ => return Err(format!("malformed literal near byte {}", self.pos)),
+            }
+        }
+        Ok(value)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        // Opening quote already consumed by the caller.
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'r') => s.push('\r'),
+                    other => {
+                        return Err(format!(
+                            "unsupported escape {:?} at byte {}",
+                            other.map(|o| o as char),
+                            self.pos
+                        ))
+                    }
+                },
+                Some(b) => s.push(b as char),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self, _first: u8) -> Result<JsonValue, String> {
+        let start = self.pos.saturating_sub(1);
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .unwrap_or("");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.bump() {
+            Some(b'{') => {
+                let mut members = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                loop {
+                    self.require(b'"')?;
+                    let key = self.string()?;
+                    self.require(b':')?;
+                    let val = self.value()?;
+                    members.push((key, val));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(JsonValue::Object(members)),
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(JsonValue::Array(items)),
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("rue", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("alse", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("ull", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(b),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|o| o as char),
+                self.pos
+            )),
+        }
+    }
+}
+
+/// Parse a JSON document (the subset [`bench_json`] emits).
+pub fn json_parse(text: &str) -> Result<JsonValue, String> {
+    let mut r = JsonReader {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = r.value()?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", r.pos));
+    }
+    Ok(v)
+}
+
+/// A validated `BENCH_pipeline.json` summary, for human-readable echo.
+#[derive(Debug, Clone, Default)]
+pub struct BenchSummary {
+    /// Total packets analyzed.
+    pub packets: u64,
+    /// Total traces.
+    pub traces: u64,
+    /// Study wall microseconds.
+    pub study_wall_us: f64,
+    /// (stage, wall_us, events) per mandatory stage.
+    pub stages: Vec<(String, f64, u64)>,
+}
+
+fn stat_fields(stage: &JsonValue, name: &str) -> Result<(f64, u64, u64), String> {
+    let field = |key: &str| -> Result<f64, String> {
+        stage
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("stage {name:?}: missing numeric field {key:?}"))
+    };
+    let wall_us = field("wall_us")?;
+    let events = field("events")?;
+    let bytes = field("bytes")?;
+    if wall_us < 0.0 || events < 0.0 || bytes < 0.0 {
+        return Err(format!("stage {name:?}: negative value"));
+    }
+    Ok((wall_us, events as u64, bytes as u64))
+}
+
+/// Validate a `BENCH_pipeline.json` document: schema identifier, required
+/// run parameters, the per-stage map with all [`MANDATORY_STAGES`]
+/// present, and — the instrumentation-rot check — nonzero wall time *and*
+/// event counts for every mandatory stage.
+pub fn validate_bench_json(text: &str) -> Result<BenchSummary, String> {
+    let doc = json_parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or("missing \"schema\"")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!(
+            "schema mismatch: got {schema:?}, want {BENCH_SCHEMA:?}"
+        ));
+    }
+    for key in ["scale", "seed", "threads", "study_wall_us", "worker_wall_us", "traces", "packets", "bytes", "packets_per_sec", "bytes_per_sec", "peak_open_conns"] {
+        if doc.get(key).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("missing numeric field {key:?}"));
+        }
+    }
+    let mut summary = BenchSummary {
+        packets: doc.get("packets").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
+        traces: doc.get("traces").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
+        study_wall_us: doc
+            .get("study_wall_us")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0),
+        stages: Vec::new(),
+    };
+    let stages = doc.get("stages").ok_or("missing \"stages\" object")?;
+    for name in MANDATORY_STAGES {
+        let stage = stages
+            .get(name)
+            .ok_or_else(|| format!("missing mandatory stage {name:?}"))?;
+        let (wall_us, events, _bytes) = stat_fields(stage, name)?;
+        if wall_us <= 0.0 {
+            return Err(format!(
+                "mandatory stage {name:?} has zero wall time — instrumentation rot?"
+            ));
+        }
+        if events == 0 {
+            return Err(format!(
+                "mandatory stage {name:?} has zero events — instrumentation rot?"
+            ));
+        }
+        summary.stages.push((name.to_string(), wall_us, events));
+    }
+    let analyzers = doc.get("analyzers").ok_or("missing \"analyzers\" object")?;
+    if !matches!(analyzers, JsonValue::Object(_)) {
+        return Err("\"analyzers\" is not an object".into());
+    }
+    match doc.get("datasets") {
+        Some(JsonValue::Array(items)) => {
+            for d in items {
+                for key in ["name", "traces", "wall_us", "packets", "bytes"] {
+                    if d.get(key).is_none() {
+                        return Err(format!("dataset entry missing {key:?}"));
+                    }
+                }
+            }
+        }
+        _ => return Err("missing \"datasets\" array".into()),
+    }
+    if summary.packets == 0 {
+        return Err("study analyzed zero packets".into());
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nonzero_metrics() -> PipelineMetrics {
+        let mut m = PipelineMetrics {
+            peak_open_conns: 5,
+            trace_wall_ns: 7_000,
+            traces: 1,
+            ..Default::default()
+        };
+        m.generate.add(1_000, 10, 100);
+        m.frame_parse.add(2_000, 10, 90);
+        m.flow_ingest.add(3_000, 10, 100);
+        m.tcp_deliver.add(500, 4, 40);
+        m.udp_deliver.add(400, 3, 30);
+        m.finalize.add(600, 2, 20);
+        m.scanner_removal.add(100, 2, 0);
+        m.analyzers.http.add(200, 2, 20);
+        m
+    }
+
+    #[test]
+    fn absorb_adds_counts_and_maxes_peak() {
+        let mut a = nonzero_metrics();
+        let mut b = nonzero_metrics();
+        b.peak_open_conns = 3;
+        b.flow_ingest.add(1_000, 5, 50);
+        a.absorb(&b);
+        assert_eq!(a.traces, 2);
+        assert_eq!(a.flow_ingest.events, 25);
+        assert_eq!(a.flow_ingest.bytes, 250);
+        assert_eq!(a.peak_open_conns, 5); // max, not sum
+        assert_eq!(a.trace_wall_ns, 14_000);
+    }
+
+    #[test]
+    fn signature_ignores_wall_time() {
+        let mut a = nonzero_metrics();
+        let mut b = nonzero_metrics();
+        b.flow_ingest.wall_ns += 999_999;
+        b.trace_wall_ns += 123;
+        assert_eq!(a.events_signature(), b.events_signature());
+        a.flow_ingest.events += 1;
+        assert_ne!(a.events_signature(), b.events_signature());
+    }
+
+    #[test]
+    fn bench_json_roundtrips_and_validates() {
+        let ctx = BenchContext {
+            scale: 0.002,
+            seed: 7,
+            threads: 4,
+            study_wall_ns: 5_000_000,
+            datasets: vec![("D0".into(), 2, 3_000_000, 20, 2_000)],
+        };
+        let text = bench_json(&ctx, &nonzero_metrics());
+        let summary = validate_bench_json(&text).expect("valid");
+        assert_eq!(summary.packets, 10);
+        assert_eq!(summary.traces, 1);
+        assert_eq!(summary.stages.len(), MANDATORY_STAGES.len());
+        // The parsed document agrees with the emitter field-for-field.
+        let doc = json_parse(&text).expect("parse");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(BENCH_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("stages")
+                .and_then(|s| s.get("tcp_deliver"))
+                .and_then(|s| s.get("events"))
+                .and_then(|v| v.as_f64()),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_zeroed_mandatory_stage() {
+        let ctx = BenchContext {
+            scale: 0.002,
+            seed: 7,
+            threads: 1,
+            study_wall_ns: 1_000,
+            datasets: Vec::new(),
+        };
+        let mut m = nonzero_metrics();
+        m.udp_deliver = StageStat::default();
+        let text = bench_json(&ctx, &m);
+        let err = validate_bench_json(&text).expect_err("zero stage must fail");
+        assert!(err.contains("udp_deliver"), "{err}");
+        // Wrong schema string also fails.
+        let bad = text.replace(BENCH_SCHEMA, "something-else/9");
+        assert!(validate_bench_json(&bad)
+            .expect_err("schema mismatch")
+            .contains("schema mismatch"));
+    }
+
+    #[test]
+    fn json_parser_handles_the_emitted_subset() {
+        let v = json_parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny"}, "d": true, "e": null}"#)
+            .expect("parse");
+        assert_eq!(
+            v.get("a"),
+            Some(&JsonValue::Array(vec![
+                JsonValue::Number(1.0),
+                JsonValue::Number(2.5),
+                JsonValue::Number(-300.0)
+            ]))
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(|c| c.as_str()),
+            Some("x\ny")
+        );
+        assert!(json_parse("{\"a\": 1,}").is_err());
+        assert!(json_parse("{\"a\": 1} trailing").is_err());
+        assert!(json_parse("").is_err());
+    }
+
+    #[test]
+    fn stage_timer_laps_are_monotone() {
+        let mut t = StageTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = t.lap();
+        assert!(b >= 2_000_000, "lap under sleep duration: {b}");
+    }
+}

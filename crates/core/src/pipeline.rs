@@ -9,6 +9,7 @@
 //! analyses.
 
 use crate::error::AnalysisError;
+use crate::metrics::{AnalyzerKind, StageTimer};
 use crate::records::*;
 use crate::scanners::{remove_scanners, ScannerConfig};
 use ent_flow::{ConnIndex, ConnSummary, ConnTable, Dir, FlowHandler, FlowKey, Proto, TableConfig};
@@ -73,6 +74,24 @@ struct PerConn {
     state: AppState,
 }
 
+/// Which analyzer a connection's state feeds, for per-analyzer metrics.
+fn kind_of(state: &AppState) -> Option<AnalyzerKind> {
+    match state {
+        AppState::None => None,
+        AppState::Http(_) => Some(AnalyzerKind::Http),
+        AppState::Smtp(_) => Some(AnalyzerKind::Smtp),
+        AppState::Imap(_) => Some(AnalyzerKind::Imap),
+        AppState::Tls(_) => Some(AnalyzerKind::Tls),
+        AppState::Cifs(_) => Some(AnalyzerKind::Cifs),
+        AppState::Dcerpc(_) => Some(AnalyzerKind::Dcerpc),
+        AppState::NfsTcp(_) => Some(AnalyzerKind::NfsTcp),
+        AppState::NfsUdp(_) => Some(AnalyzerKind::NfsUdp),
+        AppState::Ncp(_) => Some(AnalyzerKind::Ncp),
+        AppState::Dns(_) => Some(AnalyzerKind::Dns),
+        AppState::Nbns(_) => Some(AnalyzerKind::Nbns),
+    }
+}
+
 struct Handler<'a> {
     out: &'a mut TraceAnalysis,
     conns: HashMap<ConnIndex, PerConn>,
@@ -133,6 +152,7 @@ impl Handler<'_> {
     }
 
     fn finalize(&mut self, idx: ConnIndex, summary: &ConnSummary) {
+        let mut timer = StageTimer::start();
         let Some(mut pc) = self.conns.remove(&idx) else {
             return;
         };
@@ -156,6 +176,10 @@ impl Handler<'_> {
             app: pc.app,
             category,
         });
+        self.out
+            .metrics
+            .finalize
+            .add(timer.lap(), 1, summary.total_payload());
     }
 
     /// Flush a closing connection's analyzer into the output records.
@@ -289,6 +313,8 @@ impl FlowHandler for Handler<'_> {
         // Feed a detached analyzer state so a panicking analyzer is
         // discarded instead of poisoning the connection entry.
         let mut state = std::mem::replace(&mut pc.state, AppState::None);
+        let kind = kind_of(&state);
+        let mut timer = StageTimer::start();
         let fed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             assert!(!inject, "injected analyzer fault");
             match &mut state {
@@ -315,6 +341,15 @@ impl FlowHandler for Handler<'_> {
                 _ => {}
             }
         }));
+        let ns = timer.lap();
+        self.out.metrics.tcp_deliver.add(ns, 1, data.len() as u64);
+        if let Some(k) = kind {
+            self.out
+                .metrics
+                .analyzers
+                .stat_mut(k)
+                .add(ns, 1, data.len() as u64);
+        }
         match fed {
             Ok(()) => {
                 if let AppState::Dcerpc(d) = &mut state {
@@ -365,6 +400,8 @@ impl FlowHandler for Handler<'_> {
         let from_client = dir == Dir::Orig;
         let (server, client) = (pc.key.resp.addr, pc.key.orig.addr);
         let mut state = std::mem::replace(&mut pc.state, AppState::None);
+        let kind = kind_of(&state);
+        let mut timer = StageTimer::start();
         let out = &mut *self.out;
         let fed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             match &mut state {
@@ -411,6 +448,15 @@ impl FlowHandler for Handler<'_> {
                 _ => {}
             }
         }));
+        let ns = timer.lap();
+        self.out.metrics.udp_deliver.add(ns, 1, data.len() as u64);
+        if let Some(k) = kind {
+            self.out
+                .metrics
+                .analyzers
+                .stat_mut(k)
+                .add(ns, 1, data.len() as u64);
+        }
         match fed {
             Ok(()) => pc.state = state,
             Err(_) => demote(self.out),
@@ -462,13 +508,31 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
         panic_every: config.analyzer_panic_every,
         tcp_data_events: 0,
     };
+    let total = StageTimer::start();
+    // Load bins are indexed relative to the trace's first timestamp —
+    // traces with epoch-based clocks (real captures) would otherwise land
+    // every sample past the end of the vec and the series would read zero.
+    let base_us = trace.packets.first().map(|p| p.ts.micros()).unwrap_or(0);
+    let base_sec = base_us / 1_000_000;
+    let mut max_ts = Timestamp::from_micros(base_us);
+    let mut pt = StageTimer::start();
     for p in &trace.packets {
         let Ok(pkt) = Packet::parse(&p.frame) else {
             // Undissectable frame: count it rather than silently narrowing
             // the trace — the analyses' denominators stay honest.
             handler.out.health.malformed_frames += 1;
+            handler
+                .out
+                .metrics
+                .frame_parse
+                .add(pt.lap(), 1, p.frame.len() as u64);
             continue;
         };
+        handler
+            .out
+            .metrics
+            .frame_parse
+            .add(pt.lap(), 1, p.frame.len() as u64);
         handler.out.packets += 1;
         match &pkt.net {
             ent_wire::NetLayer::Ipv4 { .. } | ent_wire::NetLayer::Ipv6 { .. } => {
@@ -478,18 +542,39 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
             ent_wire::NetLayer::Ipx { .. } => handler.out.ipx_packets += 1,
             ent_wire::NetLayer::OtherL3(_) => handler.out.other_l3_packets += 1,
         }
-        let sec = (p.ts.micros() / 1_000_000) as usize;
+        let sec = (p.ts.micros() / 1_000_000).saturating_sub(base_sec) as usize;
         if let Some(bin) = handler.out.bytes_per_second.get_mut(sec) {
             *bin += p.orig_len as u64;
+        } else {
+            handler.out.health.load_samples_out_of_range += 1;
         }
+        if p.ts > max_ts {
+            max_ts = p.ts;
+        }
+        pt.lap();
         table.ingest(&pkt, p.ts, &mut handler);
+        handler
+            .out
+            .metrics
+            .flow_ingest
+            .add(pt.lap(), 1, p.orig_len as u64);
     }
-    table.finish(trace.meta.duration, &mut handler);
+    // Close out still-open connections at the trace's absolute end: the
+    // nominal duration past the first packet, or the last packet seen,
+    // whichever is later (finish() clamps open conns back to this point).
+    let end_abs =
+        Timestamp::from_micros(base_us.saturating_add(trace.meta.duration.micros())).max(max_ts);
+    pt.lap();
+    table.finish(end_abs, &mut handler);
+    handler.out.metrics.flow_ingest.add(pt.lap(), 0, 0);
     drop(handler);
     let fstats = *table.stats();
     out.health.clock_regressions = fstats.clock_regressions;
     out.health.evicted_conns = fstats.evicted_conns;
+    out.metrics.peak_open_conns = fstats.peak_open_conns;
     // Scanner removal (paper §3), unless the ablation keeps them.
+    let mut st = StageTimer::start();
+    let conns_examined = out.conns.len() as u64;
     if !config.keep_scanners {
         let (flagged, removed) = remove_scanners(&mut out.conns, &config.scanners);
         let set: std::collections::HashSet<u32> = flagged.iter().map(|a| a.0).collect();
@@ -501,14 +586,18 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
         out.scanner_conns_removed = removed.len() as u64;
         out.scanner_conns = removed;
     }
+    out.metrics.scanner_removal.add(st.lap(), conns_examined, 0);
     // Retransmission accounting (keep-alive probes excluded, §6) — after
     // scanner removal so failed-probe SYN retries do not pollute the rates.
+    // Rates are over *data* packets (the paper's denominator): pure ACKs
+    // carry nothing and cannot be retransmissions, so counting them would
+    // systematically understate every rate.
     for c in &out.conns {
         if c.summary.key.proto != Proto::Tcp {
             continue;
         }
         let s = &c.summary;
-        let data_pkts = s.orig.packets + s.resp.packets;
+        let data_pkts = s.orig.real_data_packets() + s.resp.real_data_packets();
         let retx = s.orig.real_retx_packets() + s.resp.real_retx_packets();
         let internal = is_internal(s.key.orig.addr) && is_internal(s.key.resp.addr);
         let slot = if internal {
@@ -519,6 +608,8 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
         slot.0 += data_pkts;
         slot.1 += retx;
     }
+    out.metrics.trace_wall_ns = total.elapsed_ns();
+    out.metrics.traces = 1;
     out
 }
 
@@ -768,5 +859,91 @@ mod tests {
             "most TLS handshakes should complete: {complete}/{}",
             a.tls.len()
         );
+    }
+
+    #[test]
+    fn epoch_timestamped_capture_populates_load_series() {
+        // Real captures stamp packets with epoch time (~1.1e9 s), not
+        // trace-relative time. Binning must be relative to the first
+        // packet, or every sample lands past the end of the per-second
+        // vec and the load series silently reads all zeros.
+        let rel = analyzed(0, 3);
+        let mut trace = generated(0, 3);
+        const EPOCH_US: u64 = 1_100_000_000 * 1_000_000;
+        for p in &mut trace.packets {
+            p.ts = Timestamp::from_micros(EPOCH_US + p.ts.micros());
+        }
+        let mut bytes = Vec::new();
+        trace.write_pcap(&mut bytes).expect("serialize");
+        let a = analyze_capture(&bytes, trace.meta.clone(), &PipelineConfig::default())
+            .expect("clean capture");
+        assert!(
+            a.bytes_per_second.iter().sum::<u64>() > 0,
+            "load series is all zeros for an epoch-stamped capture"
+        );
+        assert_eq!(a.health.load_samples_out_of_range, 0);
+        // The absolute clock base changes nothing else: same series, same
+        // connections, same durations.
+        assert_eq!(a.bytes_per_second, rel.bytes_per_second);
+        assert_eq!(a.conns.len(), rel.conns.len());
+        for (ca, cr) in a.conns.iter().zip(&rel.conns) {
+            assert_eq!(
+                ca.summary.duration_us(),
+                cr.summary.duration_us(),
+                "epoch base distorted a connection duration"
+            );
+        }
+    }
+
+    #[test]
+    fn retx_denominator_counts_only_data_packets() {
+        // Paper §6 retransmission rates are over *data* packets; pure
+        // ACKs (the handshake's third segment, every ACK of received
+        // data) carry nothing and must not inflate the denominator.
+        let trace = generated(0, 3);
+        let a = analyze_trace(
+            &trace,
+            &PipelineConfig {
+                keep_scanners: true,
+                ..Default::default()
+            },
+        );
+        let (mut data, mut total) = (0u64, 0u64);
+        for c in &a.conns {
+            if c.summary.key.proto != Proto::Tcp {
+                continue;
+            }
+            data += c.summary.orig.real_data_packets() + c.summary.resp.real_data_packets();
+            total += c.summary.orig.packets + c.summary.resp.packets;
+        }
+        assert_eq!(a.retx_ent.0 + a.retx_wan.0, data);
+        assert!(
+            data < total,
+            "TCP traffic with handshakes must contain pure ACKs ({data} vs {total})"
+        );
+        assert!(data > 0);
+    }
+
+    #[test]
+    fn metrics_cover_every_pipeline_stage() {
+        let a = analyzed(0, 3);
+        let m = &a.metrics;
+        // `generate` is filled in by run.rs — every stage analyze_trace
+        // itself owns must be live on a normal trace.
+        assert_eq!(m.frame_parse.events, a.packets);
+        assert_eq!(m.flow_ingest.events, a.packets);
+        assert!(m.flow_ingest.wall_ns > 0);
+        assert!(m.tcp_deliver.events > 0);
+        assert!(m.udp_deliver.events > 0);
+        assert!(m.finalize.events > 0);
+        assert!(m.scanner_removal.events > 0);
+        assert!(m.peak_open_conns > 0);
+        assert!(m.trace_wall_ns > 0);
+        assert_eq!(m.traces, 1);
+        // Analyzer delivery events sum to at most the per-direction
+        // delivery totals (connections without an analyzer deliver too).
+        let analyzer_events: u64 = m.analyzers.named().iter().map(|(_, s)| s.events).sum();
+        assert!(analyzer_events > 0);
+        assert!(analyzer_events <= m.tcp_deliver.events + m.udp_deliver.events);
     }
 }

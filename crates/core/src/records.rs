@@ -236,6 +236,10 @@ pub struct IngestHealth {
     /// Connections demoted to header-only treatment (D1/D2 posture) after
     /// an analyzer failure.
     pub demoted_conns: u64,
+    /// Per-second load samples whose timestamp fell outside the trace's
+    /// nominal duration (relative to its first timestamp) and were
+    /// excluded from the utilization series instead of silently dropped.
+    pub load_samples_out_of_range: u64,
 }
 
 impl IngestHealth {
@@ -247,6 +251,7 @@ impl IngestHealth {
             && self.evicted_conns == 0
             && self.analyzer_failures == 0
             && self.demoted_conns == 0
+            && self.load_samples_out_of_range == 0
     }
 
     /// Total damage events past the capture layer.
@@ -255,6 +260,7 @@ impl IngestHealth {
             + self.clock_regressions
             + self.evicted_conns
             + self.analyzer_failures
+            + self.load_samples_out_of_range
     }
 
     /// Fold another trace's health into this one (dataset aggregation).
@@ -265,6 +271,7 @@ impl IngestHealth {
         self.evicted_conns += other.evicted_conns;
         self.analyzer_failures += other.analyzer_failures;
         self.demoted_conns += other.demoted_conns;
+        self.load_samples_out_of_range += other.load_samples_out_of_range;
     }
 }
 
@@ -276,13 +283,15 @@ impl core::fmt::Display for IngestHealth {
         write!(
             f,
             "capture[{}], {} malformed frames, {} clock regressions, \
-             {} evicted conns, {} analyzer failures ({} conns demoted)",
+             {} evicted conns, {} analyzer failures ({} conns demoted), \
+             {} load samples out of range",
             self.capture,
             self.malformed_frames,
             self.clock_regressions,
             self.evicted_conns,
             self.analyzer_failures,
             self.demoted_conns,
+            self.load_samples_out_of_range,
         )
     }
 }
@@ -349,6 +358,9 @@ pub struct TraceAnalysis {
     pub scanner_conns: Vec<ConnRecord>,
     /// Per-stage ingest damage tallies (all zero for a clean trace).
     pub health: IngestHealth,
+    /// Pipeline observability: stage timers and throughput counters for
+    /// this trace (the `generate` stage is filled in by [`crate::run`]).
+    pub metrics: crate::metrics::PipelineMetrics,
 }
 
 impl TraceAnalysis {

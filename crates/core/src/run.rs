@@ -1,7 +1,12 @@
 //! Study orchestration: generate + analyze whole datasets, parallel
 //! across traces (each trace is independent, exactly like the paper's
 //! per-subnet capture files).
+//!
+//! All datasets of a study share a single global work queue — workers
+//! never idle at a dataset boundary waiting for the previous dataset's
+//! last straggler traces.
 
+use crate::metrics::{PipelineMetrics, StageTimer};
 use crate::pipeline::{analyze_trace, PipelineConfig};
 use crate::records::{IngestHealth, TraceAnalysis};
 use ent_gen::build::{build_site, generate_trace, GenConfig};
@@ -39,20 +44,37 @@ impl DatasetAnalysis {
         }
         h
     }
+
+    /// Pipeline metrics aggregated across every trace of the dataset.
+    pub fn pipeline_metrics(&self) -> PipelineMetrics {
+        let mut m = PipelineMetrics::default();
+        for t in &self.traces {
+            m.absorb(&t.metrics);
+        }
+        m
+    }
 }
 
-/// Generate and analyze one dataset, trace-parallel. Packets are dropped
-/// as soon as each trace is analyzed, bounding memory.
-pub fn run_dataset(spec: &DatasetSpec, config: &StudyConfig) -> DatasetAnalysis {
-    let (site, wan) = build_site(spec, &config.gen);
-    // Work list of (subnet, pass).
+/// Generate and analyze several datasets over one global work queue.
+///
+/// Every trace of every dataset is a single work item; one thread pool
+/// drains the whole list. Packets are dropped as soon as each trace is
+/// analyzed, bounding memory. Results land in per-dataset bins and are
+/// sorted by global work index, which is monotone in (pass, subnet)
+/// within a dataset — so per-trace ordering (and content) is identical
+/// to running each dataset alone.
+pub fn run_datasets(specs: &[DatasetSpec], config: &StudyConfig) -> Vec<DatasetAnalysis> {
+    let sites: Vec<_> = specs.iter().map(|s| build_site(s, &config.gen)).collect();
+    // Global work list of (dataset index, subnet, pass).
     let mut work = Vec::new();
-    for pass in 1..=spec.passes {
-        for subnet in spec.monitored.clone() {
-            if spec.name == "D4" && pass == 2 && subnet % 2 == 0 {
-                continue;
+    for (di, spec) in specs.iter().enumerate() {
+        for pass in 1..=spec.passes {
+            for subnet in spec.monitored.clone() {
+                if spec.name == "D4" && pass == 2 && subnet % 2 == 0 {
+                    continue;
+                }
+                work.push((di, subnet, pass));
             }
-            work.push((subnet, pass));
         }
     }
     let threads = if config.threads == 0 {
@@ -64,41 +86,67 @@ pub fn run_dataset(spec: &DatasetSpec, config: &StudyConfig) -> DatasetAnalysis 
         config.threads
     };
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, TraceAnalysis)>> = Mutex::new(Vec::with_capacity(work.len()));
+    let bins: Vec<Mutex<Vec<(usize, TraceAnalysis)>>> =
+        specs.iter().map(|_| Mutex::new(Vec::new())).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(subnet, pass)) = work.get(i) else {
+                let Some(&(di, subnet, pass)) = work.get(i) else {
                     break;
                 };
-                let trace = generate_trace(&site, &wan, spec, subnet, pass, &config.gen);
-                let analysis = analyze_trace(&trace, &config.pipeline);
+                let Some((spec, (site, wan))) = specs.get(di).zip(sites.get(di)) else {
+                    break;
+                };
+                let gt = StageTimer::start();
+                let trace = generate_trace(site, wan, spec, subnet, pass, &config.gen);
+                let gen_ns = gt.elapsed_ns();
+                let wire: u64 = trace.packets.iter().map(|p| p.orig_len as u64).sum();
+                let mut analysis = analyze_trace(&trace, &config.pipeline);
+                analysis
+                    .metrics
+                    .generate
+                    .add(gen_ns, trace.packets.len() as u64, wire);
+                // Per-trace worker wall time covers the whole item:
+                // generation included, not just analysis.
+                analysis.metrics.trace_wall_ns += gen_ns;
                 // A worker that panicked poisons the lock; the analysis it
                 // produced is still valid, so recover the guard.
-                results
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((i, analysis));
+                if let Some(bin) = bins.get(di) {
+                    bin.lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((i, analysis));
+                }
             });
         }
     });
-    let mut results = results
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner());
-    results.sort_by_key(|(i, _)| *i);
-    DatasetAnalysis {
-        spec: spec.clone(),
-        traces: results.into_iter().map(|(_, a)| a).collect(),
-    }
+    specs
+        .iter()
+        .zip(bins)
+        .map(|(spec, bin)| {
+            let mut results = bin.into_inner().unwrap_or_else(|e| e.into_inner());
+            results.sort_by_key(|(i, _)| *i);
+            DatasetAnalysis {
+                spec: spec.clone(),
+                traces: results.into_iter().map(|(_, a)| a).collect(),
+            }
+        })
+        .collect()
 }
 
-/// Run the whole five-dataset study.
+/// Generate and analyze one dataset, trace-parallel.
+pub fn run_dataset(spec: &DatasetSpec, config: &StudyConfig) -> DatasetAnalysis {
+    run_datasets(std::slice::from_ref(spec), config)
+        .pop()
+        .unwrap_or_else(|| DatasetAnalysis {
+            spec: spec.clone(),
+            traces: Vec::new(),
+        })
+}
+
+/// Run the whole five-dataset study over one shared work queue.
 pub fn run_study(config: &StudyConfig) -> Vec<DatasetAnalysis> {
-    all_datasets()
-        .iter()
-        .map(|spec| run_dataset(spec, config))
-        .collect()
+    run_datasets(&all_datasets(), config)
 }
 
 #[cfg(test)]
@@ -114,6 +162,17 @@ mod tests {
             },
             ..Default::default()
         }
+    }
+
+    /// Two shrunken datasets — enough work items to exercise the global
+    /// queue across a dataset boundary while staying test-sized.
+    fn two_small_specs() -> Vec<DatasetSpec> {
+        let specs = all_datasets();
+        let mut a = specs[0].clone();
+        a.monitored = 0..3;
+        let mut b = specs[1].clone();
+        b.monitored = 0..2;
+        vec![a, b]
     }
 
     #[test]
@@ -153,5 +212,72 @@ mod tests {
             assert_eq!(a.subnet, b.subnet);
             assert_eq!(a.health, b.health);
         }
+    }
+
+    #[test]
+    fn parallel_equals_serial_study_wide() {
+        // The global work queue interleaves traces from different
+        // datasets across workers; results must still be identical to a
+        // serial run, trace for trace.
+        let specs = two_small_specs();
+        let par = run_datasets(
+            &specs,
+            &StudyConfig {
+                threads: 4,
+                ..tiny()
+            },
+        );
+        let ser = run_datasets(
+            &specs,
+            &StudyConfig {
+                threads: 1,
+                ..tiny()
+            },
+        );
+        assert_eq!(par.len(), ser.len());
+        for (dp, ds) in par.iter().zip(&ser) {
+            assert_eq!(dp.spec.name, ds.spec.name);
+            assert_eq!(dp.traces.len(), ds.traces.len());
+            for (a, b) in dp.traces.iter().zip(&ds.traces) {
+                assert_eq!((a.subnet, a.pass), (b.subnet, b.pass));
+                assert_eq!(a.packets, b.packets);
+                assert_eq!(a.conns.len(), b.conns.len());
+                assert_eq!(a.health, b.health);
+                assert_eq!(a.bytes_per_second, b.bytes_per_second);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_event_counts_are_thread_count_invariant() {
+        // Wall times legitimately vary run to run; event and byte counts
+        // must not. The signature excludes every timer field.
+        let specs = two_small_specs();
+        let par = run_datasets(
+            &specs,
+            &StudyConfig {
+                threads: 4,
+                ..tiny()
+            },
+        );
+        let ser = run_datasets(
+            &specs,
+            &StudyConfig {
+                threads: 1,
+                ..tiny()
+            },
+        );
+        let mut mp = PipelineMetrics::default();
+        let mut ms = PipelineMetrics::default();
+        for d in &par {
+            mp.absorb(&d.pipeline_metrics());
+        }
+        for d in &ser {
+            ms.absorb(&d.pipeline_metrics());
+        }
+        assert_eq!(mp.events_signature(), ms.events_signature());
+        assert!(mp.packets() > 0);
+        assert!(mp.generate.events > 0);
+        assert!(mp.finalize.events > 0);
     }
 }

@@ -8,6 +8,10 @@ use ent_wire::Timestamp;
 pub struct DirStats {
     /// Packets seen in this direction.
     pub packets: u64,
+    /// Packets carrying transport payload (data packets). The paper's §6
+    /// retransmission rates are computed over these, *not* over all
+    /// packets — pure ACKs must not inflate the denominator.
+    pub data_packets: u64,
     /// Transport payload bytes on the wire (*including* retransmitted
     /// bytes; subtract `retx_bytes` for goodput).
     pub payload_bytes: u64,
@@ -30,6 +34,14 @@ impl DirStats {
     /// plotted in the paper's Figure 10.
     pub fn real_retx_packets(&self) -> u64 {
         self.retx_packets - self.keepalive_packets
+    }
+
+    /// Data packets excluding keep-alive probes: the denominator matching
+    /// [`real_retx_packets`](Self::real_retx_packets) for the paper's §6
+    /// retransmission rates (keep-alives carry one garbage byte and are
+    /// excluded from both sides of the ratio).
+    pub fn real_data_packets(&self) -> u64 {
+        self.data_packets.saturating_sub(self.keepalive_packets)
     }
 }
 

@@ -47,6 +47,10 @@ pub struct FlowStats {
     pub clock_regressions: u64,
     /// Connections closed early to enforce [`TableConfig::max_conns`].
     pub evicted_conns: u64,
+    /// High-water mark of simultaneously open connections over the
+    /// table's lifetime (occupancy, for capacity planning and the
+    /// observability layer's conn-table metric).
+    pub peak_open_conns: u64,
 }
 
 struct Conn {
@@ -234,6 +238,7 @@ impl ConnTable {
         let slot = self.conns.len();
         self.conns.push(Some(conn));
         self.map.insert(key.canonical(), slot);
+        self.stats.peak_open_conns = self.stats.peak_open_conns.max(self.map.len() as u64);
         handler.on_new_conn(idx, &key, ts);
         slot
     }
@@ -255,7 +260,7 @@ impl ConnTable {
                 self.map.remove(&key.canonical());
                 return self.open_conn(key, ts, multicast, handler);
             };
-            let (idle_limit, conn_done, established) = {
+            let (idle_limit, conn_done) = {
                 let idle = ts.saturating_micros_since(conn.end);
                 let (done, established) = match &conn.tcp {
                     Some(t) => (t.done(), !matches!(t.state(), TcpState::SynSent)),
@@ -267,14 +272,13 @@ impl ConnTable {
                     Proto::Tcp if !established => Some(self.config.tcp_attempt_timeout_us),
                     Proto::Tcp => None,
                 };
-                (limit.map(|l| idle > l).unwrap_or(false), done, established)
+                (limit.map(|l| idle > l).unwrap_or(false), done)
             };
             // Split the flow when it went idle past the timeout, or a
             // fresh SYN arrives on a *terminated* connection (port reuse /
             // a new attempt after rejection). A SYN on a live
             // unestablished attempt is a retransmission of the same
             // attempt, not a new connection.
-            let _ = established;
             let split = idle_limit || (fresh_syn && conn_done);
             if split {
                 self.close_slot(slot, handler);
@@ -336,6 +340,9 @@ impl ConnTable {
                 {
                     let s = conn.stats(dir);
                     s.packets += 1;
+                    if tcp.wire_payload_len > 0 {
+                        s.data_packets += 1;
+                    }
                     s.payload_bytes += tcp.wire_payload_len as u64;
                     s.unique_bytes += disp.new_wire_bytes as u64;
                     if disp.retransmission {
@@ -377,6 +384,9 @@ impl ConnTable {
                 let idx = conn.idx;
                 let s = conn.stats(dir);
                 s.packets += 1;
+                if *wire_payload_len > 0 {
+                    s.data_packets += 1;
+                }
                 s.payload_bytes += *wire_payload_len as u64;
                 s.unique_bytes += *wire_payload_len as u64;
                 handler.on_udp_datagram(idx, dir, ts, pkt.payload(), *wire_payload_len);
@@ -418,6 +428,9 @@ impl ConnTable {
                 }
                 let s = conn.stats(dir);
                 s.packets += 1;
+                if !pkt.payload().is_empty() {
+                    s.data_packets += 1;
+                }
                 s.payload_bytes += pkt.payload().len() as u64;
                 s.unique_bytes += pkt.payload().len() as u64;
             }
@@ -426,9 +439,22 @@ impl ConnTable {
     }
 
     /// Flush all open connections (in creation order) and emit summaries.
+    ///
+    /// `end_ts` is the *absolute* end of the trace (same clock as the
+    /// ingested timestamps). Still-open connections have their `start`/`end`
+    /// clamped back to it, so a wild future timestamp that slipped through
+    /// capture salvage cannot make an open flow's duration exceed the
+    /// trace itself.
     pub fn finish<H: FlowHandler>(&mut self, end_ts: Timestamp, handler: &mut H) {
-        let _ = end_ts;
         for slot in 0..self.conns.len() {
+            if let Some(conn) = self.conns.get_mut(slot).and_then(|c| c.as_mut()) {
+                if conn.end > end_ts {
+                    conn.end = end_ts;
+                }
+                if conn.start > end_ts {
+                    conn.start = end_ts;
+                }
+            }
             self.close_slot(slot, handler);
         }
     }
@@ -742,6 +768,92 @@ mod tests {
         assert_eq!(h.summaries.len(), 1);
         // The evicted flow is the stale one (flow 1), not the refreshed one.
         assert_eq!(h.summaries[0].key.orig.port, 4001);
+    }
+
+    #[test]
+    fn finish_clamps_open_conn_ends_to_trace_end() {
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 2);
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        let f = udp_frame(a, b, 123, 123, 48);
+        t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_secs(1), &mut h);
+        // A wild future timestamp (e.g. a pinned-but-still-late stamp from a
+        // damaged capture) pushes the flow's last activity past the trace.
+        t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_secs(50), &mut h);
+        t.finish(Timestamp::from_secs(10), &mut h);
+        assert_eq!(h.summaries.len(), 1);
+        // The open flow's end is clamped back to the trace end, so its
+        // duration cannot exceed the trace.
+        assert_eq!(h.summaries[0].end, Timestamp::from_secs(10));
+        assert_eq!(h.summaries[0].duration_us(), 9_000_000);
+    }
+
+    #[test]
+    fn data_packets_exclude_pure_acks() {
+        let client = Addr::new(10, 0, 0, 1);
+        let server = Addr::new(10, 0, 0, 2);
+        let mk = |src: Addr, dst: Addr, sp, dp, seq, ack, flags, payload: &[u8]| {
+            build::tcp_frame(
+                &build::TcpFrameSpec {
+                    src_mac: MacAddr::from_host_id(1),
+                    dst_mac: MacAddr::from_host_id(2),
+                    src_ip: src,
+                    dst_ip: dst,
+                    src_port: sp,
+                    dst_port: dp,
+                    seq,
+                    ack,
+                    flags,
+                    window: 65535,
+                    ttl: 64,
+                },
+                payload,
+            )
+        };
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        let mut ts = 0u64;
+        let mut feed = |t: &mut ConnTable, h: &mut CollectSummaries, f: Vec<u8>| {
+            ts += 1000;
+            t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_micros(ts), h);
+        };
+        feed(&mut t, &mut h, mk(client, server, 40000, 80, 10, 0, Flags::SYN, &[]));
+        feed(&mut t, &mut h, mk(server, client, 80, 40000, 50, 11, Flags::SYN | Flags::ACK, &[]));
+        feed(&mut t, &mut h, mk(client, server, 40000, 80, 11, 51, Flags::ACK, &[]));
+        feed(&mut t, &mut h, mk(client, server, 40000, 80, 11, 51, Flags::ACK, b"GET /"));
+        feed(&mut t, &mut h, mk(server, client, 80, 40000, 51, 16, Flags::ACK, b"200 OK"));
+        feed(&mut t, &mut h, mk(client, server, 40000, 80, 16, 57, Flags::ACK, &[]));
+        t.finish(Timestamp::from_secs(1), &mut h);
+        assert_eq!(h.summaries.len(), 1);
+        let s = &h.summaries[0];
+        // 4 originator packets, but only 1 carried data; SYN-ACK is not data.
+        assert_eq!(s.orig.packets, 4);
+        assert_eq!(s.orig.data_packets, 1);
+        assert_eq!(s.resp.packets, 2);
+        assert_eq!(s.resp.data_packets, 1);
+    }
+
+    #[test]
+    fn peak_open_conns_tracks_high_water_mark() {
+        let mut t = ConnTable::new(TableConfig {
+            udp_timeout_us: 1_000_000,
+            ..Default::default()
+        });
+        let mut h = CollectSummaries::default();
+        let server = Addr::new(10, 0, 9, 9);
+        for i in 0..6u16 {
+            let f = udp_frame(Addr::new(10, 0, 0, i as u8 + 1), server, 4000 + i, 53, 20);
+            t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_millis(u64::from(i)), &mut h);
+        }
+        assert_eq!(t.stats().peak_open_conns, 6);
+        // A long-idle packet splits flows (closing them first), so the peak
+        // stays at the high-water mark even as occupancy drops.
+        let f = udp_frame(Addr::new(10, 0, 0, 1), server, 4000, 53, 20);
+        t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_secs(100), &mut h);
+        assert_eq!(t.stats().peak_open_conns, 6);
+        t.finish(Timestamp::from_secs(200), &mut h);
+        assert_eq!(t.stats().peak_open_conns, 6);
     }
 
     #[test]

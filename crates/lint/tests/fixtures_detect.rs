@@ -1,6 +1,9 @@
 //! Every seeded violation in `tests/fixtures/ws` must be detected, with
 //! the expected counts per code, and the one inline suppression honored.
 
+// Test helpers may abort on setup failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ent_lint::{lint_workspace, Code, LintConfig, Report};
 use std::path::Path;
 

@@ -16,4 +16,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> ent-lint (workspace static analysis, zero findings required)"
 cargo run --release -q -p ent-lint
 
+echo "==> pipeline metrics smoke (tiny study -> BENCH_pipeline.json -> schema check)"
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "$BENCH_TMP"' EXIT
+cargo run --release -q -p ent-cli -- study \
+    --scale 0.002 --seed 3 --hosts 8 --datasets D0 \
+    --only 'table 3' --bench-json "$BENCH_TMP/BENCH_pipeline.json" > /dev/null
+# obs-check fails on schema drift or any zero-valued mandatory stage
+# (instrumentation rot): a stage someone forgot to re-wire reads zero.
+cargo run --release -q -p ent-cli -- obs-check "$BENCH_TMP/BENCH_pipeline.json"
+
 echo "All checks passed."
