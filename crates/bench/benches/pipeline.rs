@@ -61,6 +61,21 @@ fn bench_flow_tracking(c: &mut Criterion) {
             black_box(h.summaries.len())
         })
     });
+    // The SipHash reference table: the delta against `connection_tracking`
+    // is the hashing overhaul's contribution in isolation.
+    g.bench_function("connection_tracking_std_hash", |b| {
+        b.iter(|| {
+            let mut table = ConnTable::with_std_hasher(TableConfig::default());
+            let mut h = CollectSummaries::default();
+            for p in &trace.packets {
+                if let Ok(pkt) = Packet::parse(&p.frame) {
+                    table.ingest(&pkt, p.ts, &mut h);
+                }
+            }
+            table.finish(Timestamp::from_secs(4_000), &mut h);
+            black_box(h.summaries.len())
+        })
+    });
     g.finish();
 }
 
@@ -70,6 +85,23 @@ fn bench_full_analysis(c: &mut Criterion) {
     g.throughput(Throughput::Elements(trace.packets.len() as u64));
     g.bench_function("analyze_trace_full", |b| {
         b.iter(|| black_box(analyze_trace(trace, &PipelineConfig::default())))
+    });
+    // The zero-copy ingest path: same workload serialized as pcap bytes,
+    // analyzed straight off the buffer with the reusable record cursor
+    // (no intermediate per-packet Vec materialization).
+    let mut pcap_buf = Vec::new();
+    trace.write_pcap(&mut pcap_buf).expect("write pcap");
+    g.bench_function("analyze_capture_streaming", |b| {
+        b.iter(|| {
+            black_box(
+                ent_core::analyze_capture(
+                    &pcap_buf,
+                    trace.meta.clone(),
+                    &PipelineConfig::default(),
+                )
+                .expect("capture analyzes"),
+            )
+        })
     });
     g.finish();
 }

@@ -6,11 +6,14 @@
 //! * `generate`  — write one synthetic trace as a pcap file.
 //! * `analyze`   — analyze a pcap file (ours or any Ethernet capture).
 //! * `anonymize` — prefix-preserving anonymization of a pcap file.
+//! * `obs-check` — validate a `BENCH_pipeline.json` export.
+//! * `bench-compare` — gate a candidate bench export against a committed
+//!   baseline (exact event/byte equality, one-sided wall tolerance).
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use ent_core::metrics::{bench_json, validate_bench_json, BenchContext};
+use ent_core::metrics::{bench_json, compare_bench_json, validate_bench_json, BenchContext};
 use ent_core::run::{run_datasets, StudyConfig};
 use ent_core::study::build_report;
 use ent_core::{PipelineConfig, PipelineMetrics};
@@ -39,7 +42,8 @@ fn usage() -> ExitCode {
   entreport generate --dataset D0 --subnet 3 [--pass 1] [--scale S] [--seed N] --out FILE.pcap
   entreport analyze FILE.pcap [--subnet N] [--name D0]
   entreport anonymize IN.pcap OUT.pcap --key SEED
-  entreport obs-check FILE.json"
+  entreport obs-check FILE.json
+  entreport bench-compare BASELINE.json CANDIDATE.json [--tolerance 0.25]"
     );
     ExitCode::from(2)
 }
@@ -88,6 +92,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "anonymize" => cmd_anonymize(&args),
         "obs-check" => cmd_obs_check(&args),
+        "bench-compare" => cmd_bench_compare(&args),
         _ => usage(),
     }
 }
@@ -294,7 +299,7 @@ fn cmd_analyze(args: &Args) -> ExitCode {
         dataset: args
             .flags
             .get("name")
-            .cloned()
+            .map(|s| s.as_str().into())
             .unwrap_or_else(|| "pcap".into()),
         subnet: args
             .flags
@@ -393,6 +398,47 @@ fn cmd_obs_check(args: &Args) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{path}: INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Gate a candidate `BENCH_pipeline.json` against a committed baseline:
+/// exact event/byte equality on every mandatory stage plus a one-sided
+/// wall-time check (see `ent_core::metrics::compare_bench_json`).
+/// `ENT_BENCH_WAIVER=1` waives the wall half for noisy hardware.
+fn cmd_bench_compare(args: &Args) -> ExitCode {
+    let (Some(base_path), Some(cand_path)) =
+        (args.positional.first(), args.positional.get(1))
+    else {
+        return usage();
+    };
+    let tolerance: f64 = args
+        .flags
+        .get("tolerance")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let waived = std::env::var("ENT_BENCH_WAIVER").is_ok_and(|v| !v.is_empty() && v != "0");
+    let baseline = or_die(std::fs::read_to_string(base_path), "read baseline json");
+    let candidate = or_die(std::fs::read_to_string(cand_path), "read candidate json");
+    match compare_bench_json(&baseline, &candidate, tolerance, !waived) {
+        Ok(report) => {
+            print!("{report}");
+            if waived {
+                println!("note: wall-time checks waived via ENT_BENCH_WAIVER");
+            }
+            println!("bench-compare: ok ({cand_path} vs {base_path}, tolerance +{:.0}%)",
+                tolerance * 100.0);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench-compare: FAILED ({cand_path} vs {base_path}):\n{e}");
+            eprintln!(
+                "hint: on noisy hardware, re-run with ENT_BENCH_WAIVER=1 to skip the \
+                 wall-time half of the gate (event/byte determinism is always enforced); \
+                 if the regression is real and intended, regenerate the committed baseline \
+                 with `entreport study --bench-json BENCH_pipeline.json`"
+            );
             ExitCode::FAILURE
         }
     }

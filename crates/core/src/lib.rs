@@ -46,9 +46,11 @@ pub mod records;
 pub mod report;
 pub mod run;
 pub mod scanners;
+pub mod small;
 pub mod stats;
 pub mod study;
 
+pub use ent_flow::fasthash;
 pub use error::AnalysisError;
 pub use metrics::{PipelineMetrics, StageStat, StageTimer};
 pub use pipeline::{analyze_capture, analyze_trace, PipelineConfig};

@@ -786,6 +786,117 @@ pub fn validate_bench_json(text: &str) -> Result<BenchSummary, String> {
     Ok(summary)
 }
 
+/// Wall-time share (of the summed mandatory-stage wall) below which a
+/// stage's wall comparison is skipped by [`compare_bench_json`]: sub-share
+/// stages on a sub-second run are dominated by scheduler noise, and a
+/// flaky gate is worse than a slightly blind one. Event/byte equality is
+/// still enforced for every stage regardless of share.
+pub const WALL_SHARE_FLOOR: f64 = 0.05;
+
+/// Compare a candidate `BENCH_pipeline.json` against a committed baseline.
+///
+/// The gate contract has two halves:
+///
+/// * **Determinism** — the runs must share `scale`/`seed`/`threads`
+///   (otherwise the comparison is meaningless and this errors out), and
+///   every mandatory stage's `events`/`bytes` — plus study `packets`,
+///   `traces`, and `peak_open_conns` — must match the baseline *exactly*.
+///   Any drift means the pipeline's outputs changed, which a perf change
+///   must never do.
+/// * **Performance** — a one-sided wall check: a stage holding at least
+///   [`WALL_SHARE_FLOOR`] of the summed mandatory-stage wall may not
+///   exceed its baseline wall by more than `wall_tolerance` (0.25 =
+///   +25%). Getting faster never fails. Pass `check_wall = false` (the
+///   `ENT_BENCH_WAIVER=1` escape hatch in `scripts/check.sh`) to skip the
+///   wall half on noisy hardware while keeping the determinism half.
+///
+/// Returns a human-readable comparison table on success, or a newline-
+/// separated list of every unacceptable difference.
+pub fn compare_bench_json(
+    baseline: &str,
+    candidate: &str,
+    wall_tolerance: f64,
+    check_wall: bool,
+) -> Result<String, String> {
+    validate_bench_json(baseline).map_err(|e| format!("baseline: {e}"))?;
+    validate_bench_json(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let b = json_parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let c = json_parse(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let num =
+        |doc: &JsonValue, key: &str| doc.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+    for key in ["scale", "seed", "threads"] {
+        if num(&b, key) != num(&c, key) {
+            return Err(format!(
+                "runs are not comparable: {key:?} differs (baseline {}, candidate {})",
+                num(&b, key),
+                num(&c, key)
+            ));
+        }
+    }
+    let mut failures: Vec<String> = Vec::new();
+    for key in ["packets", "traces", "peak_open_conns"] {
+        if num(&b, key) != num(&c, key) {
+            failures.push(format!(
+                "{key} drifted: baseline {}, candidate {}",
+                num(&b, key),
+                num(&c, key)
+            ));
+        }
+    }
+    let b_stages = b.get("stages").ok_or("baseline: missing \"stages\"")?;
+    let c_stages = c.get("stages").ok_or("candidate: missing \"stages\"")?;
+    let mut total_wall = 0.0f64;
+    for name in MANDATORY_STAGES {
+        let stage = b_stages
+            .get(name)
+            .ok_or_else(|| format!("baseline: missing stage {name:?}"))?;
+        total_wall += stat_fields(stage, name)?.0;
+    }
+    let mut report = format!(
+        "{:<16} {:>12} {:>12} {:>7}  wall check\n",
+        "stage", "base_us", "cand_us", "ratio"
+    );
+    for name in MANDATORY_STAGES {
+        let bst = b_stages
+            .get(name)
+            .ok_or_else(|| format!("baseline: missing stage {name:?}"))?;
+        let cst = c_stages
+            .get(name)
+            .ok_or_else(|| format!("candidate: missing stage {name:?}"))?;
+        let (bw, be, bb) = stat_fields(bst, name)?;
+        let (cw, ce, cb) = stat_fields(cst, name)?;
+        if (be, bb) != (ce, cb) {
+            failures.push(format!(
+                "stage {name}: events/bytes drifted (baseline {be}/{bb}, candidate {ce}/{cb})"
+            ));
+        }
+        let share = if total_wall > 0.0 { bw / total_wall } else { 0.0 };
+        let ratio = if bw > 0.0 { cw / bw } else { f64::NAN };
+        let verdict = if !check_wall {
+            "waived"
+        } else if share < WALL_SHARE_FLOOR {
+            "below share floor"
+        } else if ratio <= 1.0 + wall_tolerance {
+            "ok"
+        } else {
+            failures.push(format!(
+                "stage {name}: wall regressed {ratio:.2}x \
+                 (baseline {bw:.0}us, candidate {cw:.0}us, tolerance +{:.0}%)",
+                wall_tolerance * 100.0
+            ));
+            "REGRESSED"
+        };
+        report.push_str(&format!(
+            "{name:<16} {bw:>12.1} {cw:>12.1} {ratio:>6.2}x  {verdict}\n"
+        ));
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -881,6 +992,66 @@ mod tests {
         assert!(validate_bench_json(&bad)
             .expect_err("schema mismatch")
             .contains("schema mismatch"));
+    }
+
+    fn bench_doc(m: &PipelineMetrics) -> String {
+        let ctx = BenchContext {
+            scale: 0.01,
+            seed: 2005,
+            threads: 1,
+            study_wall_ns: 9_000_000,
+            datasets: vec![("D0".into(), 2, 3_000_000, 20, 2_000)],
+        };
+        bench_json(&ctx, m)
+    }
+
+    #[test]
+    fn compare_accepts_identical_and_faster_runs() {
+        let base = bench_doc(&nonzero_metrics());
+        let report = compare_bench_json(&base, &base, 0.25, true).expect("identical run passes");
+        assert!(report.contains("flow_ingest"), "{report}");
+        // Faster is always fine (one-sided check).
+        let mut fast = nonzero_metrics();
+        fast.flow_ingest.wall_ns /= 2;
+        compare_bench_json(&base, &bench_doc(&fast), 0.25, true).expect("faster run passes");
+    }
+
+    #[test]
+    fn compare_rejects_event_drift_even_with_waiver() {
+        let base = bench_doc(&nonzero_metrics());
+        let mut drifted = nonzero_metrics();
+        drifted.tcp_deliver.events += 1;
+        let err = compare_bench_json(&base, &bench_doc(&drifted), 0.25, false)
+            .expect_err("event drift must fail even when wall is waived");
+        assert!(err.contains("tcp_deliver"), "{err}");
+        assert!(err.contains("drifted"), "{err}");
+    }
+
+    #[test]
+    fn compare_gates_wall_one_sided_with_share_floor_and_waiver() {
+        let base = bench_doc(&nonzero_metrics());
+        // A big stage regressing past tolerance fails...
+        let mut slow = nonzero_metrics();
+        slow.flow_ingest.wall_ns *= 2;
+        let err = compare_bench_json(&base, &bench_doc(&slow), 0.25, true)
+            .expect_err("2x regression on a dominant stage must fail");
+        assert!(err.contains("flow_ingest") && err.contains("regressed"), "{err}");
+        // ...unless the waiver is on (determinism half still enforced).
+        compare_bench_json(&base, &bench_doc(&slow), 0.25, false).expect("waiver skips wall");
+        // A stage below the share floor may regress wildly without failing.
+        let mut noisy = nonzero_metrics();
+        noisy.scanner_removal.wall_ns *= 20;
+        let report = compare_bench_json(&base, &bench_doc(&noisy), 0.25, true)
+            .expect("sub-floor stage noise is not a failure");
+        assert!(report.contains("below share floor"), "{report}");
+    }
+
+    #[test]
+    fn compare_refuses_mismatched_run_parameters() {
+        let base = bench_doc(&nonzero_metrics());
+        let other = base.replace("\"seed\": 2005", "\"seed\": 7");
+        let err = compare_bench_json(&base, &other, 0.25, true).expect_err("seed mismatch");
+        assert!(err.contains("not comparable"), "{err}");
     }
 
     #[test]

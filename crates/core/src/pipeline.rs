@@ -12,8 +12,9 @@ use crate::error::AnalysisError;
 use crate::metrics::{AnalyzerKind, StageTimer};
 use crate::records::*;
 use crate::scanners::{remove_scanners, ScannerConfig};
+use crate::small::SmallMap;
 use ent_flow::{ConnIndex, ConnSummary, ConnTable, Dir, FlowHandler, FlowKey, Proto, TableConfig};
-use ent_pcap::{Trace, TraceMeta};
+use ent_pcap::{RecoveringReader, Trace, TraceMeta};
 use ent_proto::dns::QType;
 use ent_proto::http::HttpAnalyzer;
 use ent_proto::imap::ImapAnalyzer;
@@ -23,7 +24,7 @@ use ent_proto::smtp::SmtpAnalyzer;
 use ent_proto::ssl::TlsTracker;
 use ent_proto::{cifs, dcerpc, dns, netbios, AppProtocol, Category, DynamicPorts, Transport};
 use ent_wire::{Packet, Timestamp};
-use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 /// Pipeline options.
 #[derive(Debug, Clone, Default)]
@@ -41,16 +42,25 @@ pub struct PipelineConfig {
     /// analyzer-failure demotion path deterministically; never set outside
     /// the fault harness.
     pub analyzer_panic_every: u64,
+    /// Escape hatch: key the connection table with the std SipHash hasher
+    /// instead of the default fast hasher. This is the reference
+    /// instantiation the differential equivalence suite compares against;
+    /// results must be identical either way (see `ent_flow::fasthash`).
+    pub use_std_hash: bool,
 }
+
+/// Outstanding-query maps hold a handful of entries at most; 4 inline
+/// slots cover the common case with zero heap traffic.
+const PENDING_INLINE: usize = 4;
 
 #[derive(Default)]
 struct DnsState {
-    pending: HashMap<u16, (Timestamp, QType)>,
+    pending: SmallMap<u16, (Timestamp, QType), PENDING_INLINE>,
 }
 
 #[derive(Default)]
 struct NbnsState {
-    pending: HashMap<u16, usize>, // id -> index into out.nbns
+    pending: SmallMap<u16, usize, PENDING_INLINE>, // id -> index into out.nbns
 }
 
 enum AppState {
@@ -94,7 +104,11 @@ fn kind_of(state: &AppState) -> Option<AnalyzerKind> {
 
 struct Handler<'a> {
     out: &'a mut TraceAnalysis,
-    conns: HashMap<ConnIndex, PerConn>,
+    /// Per-connection analyzer state, indexed directly by [`ConnIndex`].
+    /// The flow table hands out dense sequential indices, so a slab vector
+    /// replaces the former `HashMap<ConnIndex, PerConn>`: lookup is a
+    /// bounds check, not a hash.
+    conns: Vec<Option<PerConn>>,
     dynamic: DynamicPorts,
     payload_ok: bool,
     panic_every: u64,
@@ -153,7 +167,7 @@ impl Handler<'_> {
 
     fn finalize(&mut self, idx: ConnIndex, summary: &ConnSummary) {
         let mut timer = StageTimer::start();
-        let Some(mut pc) = self.conns.remove(&idx) else {
+        let Some(mut pc) = self.conns.get_mut(idx).and_then(Option::take) else {
             return;
         };
         let category = match pc.app {
@@ -171,8 +185,11 @@ impl Handler<'_> {
         if drained.is_err() {
             demote(self.out);
         }
+        // `ConnSummary` is `Copy`; storing it by value is a plain memcpy
+        // with no per-connection heap traffic (pinned by the allocation
+        // counter in `tests/tests/alloc_pin.rs`).
         self.out.conns.push(ConnRecord {
-            summary: summary.clone(),
+            summary: *summary,
             app: pc.app,
             category,
         });
@@ -290,18 +307,22 @@ impl FlowHandler for Handler<'_> {
     fn on_new_conn(&mut self, idx: ConnIndex, key: &FlowKey, _ts: Timestamp) {
         let app = self.classify(key);
         let state = self.attach(key, app);
-        self.conns.insert(
-            idx,
-            PerConn {
+        // Indices arrive densely in creation order, so this is a push in
+        // the normal case; resize_with covers the defensive gap.
+        if idx >= self.conns.len() {
+            self.conns.resize_with(idx + 1, || None);
+        }
+        if let Some(slot) = self.conns.get_mut(idx) {
+            *slot = Some(PerConn {
                 key: *key,
                 app,
                 state,
-            },
-        );
+            });
+        }
     }
 
     fn on_tcp_data(&mut self, idx: ConnIndex, dir: Dir, _ts: Timestamp, data: &[u8]) {
-        let Some(pc) = self.conns.get_mut(&idx) else {
+        let Some(pc) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
             return;
         };
         if matches!(pc.state, AppState::None | AppState::Dns(_) | AppState::Nbns(_)) {
@@ -370,7 +391,7 @@ impl FlowHandler for Handler<'_> {
     }
 
     fn on_tcp_gap(&mut self, idx: ConnIndex, dir: Dir, _wire_bytes: u64) {
-        let Some(pc) = self.conns.get_mut(&idx) else {
+        let Some(pc) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
             return;
         };
         match &mut pc.state {
@@ -388,7 +409,7 @@ impl FlowHandler for Handler<'_> {
         data: &[u8],
         _wire_len: u32,
     ) {
-        let Some(pc) = self.conns.get_mut(&idx) else {
+        let Some(pc) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
             return;
         };
         if !matches!(
@@ -464,8 +485,9 @@ impl FlowHandler for Handler<'_> {
     }
 
     fn on_conn_closed(&mut self, idx: ConnIndex, summary: &ConnSummary) {
-        // Flush pending DNS queries as unanswered records.
-        if let Some(pc) = self.conns.get_mut(&idx) {
+        // Flush pending DNS queries as unanswered records (in the
+        // SmallMap's deterministic slot order, not hash order).
+        if let Some(pc) = self.conns.get_mut(idx).and_then(Option::as_mut) {
             if let AppState::Dns(st) = &mut pc.state {
                 let (client, server) = (pc.key.orig.addr, pc.key.resp.addr);
                 for (_, (_t0, qt)) in st.pending.drain() {
@@ -484,25 +506,79 @@ impl FlowHandler for Handler<'_> {
     }
 }
 
+/// A borrowed view of one timed frame: the single currency of the generic
+/// analysis loop, produced either from an in-memory [`Trace`] or streamed
+/// straight off a pcap byte buffer by the recovering reader.
+#[derive(Clone, Copy)]
+struct FrameRef<'a> {
+    ts: Timestamp,
+    frame: &'a [u8],
+    orig_len: u32,
+}
+
+/// Pre-size hot structures from a packet-count hint. Connection
+/// populations in both the generated datasets and the paper's traces run
+/// a few dozen packets per connection, so `packets / 32` with sane bounds
+/// keeps the key map from rehashing mid-trace without over-reserving for
+/// tiny fixtures.
+fn expected_conns_hint(packets_hint: usize) -> usize {
+    (packets_hint / 32).clamp(64, 16_384)
+}
+
+fn table_config(config: &PipelineConfig, expected_conns: usize) -> TableConfig {
+    TableConfig {
+        max_conns: config.max_conns,
+        expected_conns,
+        ..TableConfig::default()
+    }
+}
+
 /// Analyze one trace end-to-end.
 pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
+    let frames = trace.packets.iter().map(|p| FrameRef {
+        ts: p.ts,
+        frame: &p.frame,
+        orig_len: p.orig_len,
+    });
+    let expected = expected_conns_hint(trace.packets.len());
+    // Branch on the hasher once, outside the loop: each arm monomorphizes
+    // its own `analyze_frames`, so the escape hatch costs nothing per
+    // packet.
+    if config.use_std_hash {
+        let table = ConnTable::with_std_hasher(table_config(config, expected));
+        analyze_frames(&trace.meta, frames, config, table, expected)
+    } else {
+        let table = ConnTable::new(table_config(config, expected));
+        analyze_frames(&trace.meta, frames, config, table, expected)
+    }
+}
+
+/// The generic per-packet loop: parse → tally → flow ingest, over any
+/// frame source and either connection-table hasher.
+fn analyze_frames<'a, S, I>(
+    meta: &TraceMeta,
+    frames: I,
+    config: &PipelineConfig,
+    mut table: ConnTable<S>,
+    expected_conns: usize,
+) -> TraceAnalysis
+where
+    S: BuildHasher,
+    I: Iterator<Item = FrameRef<'a>>,
+{
     let mut out = TraceAnalysis {
-        dataset: trace.meta.dataset.clone(),
-        subnet: trace.meta.subnet,
-        pass: trace.meta.pass,
-        duration_secs: trace.meta.duration.micros() / 1_000_000,
-        link_capacity_bps: trace.meta.link_capacity_bps,
-        bytes_per_second: vec![0; (trace.meta.duration.micros() / 1_000_000 + 1) as usize],
+        dataset: meta.dataset.clone(),
+        subnet: meta.subnet,
+        pass: meta.pass,
+        duration_secs: meta.duration.micros() / 1_000_000,
+        link_capacity_bps: meta.link_capacity_bps,
+        bytes_per_second: vec![0; (meta.duration.micros() / 1_000_000 + 1) as usize],
         ..Default::default()
     };
-    let payload_ok = trace.meta.has_payload();
-    let mut table = ConnTable::new(TableConfig {
-        max_conns: config.max_conns,
-        ..TableConfig::default()
-    });
+    let payload_ok = meta.has_payload();
     let mut handler = Handler {
         out: &mut out,
-        conns: HashMap::new(),
+        conns: Vec::with_capacity(expected_conns),
         dynamic: DynamicPorts::new(),
         payload_ok,
         panic_every: config.analyzer_panic_every,
@@ -512,12 +588,19 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
     // Load bins are indexed relative to the trace's first timestamp —
     // traces with epoch-based clocks (real captures) would otherwise land
     // every sample past the end of the vec and the series would read zero.
-    let base_us = trace.packets.first().map(|p| p.ts.micros()).unwrap_or(0);
-    let base_sec = base_us / 1_000_000;
-    let mut max_ts = Timestamp::from_micros(base_us);
+    let mut first = true;
+    let mut base_us = 0u64;
+    let mut base_sec = 0u64;
+    let mut max_ts = Timestamp::ZERO;
     let mut pt = StageTimer::start();
-    for p in &trace.packets {
-        let Ok(pkt) = Packet::parse(&p.frame) else {
+    for p in frames {
+        if first {
+            first = false;
+            base_us = p.ts.micros();
+            base_sec = base_us / 1_000_000;
+            max_ts = p.ts;
+        }
+        let Ok(pkt) = Packet::parse(p.frame) else {
             // Undissectable frame: count it rather than silently narrowing
             // the trace — the analyses' denominators stay honest.
             handler.out.health.malformed_frames += 1;
@@ -528,11 +611,6 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
                 .add(pt.lap(), 1, p.frame.len() as u64);
             continue;
         };
-        handler
-            .out
-            .metrics
-            .frame_parse
-            .add(pt.lap(), 1, p.frame.len() as u64);
         handler.out.packets += 1;
         match &pkt.net {
             ent_wire::NetLayer::Ipv4 { .. } | ent_wire::NetLayer::Ipv6 { .. } => {
@@ -551,7 +629,14 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
         if p.ts > max_ts {
             max_ts = p.ts;
         }
-        pt.lap();
+        // One lap boundary per stage, two clock reads per packet: layer
+        // tallying and load binning are charged to frame_parse, everything
+        // from here to the next lap to flow_ingest.
+        handler
+            .out
+            .metrics
+            .frame_parse
+            .add(pt.lap(), 1, p.frame.len() as u64);
         table.ingest(&pkt, p.ts, &mut handler);
         handler
             .out
@@ -563,7 +648,7 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
     // nominal duration past the first packet, or the last packet seen,
     // whichever is later (finish() clamps open conns back to this point).
     let end_abs =
-        Timestamp::from_micros(base_us.saturating_add(trace.meta.duration.micros())).max(max_ts);
+        Timestamp::from_micros(base_us.saturating_add(meta.duration.micros())).max(max_ts);
     pt.lap();
     table.finish(end_abs, &mut handler);
     handler.out.metrics.flow_ingest.add(pt.lap(), 0, 0);
@@ -615,20 +700,40 @@ pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
 
 /// Analyze a serialized (possibly damaged) capture end-to-end.
 ///
-/// The buffer is ingested with the recovering pcap reader — per-record
-/// damage is salvaged and tallied, not fatal — then run through
-/// [`analyze_trace`]; the capture-layer tally lands in
-/// [`TraceAnalysis::health`] next to the pipeline's own counters. The only
-/// error is [`AnalysisError::Ingest`]: an unusable global header leaves
-/// nothing to salvage.
+/// The buffer is streamed through the recovering pcap reader with a
+/// reusable cursor — each salvaged record is analyzed as a borrowed
+/// [`RecordView`](ent_pcap::RecordView) straight out of the capture
+/// buffer, never materialized as an intermediate owned packet copy.
+/// Per-record damage is salvaged and tallied, not fatal; the capture-layer
+/// tally lands in [`TraceAnalysis::health`] next to the pipeline's own
+/// counters. The only error is [`AnalysisError::Ingest`]: an unusable
+/// global header leaves nothing to salvage.
 pub fn analyze_capture(
     data: &[u8],
-    meta: TraceMeta,
+    mut meta: TraceMeta,
     config: &PipelineConfig,
 ) -> Result<TraceAnalysis, AnalysisError> {
-    let (trace, stats) = Trace::read_pcap_recovering(data, meta)?;
-    let mut analysis = analyze_trace(&trace, config);
-    analysis.health.capture = stats;
+    let mut reader = RecoveringReader::new(data)?;
+    meta.snaplen = reader.snaplen();
+    // Sizing hint from the raw buffer: enterprise frames average a few
+    // hundred bytes on the wire, so bytes/600 approximates the packet
+    // count well enough for pre-sizing.
+    let expected = expected_conns_hint(data.len() / 600);
+    let frames = std::iter::from_fn(|| {
+        reader.next_record().map(|r| FrameRef {
+            ts: r.ts,
+            frame: r.frame,
+            orig_len: r.orig_len,
+        })
+    });
+    let mut analysis = if config.use_std_hash {
+        let table = ConnTable::with_std_hasher(table_config(config, expected));
+        analyze_frames(&meta, frames, config, table, expected)
+    } else {
+        let table = ConnTable::new(table_config(config, expected));
+        analyze_frames(&meta, frames, config, table, expected)
+    };
+    analysis.health.capture = reader.stats().clone();
     Ok(analysis)
 }
 

@@ -299,8 +299,8 @@ impl core::fmt::Display for IngestHealth {
 /// Everything extracted from one trace.
 #[derive(Debug, Default, Clone)]
 pub struct TraceAnalysis {
-    /// Dataset label.
-    pub dataset: String,
+    /// Dataset label (interned; shared with the trace metadata).
+    pub dataset: std::sync::Arc<str>,
     /// Monitored subnet.
     pub subnet: u16,
     /// Monitoring pass.

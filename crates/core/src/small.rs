@@ -1,0 +1,132 @@
+//! Hand-rolled SmallVec-style inline map for tiny per-connection state.
+//!
+//! The DNS/NBNS analyzers track outstanding query IDs per connection. A
+//! `HashMap` there costs a heap allocation per connection and — worse for
+//! reproducibility — drains in hash order, so flushing unanswered queries
+//! at connection close emitted records in a nondeterministic order. A
+//! [`SmallMap`] stores the first `N` entries inline (no heap traffic at
+//! all for the common case of a handful of outstanding queries) and spills
+//! to a `Vec` beyond that; iteration and [`SmallMap::drain`] walk slots in
+//! a fixed order, so identical operation sequences yield identical output
+//! order — a prerequisite for the differential equivalence suite.
+
+/// A tiny association map: inline array of `N` slots plus a spill vector.
+///
+/// Lookups are linear scans — only use this where the expected population
+/// is a handful of entries (outstanding DNS queries, not flow tables).
+#[derive(Debug)]
+pub struct SmallMap<K, V, const N: usize> {
+    inline: [Option<(K, V)>; N],
+    spill: Vec<(K, V)>,
+}
+
+impl<K, V, const N: usize> Default for SmallMap<K, V, N> {
+    fn default() -> Self {
+        SmallMap {
+            inline: std::array::from_fn(|_| None),
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl<K: Eq, V, const N: usize> SmallMap<K, V, N> {
+    /// Insert or replace the value for `key`. Replacement happens in
+    /// place; a new key takes the first free inline slot, spilling to the
+    /// heap only when all `N` are occupied.
+    pub fn insert(&mut self, key: K, value: V) {
+        for (k, v) in self.inline.iter_mut().flatten() {
+            if *k == key {
+                *v = value;
+                return;
+            }
+        }
+        if let Some((_, v)) = self.spill.iter_mut().find(|(k, _)| *k == key) {
+            *v = value;
+            return;
+        }
+        for slot in &mut self.inline {
+            if slot.is_none() {
+                *slot = Some((key, value));
+                return;
+            }
+        }
+        self.spill.push((key, value));
+    }
+
+    /// Remove and return the value for `key`, if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        for slot in &mut self.inline {
+            if slot.as_ref().is_some_and(|(k, _)| k == key) {
+                return slot.take().map(|(_, v)| v);
+            }
+        }
+        self.spill
+            .iter()
+            .position(|(k, _)| k == key)
+            .map(|i| self.spill.remove(i).1)
+    }
+
+    /// Drain every entry in deterministic slot order (inline slots first,
+    /// then the spill vector in insertion order).
+    pub fn drain(&mut self) -> impl Iterator<Item = (K, V)> + '_ {
+        self.inline
+            .iter_mut()
+            .filter_map(Option::take)
+            .chain(self.spill.drain(..))
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inline.iter().filter(|s| s.is_some()).count() + self.spill.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut m: SmallMap<u16, u32, 4> = SmallMap::default();
+        for i in 0..10u16 {
+            m.insert(i, u32::from(i) * 7);
+        }
+        assert_eq!(m.len(), 10);
+        for i in 0..10u16 {
+            assert_eq!(m.remove(&i), Some(u32::from(i) * 7));
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.remove(&3), None);
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut m: SmallMap<u16, u32, 2> = SmallMap::default();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        m.insert(3, 30); // spills
+        m.insert(1, 11);
+        m.insert(3, 31);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.remove(&1), Some(11));
+        assert_eq!(m.remove(&3), Some(31));
+    }
+
+    #[test]
+    fn drain_order_is_deterministic_slot_order() {
+        let mut m: SmallMap<u16, u32, 2> = SmallMap::default();
+        m.insert(5, 50);
+        m.insert(6, 60);
+        m.insert(7, 70); // spill
+        m.remove(&5); // frees inline slot 0
+        m.insert(8, 80); // takes inline slot 0
+        let order: Vec<u16> = m.drain().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![8, 6, 7]);
+        assert!(m.is_empty());
+    }
+}

@@ -58,7 +58,7 @@ pub struct CollectSummaries {
 
 impl FlowHandler for CollectSummaries {
     fn on_conn_closed(&mut self, _idx: ConnIndex, summary: &ConnSummary) {
-        self.summaries.push(summary.clone());
+        self.summaries.push(*summary);
     }
 }
 

@@ -61,12 +61,14 @@
 // hatches are compile errors outside tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod fasthash;
 pub mod handler;
 pub mod key;
 pub mod summary;
 pub mod table;
 pub mod tcp;
 
+pub use fasthash::{fx_map_with_capacity, FxBuildHasher, FxHashMap, FxHasher};
 pub use handler::{CollectSummaries, FlowHandler};
 pub use key::{ConnIndex, Dir, Endpoint, FlowKey, Proto};
 pub use summary::{ConnSummary, DirStats, TcpOutcome, TcpState};

@@ -83,7 +83,11 @@ pub enum TcpState {
 }
 
 /// Everything the analyses need to know about one finished flow.
-#[derive(Debug, Clone)]
+///
+/// Deliberately `Copy`: every field is plain-old-data, so finalization can
+/// store summaries by value with no per-connection heap traffic (pinned by
+/// the allocation-counting test in `tests/tests/alloc_pin.rs`).
+#[derive(Debug, Clone, Copy)]
 pub struct ConnSummary {
     /// Oriented key (originator first).
     pub key: FlowKey,

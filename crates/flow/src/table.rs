@@ -1,12 +1,15 @@
 //! The connection table.
 
+use crate::fasthash::FxBuildHasher;
 use crate::handler::FlowHandler;
 use crate::key::{ConnIndex, Dir, Endpoint, FlowKey, Proto};
 use crate::summary::{ConnSummary, DirStats, TcpOutcome, TcpState};
 use crate::tcp::TcpConn;
 use ent_wire::icmp::MessageType;
 use ent_wire::{Packet, Timestamp, Transport};
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 /// Configuration for flow demultiplexing.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +29,10 @@ pub struct TableConfig {
     /// [`FlowStats::evicted_conns`]. This bounds table memory against
     /// SYN floods and scan storms in damaged or adversarial traces.
     pub max_conns: usize,
+    /// Expected simultaneously-open connections (a dataset-derived hint,
+    /// 0 = no hint). The key map and slot vector are pre-sized from it so
+    /// hot-path inserts never rehash or reallocate mid-trace.
+    pub expected_conns: usize,
 }
 
 impl Default for TableConfig {
@@ -35,6 +42,7 @@ impl Default for TableConfig {
             icmp_timeout_us: 60_000_000,
             tcp_attempt_timeout_us: 60_000_000,
             max_conns: 0,
+            expected_conns: 0,
         }
     }
 }
@@ -56,6 +64,9 @@ pub struct FlowStats {
 struct Conn {
     idx: ConnIndex,
     key: FlowKey,
+    /// `key.canonical()`, computed once at open so the per-packet lookup
+    /// and the close path never re-canonicalize.
+    canon: (Proto, Endpoint, Endpoint),
     start: Timestamp,
     end: Timestamp,
     orig: DirStats,
@@ -126,27 +137,55 @@ impl Conn {
 ///
 /// Feed packets in timestamp order via [`ConnTable::ingest`], then call
 /// [`ConnTable::finish`] to flush still-open flows.
-pub struct ConnTable {
+///
+/// Generic over the key map's [`BuildHasher`]: the default is the
+/// dependency-free [`FxBuildHasher`] (see [`crate::fasthash`] for the
+/// safety argument); [`ConnTable::with_std_hasher`] builds the SipHash
+/// reference table the differential equivalence suite pins against. All
+/// externally-visible behaviour (summaries, eviction decisions, stats) is
+/// hash-order independent, so the two instantiations are interchangeable.
+pub struct ConnTable<S: BuildHasher = FxBuildHasher> {
     config: TableConfig,
-    map: HashMap<(Proto, Endpoint, Endpoint), usize>,
+    map: HashMap<(Proto, Endpoint, Endpoint), usize, S>,
     conns: Vec<Option<Conn>>, // slot per ConnIndex; None once closed
     next_idx: ConnIndex,
     packets_seen: u64,
     last_ts: Option<Timestamp>,
     stats: FlowStats,
+    /// Reused by [`ConnTable::enforce_cap`] so cap enforcement allocates
+    /// once per table, not once per eviction batch.
+    evict_scratch: Vec<(Timestamp, usize)>,
 }
 
-impl ConnTable {
-    /// Create an empty table.
+impl ConnTable<FxBuildHasher> {
+    /// Create an empty table with the default fast hasher.
     pub fn new(config: TableConfig) -> ConnTable {
+        ConnTable::with_hasher(config, FxBuildHasher::default())
+    }
+}
+
+impl ConnTable<RandomState> {
+    /// Create an empty table keyed by the std SipHash hasher — the
+    /// reference instantiation for differential testing and the
+    /// `PipelineConfig::use_std_hash` escape hatch.
+    pub fn with_std_hasher(config: TableConfig) -> ConnTable<RandomState> {
+        ConnTable::with_hasher(config, RandomState::new())
+    }
+}
+
+impl<S: BuildHasher> ConnTable<S> {
+    /// Create an empty table with an explicit hasher state, pre-sized from
+    /// [`TableConfig::expected_conns`].
+    pub fn with_hasher(config: TableConfig, hasher: S) -> ConnTable<S> {
         ConnTable {
             config,
-            map: HashMap::new(),
-            conns: Vec::new(),
+            map: HashMap::with_capacity_and_hasher(config.expected_conns, hasher),
+            conns: Vec::with_capacity(config.expected_conns),
             next_idx: 0,
             packets_seen: 0,
             last_ts: None,
             stats: FlowStats::default(),
+            evict_scratch: Vec::new(),
         }
     }
 
@@ -190,22 +229,25 @@ impl ConnTable {
             return;
         }
         let batch = (cap / 32).max(1);
-        let mut live: Vec<(Timestamp, usize)> = self
-            .conns
-            .iter()
-            .enumerate()
-            .filter_map(|(slot, c)| c.as_ref().map(|c| (c.end, slot)))
-            .collect();
+        let mut live = std::mem::take(&mut self.evict_scratch);
+        live.clear();
+        live.extend(
+            self.conns
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, c)| c.as_ref().map(|c| (c.end, slot))),
+        );
         live.sort_unstable_by_key(|&(end, slot)| (end, slot));
         for &(_, slot) in live.iter().take(batch) {
             self.close_slot(slot, handler);
             self.stats.evicted_conns += 1;
         }
+        self.evict_scratch = live;
     }
 
     fn close_slot<H: FlowHandler>(&mut self, slot: usize, handler: &mut H) {
         if let Some(conn) = self.conns.get_mut(slot).and_then(|c| c.take()) {
-            self.map.remove(&conn.key.canonical());
+            self.map.remove(&conn.canon);
             handler.on_conn_closed(conn.idx, &conn.summarize());
         }
     }
@@ -220,9 +262,11 @@ impl ConnTable {
         self.enforce_cap(handler);
         let idx = self.next_idx;
         self.next_idx += 1;
+        let canon = key.canonical();
         let conn = Conn {
             idx,
             key,
+            canon,
             start: ts,
             end: ts,
             orig: DirStats::default(),
@@ -237,7 +281,7 @@ impl ConnTable {
         };
         let slot = self.conns.len();
         self.conns.push(Some(conn));
-        self.map.insert(key.canonical(), slot);
+        self.map.insert(canon, slot);
         self.stats.peak_open_conns = self.stats.peak_open_conns.max(self.map.len() as u64);
         handler.on_new_conn(idx, &key, ts);
         slot
@@ -253,11 +297,12 @@ impl ConnTable {
         fresh_syn: bool,
         handler: &mut H,
     ) -> usize {
-        if let Some(&slot) = self.map.get(&key.canonical()) {
+        let canon = key.canonical();
+        if let Some(&slot) = self.map.get(&canon) {
             let Some(conn) = self.conns.get(slot).and_then(|c| c.as_ref()) else {
                 // A mapped slot is always live; if the invariant is ever
                 // broken, repair the map instead of aborting the analysis.
-                self.map.remove(&key.canonical());
+                self.map.remove(&canon);
                 return self.open_conn(key, ts, multicast, handler);
             };
             let (idle_limit, conn_done) = {

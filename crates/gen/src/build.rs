@@ -92,7 +92,7 @@ pub fn generate_trace(
     let packets = tap.capture_all(packets);
     Trace {
         meta: TraceMeta {
-            dataset: spec.name.to_string(),
+            dataset: spec.name.into(),
             subnet,
             pass,
             duration: limit,
@@ -155,7 +155,7 @@ mod tests {
         assert!(t.packets.iter().all(|p| p.ts < limit));
         assert!(t.packets.iter().all(|p| p.frame.len() <= 68), "D1 snaplen 68");
         assert_eq!(t.meta.snaplen, 68);
-        assert_eq!(t.meta.dataset, "D1");
+        assert_eq!(&*t.meta.dataset, "D1");
     }
 
     #[test]

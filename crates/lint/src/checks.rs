@@ -123,12 +123,17 @@ pub fn e001(file: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
 }
 
 /// E002: unchecked offset arithmetic and truncating casts of
-/// length-derived values inside parser hot paths.
+/// length-derived values inside parser hot paths; in the named hot-map
+/// modules ([`LintConfig::hot_map_files`]), also any construction of a
+/// std-SipHash `HashMap` where the pre-sized fx-hash form is required.
 pub fn e002(file: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
-    if !cfg.arith_crates.iter().any(|c| c == &file.crate_name) || file.is_test_file {
-        return Vec::new();
-    }
     let mut out = Vec::new();
+    if !file.is_test_file && cfg.hot_map_files.iter().any(|f| f == &file.rel) {
+        hot_map_scan(file, &mut out);
+    }
+    if !cfg.arith_crates.iter().any(|c| c == &file.crate_name) || file.is_test_file {
+        return out;
+    }
     for i in 0..file.toks.len() {
         let t = &file.toks[i];
         if t.kind == TokKind::Comment || file.is_test_line(t.line) {
@@ -187,6 +192,38 @@ pub fn e002(file: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
         }
     }
     out
+}
+
+/// The hot-map half of E002: flag `HashMap::new()` / `HashMap::default()`
+/// / `HashMap::with_capacity(..)` — the constructors that silently pick
+/// SipHash-`RandomState` — in modules on the per-packet path. The
+/// hasher-explicit forms (`with_hasher`, `with_capacity_and_hasher`) and
+/// the `FxHashMap` alias pass.
+fn hot_map_scan(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.toks.len() {
+        let t = &file.toks[i];
+        if t.kind != TokKind::Ident || file.is_test_line(t.line) || file.text(i) != "HashMap" {
+            continue;
+        }
+        let Some(c1) = file.next_sig(i) else { continue };
+        let Some(c2) = file.next_sig(c1) else { continue };
+        let Some(m) = file.next_sig(c2) else { continue };
+        if file.toks[c1].kind != TokKind::Punct(':')
+            || file.toks[c2].kind != TokKind::Punct(':')
+            || file.toks[m].kind != TokKind::Ident
+        {
+            continue;
+        }
+        let method = file.text(m);
+        if matches!(method.as_ref(), "new" | "default" | "with_capacity") {
+            out.push(finding(
+                Code::E002,
+                file,
+                t.line,
+                format!("std-SipHash `HashMap::{method}` in a hot-path module; use the pre-sized fx-hash form (`fx_map_with_capacity` / `with_capacity_and_hasher`, see crates/flow/src/fasthash.rs)"),
+            ));
+        }
+    }
 }
 
 /// For `…) as u16` / `…) + off`: scan the parenthesized operand ending at

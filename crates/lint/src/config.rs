@@ -15,6 +15,12 @@ pub struct LintConfig {
     pub hot_fn_markers: Vec<String>,
     /// Substrings identifying length/offset-carrying identifiers for E002.
     pub lenish_markers: Vec<String>,
+    /// Workspace-relative paths of per-packet hot-path modules in which
+    /// E002 also forbids constructing a std-SipHash `HashMap` (`new` /
+    /// `default` / `with_capacity`): these maps were deliberately moved to
+    /// the pre-sized fx-hash forms, and a reintroduced default map is a
+    /// silent perf regression the compiler will not catch.
+    pub hot_map_files: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -25,6 +31,7 @@ impl Default for LintConfig {
             arith_crates: v(&["wire", "pcap", "proto"]),
             hot_fn_markers: v(&["parse", "read", "next", "decode", "feed", "recover", "resync", "merge", "ingest"]),
             lenish_markers: v(&["len", "off", "size", "total", "ihl", "cap", "snap", "pos", "idx", "count"]),
+            hot_map_files: v(&["crates/flow/src/table.rs", "crates/core/src/pipeline.rs"]),
         }
     }
 }

@@ -16,7 +16,7 @@ fn fixture_report() -> Report {
 fn every_code_is_detected() {
     let r = fixture_report();
     assert_eq!(r.count(Code::E001), 3, "unwrap, panic!, computed index:\n{:#?}", r.findings);
-    assert_eq!(r.count(Code::E002), 2, "off + 4 and len() as u16:\n{:#?}", r.findings);
+    assert_eq!(r.count(Code::E002), 3, "off + 4, len() as u16, hot-map HashMap::new:\n{:#?}", r.findings);
     assert_eq!(r.count(Code::E003), 2, "wire root misses two attrs:\n{:#?}", r.findings);
     assert_eq!(r.count(Code::E004), 2, "ghost listed, http unlisted:\n{:#?}", r.findings);
     assert_eq!(r.count(Code::E005), 1, "Figure 77 has no test reference:\n{:#?}", r.findings);
@@ -35,6 +35,7 @@ fn findings_anchor_to_the_seeded_lines() {
     assert!(has(Code::E001, "crates/wire/src/lib.rs", 18), "computed index site");
     assert!(has(Code::E002, "crates/wire/src/parse.rs", 6), "off + 4 site");
     assert!(has(Code::E002, "crates/wire/src/parse.rs", 7), "len() as u16 site");
+    assert!(has(Code::E002, "crates/flow/src/table.rs", 10), "hot-map HashMap::new site");
     assert!(has(Code::E005, "crates/core/src/analyses/foo.rs", 1), "Figure 77 claim");
 }
 
@@ -66,6 +67,14 @@ fn cold_paths_and_checked_forms_stay_quiet() {
     // The clean proto root and the registered dns module are quiet.
     assert!(!r.findings.iter().any(|f| f.file == "crates/proto/src/lib.rs"));
     assert!(!r.findings.iter().any(|f| f.message.contains("`dns`")));
+    // The hasher-explicit map construction in the hot-map fixture is clean.
+    assert!(
+        !r.findings
+            .iter()
+            .any(|f| f.file == "crates/flow/src/table.rs" && f.line != 10),
+        "hot-map rule flagged a hasher-explicit construction:\n{:#?}",
+        r.findings
+    );
 }
 
 #[test]

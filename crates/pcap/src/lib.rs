@@ -39,7 +39,7 @@ pub mod trace;
 pub use fault::{Fault, FaultInjector};
 pub use format::{PcapReader, PcapWriter, LINKTYPE_ETHERNET, MAX_RECORD_BYTES};
 pub use merge::{merge_streams, merge_streams_with_stats, MergeStats};
-pub use recover::{IngestStats, RecoveringReader};
+pub use recover::{IngestStats, RecordView, RecoveringReader};
 pub use tap::Tap;
 pub use trace::{Trace, TraceMeta};
 

@@ -117,6 +117,19 @@ struct RecordHeader {
     orig_len: u32,
 }
 
+/// A salvaged record borrowed straight from the capture buffer — the
+/// zero-copy counterpart of [`TimedPacket`], produced by
+/// [`RecoveringReader::next_record`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecordView<'a> {
+    /// Capture timestamp (after monotone clamping/pinning).
+    pub ts: Timestamp,
+    /// Captured frame bytes, borrowed from the input buffer.
+    pub frame: &'a [u8],
+    /// Original on-the-wire length (repaired if the header under-reported).
+    pub orig_len: u32,
+}
+
 /// Recovering pcap reader over an in-memory capture file.
 ///
 /// Operates on a byte slice rather than a stream because resynchronization
@@ -310,12 +323,17 @@ impl<'a> RecoveringReader<'a> {
         self.resynced = true;
     }
 
-    /// Deliver the next salvageable record; `None` at end of input. Never
-    /// fails: damage is skipped or repaired and tallied in [`stats`].
+    /// Deliver the next salvageable record as a borrowed view into the
+    /// capture buffer; `None` at end of input. Never fails: damage is
+    /// skipped or repaired and tallied in [`stats`].
+    ///
+    /// This is the zero-copy hot path: the frame slice borrows the input
+    /// buffer directly (lifetime `'a`, independent of `&mut self`, so the
+    /// caller may keep views while continuing to read). Use
+    /// [`RecoveringReader::next_packet`] when an owned copy is needed.
     ///
     /// [`stats`]: RecoveringReader::stats
-    #[allow(clippy::should_implement_trait)] // mirrors PcapReader::next_packet
-    pub fn next_packet(&mut self) -> Option<TimedPacket> {
+    pub fn next_record(&mut self) -> Option<RecordView<'a>> {
         loop {
             let remaining = self.data.len().saturating_sub(self.pos);
             if remaining == 0 {
@@ -351,8 +369,7 @@ impl<'a> RecoveringReader<'a> {
             let frame = self
                 .data
                 .get(payload_start..payload_start.saturating_add(cap))
-                .unwrap_or(&[])
-                .to_vec();
+                .unwrap_or(&[]);
             self.pos = payload_start.saturating_add(cap);
             let mut orig_len = h.orig_len;
             if orig_len < h.caplen {
@@ -378,12 +395,23 @@ impl<'a> RecoveringReader<'a> {
             self.resynced = false;
             self.last_ts_us = Some(ts_us);
             self.stats.records += 1;
-            return Some(TimedPacket {
+            return Some(RecordView {
                 ts: Timestamp::from_micros(ts_us),
                 frame,
                 orig_len,
             });
         }
+    }
+
+    /// Deliver the next salvageable record as an owned [`TimedPacket`].
+    /// A copying convenience wrapper around [`RecoveringReader::next_record`].
+    #[allow(clippy::should_implement_trait)] // mirrors PcapReader::next_packet
+    pub fn next_packet(&mut self) -> Option<TimedPacket> {
+        self.next_record().map(|r| TimedPacket {
+            ts: r.ts,
+            frame: r.frame.to_vec(),
+            orig_len: r.orig_len,
+        })
     }
 
     /// Drain every salvageable record and return the final damage tally.

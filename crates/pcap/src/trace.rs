@@ -9,12 +9,15 @@
 use crate::{PcapReader, PcapWriter, Result, TimedPacket};
 use ent_wire::Timestamp;
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Metadata describing one monitored-subnet trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceMeta {
-    /// Dataset label ("D0".."D4").
-    pub dataset: String,
+    /// Dataset label ("D0".."D4"), interned: cloning the metadata (or
+    /// stamping the label into per-trace analyses) bumps a refcount
+    /// instead of copying the string.
+    pub dataset: Arc<str>,
     /// Index of the monitored subnet within the site.
     pub subnet: u16,
     /// Which monitoring pass over this subnet this is (the paper's

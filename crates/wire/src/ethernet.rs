@@ -110,6 +110,7 @@ pub struct Frame<'a> {
 
 impl<'a> Frame<'a> {
     /// Parse an Ethernet II header.
+    #[inline]
     pub fn parse(buf: &'a [u8]) -> Result<Frame<'a>> {
         if buf.len() < HEADER_LEN {
             return Err(Error::Truncated);

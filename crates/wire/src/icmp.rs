@@ -65,6 +65,7 @@ pub struct Message<'a> {
 
 impl<'a> Message<'a> {
     /// Parse an ICMP message.
+    #[inline]
     pub fn parse(buf: &'a [u8]) -> Result<Message<'a>> {
         if buf.len() < HEADER_LEN {
             return Err(Error::Truncated);

@@ -125,6 +125,7 @@ pub struct Header<'a> {
 impl<'a> Header<'a> {
     /// Parse an IPv4 header. Tolerates truncated payloads but rejects
     /// truncated or structurally invalid headers.
+    #[inline]
     pub fn parse(buf: &'a [u8]) -> Result<Header<'a>> {
         if buf.len() < MIN_HEADER_LEN {
             return Err(Error::Truncated);

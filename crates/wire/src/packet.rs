@@ -119,6 +119,7 @@ impl<'a> Packet<'a> {
     /// Fails only if the Ethernet header itself is truncated, or an inner
     /// header is malformed beyond classification; unknown protocols succeed
     /// with `OtherL3` / `Transport::Other`.
+    #[inline]
     pub fn parse(frame: &'a [u8]) -> Result<Packet<'a>> {
         let eth = ethernet::Frame::parse(frame)?;
         let mut payload: &[u8] = &[];
@@ -228,11 +229,13 @@ impl<'a> Packet<'a> {
     }
 
     /// Captured application payload bytes.
+    #[inline]
     pub fn payload(&self) -> &'a [u8] {
         self.payload
     }
 
     /// IPv4 addresses if this is an IPv4 packet.
+    #[inline]
     pub fn ipv4_addrs(&self) -> Option<(ipv4::Addr, ipv4::Addr)> {
         match self.net {
             NetLayer::Ipv4 { src, dst, .. } => Some((src, dst)),
@@ -241,6 +244,7 @@ impl<'a> Packet<'a> {
     }
 
     /// TCP summary if this is a TCP packet.
+    #[inline]
     pub fn tcp(&self) -> Option<TcpSummary> {
         match self.transport {
             Transport::Tcp {
@@ -265,6 +269,7 @@ impl<'a> Packet<'a> {
     }
 
     /// UDP (src_port, dst_port, wire_payload_len) if this is a UDP packet.
+    #[inline]
     pub fn udp(&self) -> Option<(u16, u16, u32)> {
         match self.transport {
             Transport::Udp {
@@ -277,6 +282,7 @@ impl<'a> Packet<'a> {
     }
 
     /// True if the destination is an IPv4/Ethernet multicast or broadcast.
+    #[inline]
     pub fn is_multicast(&self) -> bool {
         match &self.net {
             NetLayer::Ipv4 { dst, .. } => dst.is_multicast() || dst.is_broadcast(),
@@ -286,6 +292,7 @@ impl<'a> Packet<'a> {
     }
 
     /// Transport payload length as seen on the wire (0 for non-TCP/UDP).
+    #[inline]
     pub fn wire_payload_len(&self) -> u32 {
         match self.transport {
             Transport::Tcp {

@@ -98,6 +98,7 @@ impl<'a> Segment<'a> {
     /// Parse a TCP header. The header itself must be fully captured; payload
     /// truncation is tolerated (`wire_payload_len` on the IP layer carries
     /// the true size).
+    #[inline]
     pub fn parse(buf: &'a [u8]) -> Result<Segment<'a>> {
         if buf.len() < MIN_HEADER_LEN {
             return Err(Error::Truncated);

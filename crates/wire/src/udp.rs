@@ -21,6 +21,7 @@ pub struct Datagram<'a> {
 
 impl<'a> Datagram<'a> {
     /// Parse a UDP header, tolerating payload truncation.
+    #[inline]
     pub fn parse(buf: &'a [u8]) -> Result<Datagram<'a>> {
         if buf.len() < HEADER_LEN {
             return Err(Error::Truncated);

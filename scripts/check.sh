@@ -26,4 +26,17 @@ cargo run --release -q -p ent-cli -- study \
 # (instrumentation rot): a stage someone forgot to re-wire reads zero.
 cargo run --release -q -p ent-cli -- obs-check "$BENCH_TMP/BENCH_pipeline.json"
 
+echo "==> bench regression gate (study at gate config vs committed BENCH_pipeline.json)"
+# Serial run at the committed baseline's exact parameters: events/bytes must
+# match the baseline exactly (determinism), and no dominant stage may be
+# >25% slower (one-sided — faster always passes). On noisy/thermally-
+# throttled hardware, ENT_BENCH_WAIVER=1 skips the wall-time half of the
+# gate while keeping the determinism half:
+#   ENT_BENCH_WAIVER=1 scripts/check.sh
+cargo run --release -q -p ent-cli -- study \
+    --scale 0.01 --seed 2005 --threads 1 \
+    --only 'table 3' --bench-json "$BENCH_TMP/BENCH_gate.json" > /dev/null
+cargo run --release -q -p ent-cli -- bench-compare \
+    BENCH_pipeline.json "$BENCH_TMP/BENCH_gate.json"
+
 echo "All checks passed."

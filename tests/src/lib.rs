@@ -1,7 +1,8 @@
 //! Shared helpers for the cross-crate integration tests.
 
-use ent_core::run::{run_dataset, DatasetAnalysis, StudyConfig};
-use ent_gen::dataset::all_datasets;
+use ent_core::run::{run_dataset, run_datasets, DatasetAnalysis, StudyConfig};
+use ent_core::PipelineConfig;
+use ent_gen::dataset::{all_datasets, DatasetSpec};
 use ent_gen::GenConfig;
 
 /// A fast generation config for integration tests.
@@ -25,6 +26,47 @@ pub fn small_dataset(name: &str, subnets: u16) -> DatasetAnalysis {
         &StudyConfig {
             gen: test_gen_config(),
             ..Default::default()
+        },
+    )
+}
+
+/// Every dataset spec (D0–D4) trimmed to its first `subnets` monitored
+/// subnets — the fixed workload for differential runs.
+pub fn trimmed_specs(subnets: u16) -> Vec<DatasetSpec> {
+    all_datasets()
+        .into_iter()
+        .map(|mut spec| {
+            let start = spec.monitored.start;
+            spec.monitored = start..(start + subnets).min(spec.monitored.end);
+            spec
+        })
+        .collect()
+}
+
+/// Run the trimmed D0–D4 study at `scale` with an explicit thread count
+/// and connection-table hasher selection. The differential equivalence
+/// suite calls this with every (threads, use_std_hash) combination and
+/// requires identical results.
+pub fn differential_study(
+    scale: f64,
+    threads: usize,
+    use_std_hash: bool,
+    subnets: u16,
+) -> Vec<DatasetAnalysis> {
+    let specs = trimmed_specs(subnets);
+    run_datasets(
+        &specs,
+        &StudyConfig {
+            gen: GenConfig {
+                scale,
+                seed: 2005,
+                hosts_per_subnet: Some(10),
+            },
+            pipeline: PipelineConfig {
+                use_std_hash,
+                ..Default::default()
+            },
+            threads,
         },
     )
 }

@@ -1,0 +1,110 @@
+//! Allocation pin for connection finalization.
+//!
+//! The hot-path overhaul removed the per-connection `summary.clone()` on
+//! the finalize path: summaries now flow to handlers as `&ConnSummary` and
+//! are materialized by copy (`ConnSummary` is `Copy`). This test pins that
+//! contract with a counting global allocator: draining a full table emits
+//! every summary with **zero** heap allocations, independent of how many
+//! connections are open — so a reintroduced per-conn clone/box shows up as
+//! an O(n) allocation count, not a silent perf regression.
+//!
+//! The counting allocator is the one sanctioned use of `unsafe` in the
+//! workspace (the `GlobalAlloc` trait has no safe incantation); it defers
+//! entirely to `System` and only increments an atomic.
+
+#![allow(unsafe_code)]
+// Test assertions may abort.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use ent_flow::{ConnSummary, ConnTable, FlowHandler, TableConfig};
+use ent_wire::{build, ethernet::MacAddr, ipv4::Addr, Packet, Timestamp};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+/// Compile-time proof that `ConnSummary` stays `Copy` (the property that
+/// makes clone-free finalize possible; see `crates/flow/src/summary.rs`).
+const fn assert_copy<T: Copy>() {}
+const _: () = assert_copy::<ConnSummary>();
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Observes every summary by reference and aggregates without storing —
+/// the shape of a handler that needs no per-conn heap state.
+#[derive(Default)]
+struct Aggregate {
+    closed: u64,
+    payload: u64,
+}
+
+impl FlowHandler for Aggregate {
+    fn on_conn_closed(&mut self, _idx: ent_flow::ConnIndex, summary: &ConnSummary) {
+        self.closed += 1;
+        self.payload += summary.orig.payload_bytes + summary.resp.payload_bytes;
+    }
+}
+
+/// Open `n` distinct UDP connections, then count heap allocations while
+/// `finish` drains and summarizes all of them.
+fn finish_alloc_count(n: u16) -> (u64, u64) {
+    let mut table = ConnTable::new(TableConfig {
+        expected_conns: usize::from(n),
+        ..Default::default()
+    });
+    let mut sink = Aggregate::default();
+    for i in 0..n {
+        let frame = build::udp_frame(
+            &build::UdpFrameSpec {
+                src_mac: MacAddr::from_host_id(1),
+                dst_mac: MacAddr::from_host_id(2),
+                src_ip: Addr::new(10, 0, 1, 5),
+                dst_ip: Addr::new(10, 0, 2, 9),
+                src_port: 1024 + i,
+                dst_port: 53,
+                ttl: 64,
+            },
+            b"payload",
+        );
+        let pkt = Packet::parse(&frame).expect("generated frame parses");
+        table.ingest(&pkt, Timestamp::from_micros(u64::from(i)), &mut sink);
+    }
+    ALLOCS.store(0, Relaxed);
+    COUNTING.store(true, Relaxed);
+    table.finish(Timestamp::from_secs(10), &mut sink);
+    COUNTING.store(false, Relaxed);
+    (ALLOCS.load(Relaxed), sink.closed)
+}
+
+#[test]
+fn finalize_makes_zero_per_conn_summary_allocations() {
+    let (small_allocs, small_closed) = finish_alloc_count(64);
+    let (large_allocs, large_closed) = finish_alloc_count(512);
+    assert_eq!(small_closed, 64, "every opened conn must be summarized");
+    assert_eq!(large_closed, 512, "every opened conn must be summarized");
+    assert_eq!(
+        small_allocs, 0,
+        "finalize allocated on the summary path (n=64)"
+    );
+    assert_eq!(
+        large_allocs, 0,
+        "finalize allocated on the summary path (n=512)"
+    );
+}
