@@ -117,7 +117,7 @@ fn ablation_snaplen(c: &mut Criterion) {
 fn ablation_parallelism(c: &mut Criterion) {
     let mut spec = all_datasets().remove(0);
     let start = spec.monitored.start;
-    spec.monitored = start..start + 6;
+    spec.monitored = (start..start + 6).into();
     let mut g = c.benchmark_group("ablation_parallelism");
     g.sample_size(10);
     for threads in [1usize, 4] {

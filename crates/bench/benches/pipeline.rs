@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ent_bench::{bench_gen_config, raw_trace};
 use ent_core::{analyze_trace, PipelineConfig, PipelineMetrics, StageTimer};
 use ent_flow::{CollectSummaries, ConnTable, TableConfig};
-use ent_gen::build::{build_site, generate_trace};
+use ent_gen::build::{build_site, generate_trace, generate_trace_into};
 use ent_gen::dataset::all_datasets;
 use ent_wire::{Packet, Timestamp};
 use std::hint::black_box;
@@ -22,6 +22,18 @@ fn bench_generation(c: &mut Criterion) {
     g.throughput(Throughput::Elements(pkts));
     g.bench_function("synthesize_trace", |b| {
         b.iter(|| black_box(generate_trace(&site, &wan, &specs[0], 3, 1, &config)))
+    });
+    // The zero-copy study path: emit + sort + tap inside one reused
+    // arena, no owned-packet materialization. The delta against
+    // `synthesize_trace` is what `captured_packets()` costs; the delta
+    // against the old baseline is the arena rework's contribution.
+    g.bench_function("generate_trace_arena", |b| {
+        let mut arena = ent_pcap::PacketArena::unbounded();
+        b.iter(|| {
+            let (meta, timing) =
+                generate_trace_into(&site, &wan, &specs[0], 3, 1, &config, &mut arena);
+            black_box((meta, arena.len(), timing.captured_bytes))
+        })
     });
     g.finish();
 }

@@ -41,7 +41,7 @@ pub fn datasets() -> &'static Vec<DatasetAnalysis> {
                 // Keep 8 subnets per dataset: enough to cover every server
                 // vantage the analyses depend on.
                 let start = spec.monitored.start;
-                spec.monitored = start..(start + 8).min(spec.monitored.end);
+                spec.monitored = (start..(start + 8).min(spec.monitored.end)).into();
                 run_dataset(&spec, &config)
             })
             .collect()

@@ -210,11 +210,14 @@ impl AnalyzerMetrics {
     }
 }
 
-/// The seven pipeline stages required in every `BENCH_pipeline.json`.
+/// The ten pipeline stages required in every `BENCH_pipeline.json`.
 /// A zero-valued mandatory stage in a study run means the instrumentation
 /// rotted; `entreport obs-check` fails on it.
-pub const MANDATORY_STAGES: [&str; 7] = [
+pub const MANDATORY_STAGES: [&str; 10] = [
     "generate",
+    "gen_synth",
+    "gen_sort",
+    "gen_tap",
     "frame_parse",
     "flow_ingest",
     "tcp_deliver",
@@ -233,6 +236,15 @@ pub const MANDATORY_STAGES: [&str; 7] = [
 /// Stage semantics (events / bytes):
 ///
 /// * `generate` — synthesis of the trace: packets generated / wire bytes.
+/// * `gen_synth` — application-session emission into the trace buffer
+///   (nested inside `generate`): logical packets emitted, *including* the
+///   beyond-window tail the trace never materializes / logical wire
+///   bytes of the same.
+/// * `gen_sort` — the global timestamp sort of the emitted packet
+///   records (nested inside `generate`): in-window records sorted / 0.
+/// * `gen_tap` — tap admission, snaplen clamping and trace
+///   materialization (nested inside `generate`): packets captured /
+///   captured (post-snaplen) bytes.
 /// * `frame_parse` — link/network/transport dissection: frames seen
 ///   (including rejected ones) / captured bytes.
 /// * `flow_ingest` — connection demultiplexing *including* nested analyzer
@@ -251,6 +263,13 @@ pub const MANDATORY_STAGES: [&str; 7] = [
 pub struct PipelineMetrics {
     /// Trace synthesis (`ent-gen`).
     pub generate: StageStat,
+    /// Session emission into the trace buffer (nested in `generate`).
+    pub gen_synth: StageStat,
+    /// Timestamp sort of emitted records (nested in `generate`).
+    pub gen_sort: StageStat,
+    /// Tap admission + snaplen clamp + materialization (nested in
+    /// `generate`).
+    pub gen_tap: StageStat,
     /// Frame dissection (`ent-wire`).
     pub frame_parse: StageStat,
     /// Flow demultiplexing (`ent-flow`), nested stages included.
@@ -277,11 +296,14 @@ pub struct PipelineMetrics {
 }
 
 impl PipelineMetrics {
-    /// (name, stat) pairs for the seven pipeline stages, in
+    /// (name, stat) pairs for the ten pipeline stages, in
     /// [`MANDATORY_STAGES`] order.
-    pub fn stages(&self) -> [(&'static str, &StageStat); 7] {
+    pub fn stages(&self) -> [(&'static str, &StageStat); 10] {
         [
             ("generate", &self.generate),
+            ("gen_synth", &self.gen_synth),
+            ("gen_sort", &self.gen_sort),
+            ("gen_tap", &self.gen_tap),
             ("frame_parse", &self.frame_parse),
             ("flow_ingest", &self.flow_ingest),
             ("tcp_deliver", &self.tcp_deliver),
@@ -295,6 +317,9 @@ impl PipelineMetrics {
     /// Wall times and counts add; `peak_open_conns` takes the max.
     pub fn absorb(&mut self, other: &PipelineMetrics) {
         self.generate.absorb(&other.generate);
+        self.gen_synth.absorb(&other.gen_synth);
+        self.gen_sort.absorb(&other.gen_sort);
+        self.gen_tap.absorb(&other.gen_tap);
         self.frame_parse.absorb(&other.frame_parse);
         self.flow_ingest.absorb(&other.flow_ingest);
         self.tcp_deliver.absorb(&other.tcp_deliver);
@@ -419,7 +444,7 @@ fn push_stat(out: &mut String, name: &str, s: &StageStat) {
 /// Schema (`ent-bench-pipeline/1`): a flat object with run parameters,
 /// study totals, and two maps — `stages` and `analyzers` — of
 /// `name → {wall_us, events, bytes}`, plus a `datasets` array of per-
-/// dataset totals. All seven [`MANDATORY_STAGES`] are always present.
+/// dataset totals. All ten [`MANDATORY_STAGES`] are always present.
 pub fn bench_json(ctx: &BenchContext, total: &PipelineMetrics) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
@@ -909,6 +934,9 @@ mod tests {
             ..Default::default()
         };
         m.generate.add(1_000, 10, 100);
+        m.gen_synth.add(600, 12, 120);
+        m.gen_sort.add(100, 10, 0);
+        m.gen_tap.add(200, 10, 90);
         m.frame_parse.add(2_000, 10, 90);
         m.flow_ingest.add(3_000, 10, 100);
         m.tcp_deliver.add(500, 4, 40);

@@ -535,21 +535,38 @@ fn table_config(config: &PipelineConfig, expected_conns: usize) -> TableConfig {
 
 /// Analyze one trace end-to-end.
 pub fn analyze_trace(trace: &Trace, config: &PipelineConfig) -> TraceAnalysis {
-    let frames = trace.packets.iter().map(|p| FrameRef {
-        ts: p.ts,
-        frame: &p.frame,
-        orig_len: p.orig_len,
-    });
-    let expected = expected_conns_hint(trace.packets.len());
+    let frames = trace
+        .packets
+        .iter()
+        .map(|p| (p.ts, &*p.frame, p.orig_len));
+    analyze_packets(&trace.meta, frames, config, trace.packets.len())
+}
+
+/// Analyze a stream of `(timestamp, captured frame, original wire length)`
+/// views without materializing owned packets — the zero-copy entry point
+/// the study path feeds straight from the generator's
+/// [`PacketArena`](ent_pcap::PacketArena). `packets_hint` pre-sizes the
+/// connection table (pass the packet count when known).
+pub fn analyze_packets<'a, I>(
+    meta: &TraceMeta,
+    packets: I,
+    config: &PipelineConfig,
+    packets_hint: usize,
+) -> TraceAnalysis
+where
+    I: Iterator<Item = (Timestamp, &'a [u8], u32)>,
+{
+    let frames = packets.map(|(ts, frame, orig_len)| FrameRef { ts, frame, orig_len });
+    let expected = expected_conns_hint(packets_hint);
     // Branch on the hasher once, outside the loop: each arm monomorphizes
     // its own `analyze_frames`, so the escape hatch costs nothing per
     // packet.
     if config.use_std_hash {
         let table = ConnTable::with_std_hasher(table_config(config, expected));
-        analyze_frames(&trace.meta, frames, config, table, expected)
+        analyze_frames(meta, frames, config, table, expected)
     } else {
         let table = ConnTable::new(table_config(config, expected));
-        analyze_frames(&trace.meta, frames, config, table, expected)
+        analyze_frames(meta, frames, config, table, expected)
     }
 }
 

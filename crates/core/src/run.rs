@@ -7,9 +7,9 @@
 //! last straggler traces.
 
 use crate::metrics::{PipelineMetrics, StageTimer};
-use crate::pipeline::{analyze_trace, PipelineConfig};
+use crate::pipeline::{analyze_packets, PipelineConfig};
 use crate::records::{IngestHealth, TraceAnalysis};
-use ent_gen::build::{build_site, generate_trace, GenConfig};
+use ent_gen::build::{build_site, generate_trace_into, GenConfig};
 use ent_gen::dataset::{all_datasets, DatasetSpec};
 use std::sync::Mutex;
 
@@ -69,7 +69,7 @@ pub fn run_datasets(specs: &[DatasetSpec], config: &StudyConfig) -> Vec<DatasetA
     let mut work = Vec::new();
     for (di, spec) in specs.iter().enumerate() {
         for pass in 1..=spec.passes {
-            for subnet in spec.monitored.clone() {
+            for subnet in spec.monitored {
                 if spec.name == "D4" && pass == 2 && subnet % 2 == 0 {
                     continue;
                 }
@@ -90,32 +90,57 @@ pub fn run_datasets(specs: &[DatasetSpec], config: &StudyConfig) -> Vec<DatasetA
         specs.iter().map(|_| Mutex::new(Vec::new())).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(di, subnet, pass)) = work.get(i) else {
-                    break;
-                };
-                let Some((spec, (site, wan))) = specs.get(di).zip(sites.get(di)) else {
-                    break;
-                };
-                let gt = StageTimer::start();
-                let trace = generate_trace(site, wan, spec, subnet, pass, &config.gen);
-                let gen_ns = gt.elapsed_ns();
-                let wire: u64 = trace.packets.iter().map(|p| p.orig_len as u64).sum();
-                let mut analysis = analyze_trace(&trace, &config.pipeline);
-                analysis
-                    .metrics
-                    .generate
-                    .add(gen_ns, trace.packets.len() as u64, wire);
-                // Per-trace worker wall time covers the whole item:
-                // generation included, not just analysis.
-                analysis.metrics.trace_wall_ns += gen_ns;
-                // A worker that panicked poisons the lock; the analysis it
-                // produced is still valid, so recover the guard.
-                if let Some(bin) = bins.get(di) {
-                    bin.lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push((i, analysis));
+            s.spawn(|| {
+                // One arena per worker, reused across traces: after the
+                // first trace its buffers are warm and generation stops
+                // allocating entirely.
+                let mut arena = ent_pcap::PacketArena::unbounded();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(di, subnet, pass)) = work.get(i) else {
+                        break;
+                    };
+                    let Some((spec, (site, wan))) = specs.get(di).zip(sites.get(di)) else {
+                        break;
+                    };
+                    let gt = StageTimer::start();
+                    let (meta, gen) =
+                        generate_trace_into(site, wan, spec, subnet, pass, &config.gen, &mut arena);
+                    let gen_ns = gt.elapsed_ns();
+                    let mut analysis = analyze_packets(
+                        &meta,
+                        arena.captured_frames(),
+                        &config.pipeline,
+                        arena.len(),
+                    );
+                    analysis
+                        .metrics
+                        .generate
+                        .add(gen_ns, arena.len() as u64, arena.wire_bytes());
+                    // The generation sub-stages (all nested inside `generate`):
+                    // session emission, the global sort, and the capture tap.
+                    analysis
+                        .metrics
+                        .gen_synth
+                        .add(gen.synth_ns, gen.synth_packets, gen.synth_bytes);
+                    analysis
+                        .metrics
+                        .gen_sort
+                        .add(gen.sort_ns, gen.sorted_packets, 0);
+                    analysis
+                        .metrics
+                        .gen_tap
+                        .add(gen.tap_ns, arena.len() as u64, gen.captured_bytes);
+                    // Per-trace worker wall time covers the whole item:
+                    // generation included, not just analysis.
+                    analysis.metrics.trace_wall_ns += gen_ns;
+                    // A worker that panicked poisons the lock; the analysis
+                    // it produced is still valid, so recover the guard.
+                    if let Some(bin) = bins.get(di) {
+                        bin.lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push((i, analysis));
+                    }
                 }
             });
         }
@@ -127,7 +152,7 @@ pub fn run_datasets(specs: &[DatasetSpec], config: &StudyConfig) -> Vec<DatasetA
             let mut results = bin.into_inner().unwrap_or_else(|e| e.into_inner());
             results.sort_by_key(|(i, _)| *i);
             DatasetAnalysis {
-                spec: spec.clone(),
+                spec: *spec,
                 traces: results.into_iter().map(|(_, a)| a).collect(),
             }
         })
@@ -139,7 +164,7 @@ pub fn run_dataset(spec: &DatasetSpec, config: &StudyConfig) -> DatasetAnalysis 
     run_datasets(std::slice::from_ref(spec), config)
         .pop()
         .unwrap_or_else(|| DatasetAnalysis {
-            spec: spec.clone(),
+            spec: *spec,
             traces: Vec::new(),
         })
 }
@@ -168,10 +193,10 @@ mod tests {
     /// queue across a dataset boundary while staying test-sized.
     fn two_small_specs() -> Vec<DatasetSpec> {
         let specs = all_datasets();
-        let mut a = specs[0].clone();
-        a.monitored = 0..3;
-        let mut b = specs[1].clone();
-        b.monitored = 0..2;
+        let mut a = specs[0];
+        a.monitored = (0..3).into();
+        let mut b = specs[1];
+        b.monitored = (0..2).into();
         vec![a, b]
     }
 
@@ -189,8 +214,8 @@ mod tests {
     #[test]
     fn parallel_equals_serial() {
         let specs = all_datasets();
-        let mut spec = specs[0].clone();
-        spec.monitored = 0..4;
+        let mut spec = specs[0];
+        spec.monitored = (0..4).into();
         let par = run_dataset(
             &spec,
             &StudyConfig {

@@ -449,10 +449,10 @@ mod tests {
         };
         let specs = all_datasets();
         // Two datasets, few subnets each, to keep the test fast.
-        let mut d0 = specs[0].clone();
-        d0.monitored = 0..6;
-        let mut d4 = specs[4].clone();
-        d4.monitored = 24..31;
+        let mut d0 = specs[0];
+        d0.monitored = (0..6).into();
+        let mut d4 = specs[4];
+        d4.monitored = (24..31).into();
         let studies = vec![run_dataset(&d0, &config), run_dataset(&d4, &config)];
         let report = build_report(&studies);
         assert!(report.tables.len() >= 12, "tables: {}", report.tables.len());

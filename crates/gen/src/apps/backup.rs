@@ -15,7 +15,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, LogNormal};
 use crate::network::Role;
-use crate::synth::{synth_tcp, Close, Exchange, TcpSessionSpec};
+use crate::synth::{Close, Exchange, TcpSessionSpec};
 use rand::RngExt;
 
 /// Generate all backup traffic for one trace.
@@ -46,8 +46,7 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
                 exchanges.push(Exchange::server(vec![0x56; 40], 20_000));
             }
             let spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, exchanges);
-            let pkts = synth_tcp(&spec, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec);
         } else if kind < 0.60 {
             // Veritas data: one-way client→server bulk.
             let server = ctx.peer_of(&srv, 13_724);
@@ -66,8 +65,7 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
                 spec.retx_rate = 0.05;
             }
             spec.close = Close::Fin;
-            let pkts = synth_tcp(&spec, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec);
         } else if kind < 0.95 {
             // Dantz: bidirectional, large both ways within one connection.
             let server = ctx.peer_of(&srv, 497);
@@ -96,8 +94,7 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
                 }
             }
             let spec = TcpSessionSpec::success(ctx.early_start(0.4), client, server, rtt, exchanges);
-            let pkts = synth_tcp(&spec, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec);
         } else {
             // Connected: off-site backup over the WAN.
             let server = ctx.wan_peer(16_384);
@@ -115,8 +112,7 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
                     Exchange::client(vec![0xC0; bytes], 50_000),
                 ],
             );
-            let pkts = synth_tcp(&spec, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec);
         }
     }
 }
@@ -149,7 +145,7 @@ mod tests {
         for _ in 0..160 {
             generate(&mut c);
         }
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         let vdata: Vec<_> = sums.iter().filter(|s| s.key.resp.port == 13_724).collect();
         let dantz: Vec<_> = sums.iter().filter(|s| s.key.resp.port == 497).collect();
         assert!(!vdata.is_empty() && !dantz.is_empty());
@@ -174,7 +170,7 @@ mod tests {
         for _ in 0..160 {
             generate(&mut c);
         }
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         let ctrl_bytes: u64 = sums
             .iter()
             .filter(|s| s.key.resp.port == 13_720)
@@ -196,7 +192,7 @@ mod tests {
         for _ in 0..80 {
             generate(&mut c);
         }
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         let connected: Vec<_> = sums.iter().filter(|s| s.key.resp.port == 16_384).collect();
         assert!(!connected.is_empty(), "no Connected sessions generated");
         for s in &connected {

@@ -10,7 +10,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, LogNormal, Pareto};
 use crate::network::Role;
-use crate::synth::{synth_tcp, Close, Exchange, TcpSessionSpec};
+use crate::synth::{Close, Exchange, TcpSessionSpec};
 use rand::RngExt;
 
 /// Generate bulk + interactive traffic for one trace.
@@ -48,8 +48,7 @@ fn bulk(ctx: &mut TraceCtx<'_>) {
         ];
         exchanges.push(Exchange::server(b"226 transfer complete\r\n".to_vec(), 400_000));
         let ctrl = TcpSessionSpec::success(start, client, server, rtt, exchanges);
-        let pkts = synth_tcp(&ctrl, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&ctrl);
         // Data connection: server-side source port 20 (active mode).
         let full = Pareto {
             scale: 3e6,
@@ -68,8 +67,7 @@ fn bulk(ctx: &mut TraceCtx<'_>) {
             rtt,
             vec![Exchange::server(vec![0xF7; bytes], 0)],
         );
-        let pkts = synth_tcp(&data, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&data);
     }
 }
 
@@ -123,10 +121,7 @@ fn interactive(ctx: &mut TraceCtx<'_>) {
         }
         let mut spec = TcpSessionSpec::success(ctx.early_start(0.3), client, server, rtt, exchanges);
         spec.close = if coin(&mut ctx.rng, 0.6) { Close::Fin } else { Close::None };
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        let limit = ent_wire::Timestamp::from_micros(ctx.duration_us);
-        let pkts: Vec<_> = pkts.into_iter().filter(|p| p.ts < limit).collect();
-        ctx.push(pkts);
+        ctx.tcp_trimmed(&spec);
     }
 }
 
@@ -147,7 +142,7 @@ mod tests {
         }
         let mut pkts = 0u64;
         let mut bytes = 0u64;
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             if let Some(t) = pkt.tcp() {
                 if t.wire_payload_len > 0 {
@@ -170,7 +165,7 @@ mod tests {
             bulk(&mut c);
         }
         let mut data_bytes = 0u64;
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             if let Some(t) = pkt.tcp() {
                 if t.src_port == 20 || t.src_port == 1_218 {

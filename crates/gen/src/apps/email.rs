@@ -15,9 +15,8 @@
 use super::TraceCtx;
 use crate::distr::{coin, LogNormal, Pareto};
 use crate::network::Role;
-use crate::synth::{synth_tcp, Close, Exchange, Outcome, Peer, TcpSessionSpec};
+use crate::synth::{Close, Exchange, Outcome, Peer, TcpSessionSpec};
 use ent_proto::{imap, smtp, ssl};
-use ent_wire::Timestamp;
 use rand::RngExt;
 
 /// Generate all email traffic for one trace.
@@ -41,13 +40,7 @@ fn message_size(ctx: &mut TraceCtx<'_>) -> usize {
     }
 }
 
-fn smtp_session(
-    ctx: &mut TraceCtx<'_>,
-    client: Peer,
-    server: Peer,
-    rtt: u64,
-    volume: f64,
-) -> Vec<ent_pcap::TimedPacket> {
+fn smtp_session(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, rtt: u64, volume: f64) {
     let body = (message_size(ctx) as f64 * volume).max(500.0) as usize;
     let rcpts = 1 + usize::from(coin(&mut ctx.rng, 0.25));
     let (client_chunks, server_chunks) = smtp::encode_session(body, rcpts);
@@ -63,7 +56,7 @@ fn smtp_session(
         }
     }
     let spec = TcpSessionSpec::success(ctx.early_start(0.9), client, server, rtt, exchanges);
-    synth_tcp(&spec, &mut ctx.rng)
+    ctx.tcp(&spec);
 }
 
 fn ctx_think(rtt: u64) -> u64 {
@@ -101,11 +94,9 @@ fn smtp_traffic(ctx: &mut TraceCtx<'_>) {
                 } else {
                     Outcome::Unanswered
                 };
-                let pkts = synth_tcp(&spec, &mut ctx.rng);
-                ctx.push(pkts);
+                ctx.tcp(&spec);
             } else {
-                let pkts = smtp_session(ctx, client, server, rtt, volume);
-                ctx.push(pkts);
+                smtp_session(ctx, client, server, rtt, volume);
             }
         } else if mail_here && kind < 0.7 {
             // Outbound relay to WAN MX hosts: high success away from spam.
@@ -113,8 +104,7 @@ fn smtp_traffic(ctx: &mut TraceCtx<'_>) {
             let client = ctx.peer_eph(&srv);
             let server = ctx.wan_peer(25);
             let rtt = ctx.rtt_wan();
-            let pkts = smtp_session(ctx, client, server, rtt, volume);
-            ctx.push(pkts);
+            smtp_session(ctx, client, server, rtt, volume);
         } else if !mail_here && kind < 0.08 {
             // Off-relay hosts occasionally speak SMTP straight to external
             // MX hosts (D3-4's small, highly successful WAN SMTP).
@@ -122,8 +112,7 @@ fn smtp_traffic(ctx: &mut TraceCtx<'_>) {
             let client = ctx.peer_eph(&client_host);
             let server = ctx.wan_peer(25);
             let rtt = ctx.rtt_wan();
-            let pkts = smtp_session(ctx, client, server, rtt, volume);
-            ctx.push(pkts);
+            smtp_session(ctx, client, server, rtt, volume);
         } else {
             // Internal submission: workstation → relay (96% success).
             let Some(srv) = ctx.server(Role::SmtpServer) else {
@@ -136,11 +125,9 @@ fn smtp_traffic(ctx: &mut TraceCtx<'_>) {
             if coin(&mut ctx.rng, 0.03) {
                 let mut spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, vec![]);
                 spec.outcome = Outcome::Rejected;
-                let pkts = synth_tcp(&spec, &mut ctx.rng);
-                ctx.push(pkts);
+                ctx.tcp(&spec);
             } else {
-                let pkts = smtp_session(ctx, client, server, rtt, volume);
-                ctx.push(pkts);
+                smtp_session(ctx, client, server, rtt, volume);
             }
         }
     }
@@ -232,12 +219,9 @@ fn imap_traffic(ctx: &mut TraceCtx<'_>) {
         // Cap the session inside the trace window (max duration ≈ 50 min).
         let mut spec = TcpSessionSpec::success(ctx.early_start(0.25), client, server, rtt, exchanges);
         spec.close = Close::Fin;
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
         // Trim anything past the window; the connection then appears
         // open-at-end, as real 50-minute IMAP sessions do.
-        let limit = Timestamp::from_micros(ctx.duration_us);
-        let pkts: Vec<_> = pkts.into_iter().filter(|p| p.ts < limit).collect();
-        ctx.push(pkts);
+        ctx.tcp_trimmed(&spec);
     }
 }
 
@@ -281,8 +265,7 @@ fn other_email(ctx: &mut TraceCtx<'_>) {
             vec![Exchange::client(req, 0), Exchange::server(resp, 10_000)]
         };
         let spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, exchanges);
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&spec);
     }
 }
 
@@ -292,7 +275,7 @@ mod tests {
     use super::*;
     use crate::dataset::all_datasets;
     use ent_flow::{CollectSummaries, ConnTable, TableConfig};
-    use ent_wire::Packet;
+    use ent_wire::{Packet, Timestamp};
 
     fn summaries(pkts: &[ent_pcap::TimedPacket]) -> Vec<ent_flow::ConnSummary> {
         let mut sorted = pkts.to_vec();
@@ -314,7 +297,7 @@ mod tests {
         for _ in 0..60 {
             smtp_traffic(&mut c);
         }
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         let mut int_d = Vec::new();
         let mut wan_d = Vec::new();
         for s in sums.iter().filter(|s| {
@@ -348,7 +331,7 @@ mod tests {
         for _ in 0..40 {
             imap_traffic(&mut c0);
         }
-        let d0_ports: std::collections::HashSet<u16> = summaries(&c0.out)
+        let d0_ports: std::collections::HashSet<u16> = summaries(&c0.out.to_packets())
             .iter()
             .map(|s| s.key.resp.port)
             .collect();
@@ -357,7 +340,7 @@ mod tests {
         for _ in 0..40 {
             imap_traffic(&mut c1);
         }
-        let d1_ports: std::collections::HashSet<u16> = summaries(&c1.out)
+        let d1_ports: std::collections::HashSet<u16> = summaries(&c1.out.to_packets())
             .iter()
             .map(|s| s.key.resp.port)
             .collect();
@@ -372,7 +355,7 @@ mod tests {
         for _ in 0..80 {
             imap_traffic(&mut c);
         }
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         let mut int_d = Vec::new();
         let mut wan_d = Vec::new();
         for s in sums.iter().filter(|s| s.key.resp.port == 993) {

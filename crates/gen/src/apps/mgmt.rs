@@ -10,8 +10,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, weighted_choice};
 use crate::network::Role;
-use crate::synth::{synth_icmp_echo, synth_tcp, synth_udp, Exchange, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
-use ent_pcap::TimedPacket;
+use crate::synth::{Exchange, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
 use ent_wire::ethernet::MacAddr;
 use ent_wire::ipv4;
 use rand::RngExt;
@@ -49,8 +48,7 @@ fn udp_pair(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, req: usize, resp
         messages,
         multicast_mac: None,
     };
-    let pkts = synth_udp(&spec);
-    ctx.push(pkts);
+    ctx.udp(&spec);
 }
 
 fn netmgnt(ctx: &mut TraceCtx<'_>) {
@@ -113,8 +111,7 @@ fn netmgnt(ctx: &mut TraceCtx<'_>) {
                     }],
                     multicast_mac: Some(MacAddr::BROADCAST),
                 };
-                let pkts = synth_udp(&spec);
-                ctx.push(pkts);
+                ctx.udp(&spec);
             }
             "sap" => {
                 // Session-announcement multicast: periodic announcers, most
@@ -152,9 +149,7 @@ fn netmgnt(ctx: &mut TraceCtx<'_>) {
                     messages,
                     multicast_mac: Some(SAP_MAC),
                 };
-                let limit = ent_wire::Timestamp::from_micros(ctx.duration_us);
-                let pkts: Vec<_> = synth_udp(&spec).into_iter().filter(|p| p.ts < limit).collect();
-                ctx.push(pkts);
+                ctx.udp_trimmed(&spec);
             }
             "nav" => {
                 let c = ctx.remote_internal();
@@ -178,8 +173,7 @@ fn netmgnt(ctx: &mut TraceCtx<'_>) {
                         Exchange::server(b"40000, 25 : USERID : UNIX : user\r\n".to_vec(), 5_000),
                     ],
                 );
-                let pkts = synth_tcp(&spec, &mut ctx.rng);
-                ctx.push(pkts);
+                ctx.tcp(&spec);
             }
             _ => {
                 let c = ctx.local_client();
@@ -239,8 +233,7 @@ fn misc(ctx: &mut TraceCtx<'_>) {
             ));
         }
         let spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, exchanges);
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&spec);
     }
 }
 
@@ -264,8 +257,7 @@ fn other(ctx: &mut TraceCtx<'_>) {
                 Exchange::server(vec![0x59; ctx.rng.random_range(20..8_000)], 10_000),
             ],
         );
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&spec);
     }
     // Unrecognized UDP chatter.
     let n = { let rate = ctx.spec.rates.other_udp; ctx.count(rate) };
@@ -310,10 +302,7 @@ fn icmp_echo(ctx: &mut TraceCtx<'_>) {
         let count = ctx.rng.random_range(1..5);
         let answered = coin(&mut ctx.rng, 0.85);
         let start = ctx.start();
-        let pkts = synth_icmp_echo(start, client, server, rtt, ident, count, answered);
-        let limit = ent_wire::Timestamp::from_micros(ctx.duration_us);
-        let pkts: Vec<_> = pkts.into_iter().filter(|p| p.ts < limit).collect();
-        ctx.push(pkts);
+        ctx.icmp_echo_trimmed(start, client, server, rtt, ident, count, answered);
     }
 }
 
@@ -345,7 +334,7 @@ fn minor_transports(ctx: &mut TraceCtx<'_>) {
             &vec![0u8; len],
         );
         let t = ctx.start();
-        ctx.out.push(TimedPacket::new(t, frame));
+        ctx.push_frame(t, &frame);
     }
 }
 
@@ -364,6 +353,7 @@ mod tests {
         netmgnt(&mut c);
         let sap = c
             .out
+            .to_packets()
             .iter()
             .filter(|p| {
                 Packet::parse(&p.frame)
@@ -383,7 +373,7 @@ mod tests {
         let mut c = ctx(&site, &wan, &specs[2], 11);
         minor_transports(&mut c);
         assert!(!c.out.is_empty());
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             assert!(matches!(pkt.transport, Transport::Other(_)));
         }
@@ -398,7 +388,7 @@ mod tests {
             icmp_echo(&mut c);
         }
         let (mut req, mut rep) = (0, 0);
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             match Packet::parse(&p.frame).unwrap().transport {
                 Transport::Icmp { mtype: ent_wire::icmp::MessageType::EchoRequest, .. } => req += 1,
                 Transport::Icmp { mtype: ent_wire::icmp::MessageType::EchoReply, .. } => rep += 1,

@@ -20,8 +20,8 @@ pub mod windows;
 use crate::dataset::DatasetSpec;
 use crate::distr::{coin, LogNormal};
 use crate::network::{Host, Site, WanPool};
-use crate::synth::Peer;
-use ent_pcap::TimedPacket;
+use crate::synth::{self, Peer, TcpSessionSpec, UdpFlowSpec};
+use ent_pcap::{Clip, PacketArena};
 use ent_wire::{ipv4, Timestamp};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -42,8 +42,8 @@ pub struct TraceCtx<'a> {
     pub duration_us: u64,
     /// Count scale factor (see [`DatasetSpec`] docs).
     pub scale: f64,
-    /// Accumulated packets.
-    pub out: Vec<TimedPacket>,
+    /// Accumulated packets, staged in one arena buffer.
+    pub out: PacketArena,
     next_eph: u16,
 }
 
@@ -57,15 +57,33 @@ impl<'a> TraceCtx<'a> {
         subnet: u16,
         scale: f64,
     ) -> TraceCtx<'a> {
+        TraceCtx::with_arena(rng, site, wan, spec, subnet, scale, PacketArena::unbounded())
+    }
+
+    /// Create a context for one trace, reusing a caller-provided arena
+    /// (its buffers keep their capacity; contents and window limit are
+    /// reset for this trace).
+    pub fn with_arena(
+        rng: StdRng,
+        site: &'a Site,
+        wan: &'a WanPool,
+        spec: &'a DatasetSpec,
+        subnet: u16,
+        scale: f64,
+        mut out: PacketArena,
+    ) -> TraceCtx<'a> {
+        let duration_us = spec.trace_secs * 1_000_000;
+        out.clear();
+        out.set_limit(Timestamp::from_micros(duration_us));
         TraceCtx {
             rng,
             site,
             wan,
             spec,
             subnet,
-            duration_us: spec.trace_secs * 1_000_000,
+            duration_us,
             scale,
-            out: Vec::new(),
+            out,
             next_eph: 32_768,
         }
     }
@@ -208,9 +226,66 @@ impl<'a> TraceCtx<'a> {
         self.site.server_for(role, self.subnet).copied()
     }
 
-    /// Append synthesized packets.
-    pub fn push(&mut self, pkts: Vec<TimedPacket>) {
-        self.out.extend(pkts);
+    /// Emit a TCP session. Out-of-window packets are tallied as logical
+    /// emissions (the legacy pipeline pushed then `retain`ed them).
+    pub fn tcp(&mut self, spec: &TcpSessionSpec) {
+        synth::emit_tcp(spec, &mut self.rng, &mut self.out, Clip::Counted);
+    }
+
+    /// Emit a TCP session, silently discarding out-of-window packets
+    /// (for sites that used to filter before pushing).
+    pub fn tcp_trimmed(&mut self, spec: &TcpSessionSpec) {
+        synth::emit_tcp(spec, &mut self.rng, &mut self.out, Clip::Silent);
+    }
+
+    /// Emit a UDP flow (see [`TraceCtx::tcp`] for the window contract).
+    pub fn udp(&mut self, spec: &UdpFlowSpec) {
+        synth::emit_udp(spec, &mut self.out, Clip::Counted);
+    }
+
+    /// Emit a UDP flow, silently discarding out-of-window packets.
+    pub fn udp_trimmed(&mut self, spec: &UdpFlowSpec) {
+        synth::emit_udp(spec, &mut self.out, Clip::Silent);
+    }
+
+    /// Emit an ICMP echo exchange.
+    #[allow(clippy::too_many_arguments)]
+    pub fn icmp_echo(
+        &mut self,
+        start: Timestamp,
+        client: Peer,
+        server: Peer,
+        rtt_us: u64,
+        ident: u16,
+        count: u16,
+        answered: bool,
+    ) {
+        synth::emit_icmp_echo(
+            start, client, server, rtt_us, ident, count, answered, &mut self.out, Clip::Counted,
+        );
+    }
+
+    /// Emit an ICMP echo exchange, silently discarding out-of-window
+    /// packets.
+    #[allow(clippy::too_many_arguments)]
+    pub fn icmp_echo_trimmed(
+        &mut self,
+        start: Timestamp,
+        client: Peer,
+        server: Peer,
+        rtt_us: u64,
+        ident: u16,
+        count: u16,
+        answered: bool,
+    ) {
+        synth::emit_icmp_echo(
+            start, client, server, rtt_us, ident, count, answered, &mut self.out, Clip::Silent,
+        );
+    }
+
+    /// Append one prebuilt frame at `ts`.
+    pub fn push_frame(&mut self, ts: Timestamp, frame: &[u8]) {
+        self.out.push_frame(ts, Clip::Counted, frame);
     }
 
     /// Is this address on the monitored subnet?

@@ -18,7 +18,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, weighted_choice, Zipf};
 use crate::network::Role;
-use crate::synth::{synth_udp, Peer, UdpFlowSpec, UdpMessage};
+use crate::synth::{Peer, UdpFlowSpec, UdpMessage};
 use ent_proto::dns::{self, QType, RCode};
 use ent_proto::netbios::{self, NameType, NsOpcode};
 use ent_wire::ethernet::MacAddr;
@@ -70,13 +70,7 @@ fn dns_name(ctx: &mut TraceCtx<'_>, qtype: QType) -> String {
     }
 }
 
-fn dns_flow(
-    ctx: &mut TraceCtx<'_>,
-    client: Peer,
-    server: Peer,
-    rtt: u64,
-    queries: usize,
-) -> Vec<ent_pcap::TimedPacket> {
+fn dns_flow(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, rtt: u64, queries: usize) {
     let mut messages = Vec::new();
     for q in 0..queries {
         let id = ctx.rng.random::<u16>();
@@ -123,7 +117,7 @@ fn dns_flow(
         messages,
         multicast_mac: None,
     };
-    synth_udp(&spec)
+    ctx.udp(&spec);
 }
 
 fn dns_traffic(ctx: &mut TraceCtx<'_>) {
@@ -148,25 +142,23 @@ fn dns_traffic(ctx: &mut TraceCtx<'_>) {
         // plus, when the main DNS server's subnet is monitored, it
         // performs upstream WAN lookups itself.
         let queries = 1 + usize::from(coin(&mut ctx.rng, 0.3));
-        let pkts = if external {
+        if external {
             let server = ctx.wan_peer(53);
             let rtt = ctx.rtt_wan();
-            dns_flow(ctx, client, server, rtt, queries)
+            dns_flow(ctx, client, server, rtt, queries);
         } else {
             let Some(srv) = dns_server else { continue };
             let server = ctx.peer_of(&srv, 53);
             let rtt = ctx.rtt_internal();
-            dns_flow(ctx, client, server, rtt, queries)
-        };
-        ctx.push(pkts);
+            dns_flow(ctx, client, server, rtt, queries);
+        }
         if dns_here && coin(&mut ctx.rng, 0.25) {
             // Recursive lookups the local DNS server makes upstream.
             let Some(srv) = dns_server else { continue };
             let client = ctx.peer_eph(&srv);
             let upstream = ctx.wan_peer(53);
             let rtt = ctx.rtt_wan();
-            let pkts = dns_flow(ctx, client, upstream, rtt, 1);
-            ctx.push(pkts);
+            dns_flow(ctx, client, upstream, rtt, 1);
         }
     }
 }
@@ -227,8 +219,7 @@ fn nbns_traffic(ctx: &mut TraceCtx<'_>) {
             messages,
             multicast_mac: None,
         };
-        let pkts = synth_udp(&spec);
-        ctx.push(pkts);
+        ctx.udp(&spec);
     }
 }
 
@@ -258,8 +249,7 @@ fn srvloc_traffic(ctx: &mut TraceCtx<'_>) {
             }],
             multicast_mac: Some(SRVLOC_MAC),
         };
-        let pkts = synth_udp(&spec);
-        ctx.push(pkts);
+        ctx.udp(&spec);
         // Occasionally a directory-agent host fans out unicast to scores
         // of peers (the paper's internal fan-out tail, ≥100 peers). The
         // event *frequency* scales with traffic volume so the SrvLoc
@@ -285,8 +275,7 @@ fn srvloc_traffic(ctx: &mut TraceCtx<'_>) {
                     }],
                     multicast_mac: None,
                 };
-                let pkts = synth_udp(&spec);
-                ctx.push(pkts);
+                ctx.udp(&spec);
             }
         }
     }
@@ -308,7 +297,7 @@ mod tests {
         let mut qtypes = std::collections::HashMap::new();
         let mut responses = 0usize;
         let mut nx = 0usize;
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             if pkt.udp().map(|(s, d, _)| s == 53 || d == 53) == Some(true) {
                 if let Some(m) = dns::parse(pkt.payload()) {
@@ -343,7 +332,7 @@ mod tests {
         }
         use std::collections::HashMap;
         let mut per_name: HashMap<String, (usize, usize)> = HashMap::new();
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             if let Some(m) = netbios::parse_ns(pkt.payload()) {
                 if m.is_response && m.opcode == NsOpcode::Query {
@@ -380,7 +369,7 @@ mod tests {
         let mut mcast = 0usize;
         let mut fanout: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
             Default::default();
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             if pkt.is_multicast() {
                 mcast += 1;

@@ -18,7 +18,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, weighted_choice, LogNormal};
 use crate::network::Role;
-use crate::synth::{synth_tcp, synth_udp, Close, Exchange, Keepalives, Outcome, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
+use crate::synth::{Close, Exchange, Keepalives, Outcome, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
 use ent_proto::ncp::{self, NcpOp};
 use ent_proto::nfs::NfsOp;
 use ent_proto::sunrpc;
@@ -137,13 +137,11 @@ fn nfs_pair(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, budget_bytes: f6
             messages: udp_messages,
             multicast_mac: None,
         };
-        let pkts = synth_udp(&spec);
-        ctx.push(pkts);
+        ctx.udp(&spec);
     } else {
         let mut spec = TcpSessionSpec::success(start, client, server, rtt, tcp_exchanges);
         spec.close = Close::None; // NFS mounts outlive the trace
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&spec);
     }
 }
 
@@ -240,8 +238,7 @@ fn ncp_traffic(ctx: &mut TraceCtx<'_>) {
         if coin(&mut ctx.rng, 0.06) {
             let mut spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, vec![]);
             spec.outcome = Outcome::Rejected;
-            let pkts = synth_tcp(&spec, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec);
             continue;
         }
         // 40-80% keep-alive-only connections.
@@ -252,10 +249,7 @@ fn ncp_traffic(ctx: &mut TraceCtx<'_>) {
                 count: ctx.rng.random_range(2..10),
             });
             spec.close = Close::None;
-            let pkts = synth_tcp(&spec, &mut ctx.rng);
-            let limit = ent_wire::Timestamp::from_micros(ctx.duration_us);
-            let pkts: Vec<_> = pkts.into_iter().filter(|p| p.ts < limit).collect();
-            ctx.push(pkts);
+            ctx.tcp_trimmed(&spec);
             continue;
         }
         // Active connection: request/reply stream.
@@ -298,10 +292,7 @@ fn ncp_traffic(ctx: &mut TraceCtx<'_>) {
         }
         let mut spec = TcpSessionSpec::success(ctx.early_start(0.5), client, server, rtt, exchanges);
         spec.close = Close::None;
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        let limit = ent_wire::Timestamp::from_micros(ctx.duration_us);
-        let pkts: Vec<_> = pkts.into_iter().filter(|p| p.ts < limit).collect();
-        ctx.push(pkts);
+        ctx.tcp_trimmed(&spec);
     }
 }
 
@@ -341,7 +332,7 @@ mod tests {
             0.08,
         );
         nfs_traffic(&mut c);
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         use std::collections::HashMap;
         let mut by_pair: HashMap<_, u64> = HashMap::new();
         let mut total = 0u64;
@@ -367,7 +358,7 @@ mod tests {
         for _ in 0..40 {
             ncp_traffic(&mut c);
         }
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         let ncp: Vec<_> = sums
             .iter()
             .filter(|s| s.key.resp.port == 524 && s.tcp_state != ent_flow::TcpState::RejectedState)
@@ -390,7 +381,7 @@ mod tests {
             nfs_traffic(&mut c);
         }
         let mut ops: std::collections::HashMap<String, usize> = Default::default();
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             if pkt.udp().map(|(_, d, _)| d == 2049) == Some(true) {
                 if let Some(sunrpc::Message::Call(call)) = sunrpc::parse_message(pkt.payload()) {
@@ -411,7 +402,7 @@ mod tests {
         let share = |spec_idx: usize, subnet: u16| {
             let mut c = ctx(&site, &wan, &specs[spec_idx], subnet);
             nfs_traffic(&mut c);
-            let sums = summaries(&c.out);
+            let sums = summaries(&c.out.to_packets());
             let (mut udp, mut total) = (0u64, 0u64);
             for s in sums.iter().filter(|s| s.key.resp.port == 2049) {
                 let b = s.total_payload();

@@ -7,14 +7,14 @@
 
 use super::TraceCtx;
 use crate::distr::weighted_choice;
-use ent_pcap::TimedPacket;
 use ent_wire::ethernet::{self, EtherType, MacAddr};
 use ent_wire::{arp, ipx, ipv4};
 use rand::RngExt;
 
 /// Generate non-IP background frames for one trace.
 pub fn generate(ctx: &mut TraceCtx<'_>) {
-    let ip_packets = ctx.out.len() as f64;
+    // Logical count: the legacy Vec still held its out-of-window tail here.
+    let ip_packets = ctx.out.logical_len() as f64;
     let frac = ctx.spec.nonip_frac;
     let total = (ip_packets * frac / (1.0 - frac)) as usize;
     let (arp_w, ipx_w, other_w) = ctx.spec.nonip_mix;
@@ -29,7 +29,7 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
             _ => other_frame(ctx),
         };
         let t = ctx.start();
-        ctx.out.push(TimedPacket::new(t, frame));
+        ctx.push_frame(t, &frame);
     }
 }
 
@@ -139,7 +139,8 @@ mod tests {
         );
         // Verify mixture classification through the wire parser.
         let (mut arp_n, mut ipx_n, mut other_n) = (0, 0, 0);
-        for p in &c.out[before..] {
+        let all = c.out.to_packets();
+        for p in &all[before..] {
             match Packet::parse(&p.frame).unwrap().net {
                 NetLayer::Arp(_) => arp_n += 1,
                 NetLayer::Ipx { .. } => ipx_n += 1,

@@ -11,7 +11,7 @@
 
 use super::TraceCtx;
 use crate::distr::coin;
-use crate::synth::{synth_icmp_echo, synth_tcp, Outcome, Peer, TcpSessionSpec};
+use crate::synth::{Outcome, Peer, TcpSessionSpec};
 use ent_wire::ipv4;
 use rand::RngExt;
 
@@ -47,8 +47,8 @@ fn background_radiation(ctx: &mut TraceCtx<'_>) {
             // ICMP sweepless probe.
             let dst = Peer { addr: target, mac: dst_mac, port: 0, ttl: 48 };
             let answered = octet < 60 && coin(&mut ctx.rng, 0.2);
-            let pkts = synth_icmp_echo(start, src, dst, 40_000, ctx.rng.random::<u16>(), 1, answered);
-            ctx.push(pkts);
+            let ident = ctx.rng.random::<u16>();
+            ctx.icmp_echo(start, src, dst, 40_000, ident, 1, answered);
         } else if kind < 0.70 {
             // UDP worm traffic (Slammer-style 1434, NBNS probes).
             let port = [1434u16, 137, 1026].get(ctx.rng.random_range(0..3usize)).copied().unwrap_or(1434);
@@ -65,8 +65,7 @@ fn background_radiation(ctx: &mut TraceCtx<'_>) {
                 }],
                 multicast_mac: None,
             };
-            let pkts = crate::synth::synth_udp(&spec);
-            ctx.push(pkts);
+            ctx.udp(&spec);
         } else {
             // TCP probes at Windows service ports.
             let port = [445u16, 135, 139, 1_025].get(ctx.rng.random_range(0..4usize)).copied().unwrap_or(445);
@@ -78,8 +77,7 @@ fn background_radiation(ctx: &mut TraceCtx<'_>) {
             } else {
                 Outcome::Unanswered
             };
-            let pkts = synth_tcp(&spec, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec);
         }
     }
 }
@@ -134,8 +132,7 @@ fn internal_scanners(ctx: &mut TraceCtx<'_>) {
                     2_000,
                 )];
             }
-            let pkts = synth_tcp(&spec, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec);
             t += ctx.rng.random_range(2_000..40_000);
             if t.micros() >= ctx.duration_us {
                 break;
@@ -172,10 +169,8 @@ fn external_icmp_scanners(ctx: &mut TraceCtx<'_>) {
             };
             // Few get replies (most targets drop unsolicited pings).
             let answered = coin(&mut ctx.rng, 0.15);
-            let pkts = synth_icmp_echo(t, src, dst, 30_000, ident, 1, answered);
-            let limit = ent_wire::Timestamp::from_micros(ctx.duration_us);
-            let pkts: Vec<_> = pkts.into_iter().filter(|p| p.ts < limit).collect();
-            ctx.push(pkts);
+            // Trim: probes past the window never reached the legacy output.
+            ctx.icmp_echo_trimmed(t, src, dst, 30_000, ident, 1, answered);
             t += pace + ctx.rng.random_range(0..5_000u64);
             if t.micros() >= ctx.duration_us {
                 break;
@@ -206,7 +201,7 @@ mod tests {
             generate(&mut c);
         }
         let mut dests: HashMap<u32, Vec<u32>> = HashMap::new();
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             if let Some((src, dst)) = pkt.ipv4_addrs() {
                 let e = dests.entry(src.0).or_default();

@@ -7,7 +7,7 @@
 use super::TraceCtx;
 use crate::distr::coin;
 use crate::network::Role;
-use crate::synth::{synth_tcp, synth_udp, Exchange, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
+use crate::synth::{Exchange, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
 use ent_wire::ethernet::MacAddr;
 use ent_wire::ipv4;
 use rand::RngExt;
@@ -52,8 +52,7 @@ fn unicast(ctx: &mut TraceCtx<'_>) {
                 Exchange::server(vec![b's'; 200], 10_000),
             ],
         );
-        let pkts = synth_tcp(&ctl, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&ctl);
         // RTP-over-UDP media, server → client.
         let dur_s = ctx.rng.random_range(30..400u64);
         let pps = 24u64; // ~350-byte packets at 24/s ≈ 67 kb/s
@@ -77,10 +76,7 @@ fn unicast(ctx: &mut TraceCtx<'_>) {
             messages,
             multicast_mac: None,
         };
-        let pkts = synth_udp(&spec);
-        let limit = ent_wire::Timestamp::from_micros(ctx.duration_us);
-        let pkts: Vec<_> = pkts.into_iter().filter(|p| p.ts < limit).collect();
-        ctx.push(pkts);
+        ctx.udp_trimmed(&spec);
     }
 }
 
@@ -92,8 +88,9 @@ pub fn multicast_background(ctx: &mut TraceCtx<'_>) {
     let Some(srv) = ctx.server(Role::MediaServer) else {
         return;
     };
-    // Size from what the rest of the trace produced.
-    let so_far: u64 = ctx.out.iter().map(|p| p.orig_len as u64).sum();
+    // Size from what the rest of the trace produced (logical volume, as
+    // the legacy Vec still held its out-of-window tail at this point).
+    let so_far: u64 = ctx.out.logical_wire_bytes();
     let target_frac = 0.055 + 0.04 * ctx.rng.random::<f64>();
     let budget = (so_far as f64 * target_frac) as u64;
     let total_pkts = (budget / 1_316).max(20);
@@ -122,10 +119,7 @@ pub fn multicast_background(ctx: &mut TraceCtx<'_>) {
             messages,
             multicast_mac: Some(VIDEO_MAC),
         };
-        let pkts = synth_udp(&spec);
-        let limit = ent_wire::Timestamp::from_micros(ctx.duration_us);
-        let pkts: Vec<_> = pkts.into_iter().filter(|p| p.ts < limit).collect();
-        ctx.push(pkts);
+        ctx.udp_trimmed(&spec);
     }
     // IGMP membership chatter accompanies the groups.
     for _ in 0..ctx.count(30.0) {
@@ -139,7 +133,7 @@ pub fn multicast_background(ctx: &mut TraceCtx<'_>) {
             &[0x16, 0, 0, 0, 239, 192, 7, 1],
         );
         let t = ctx.start();
-        ctx.out.push(ent_pcap::TimedPacket::new(t, frame));
+        ctx.push_frame(t, &frame);
     }
 }
 
@@ -159,7 +153,7 @@ mod tests {
         multicast_background(&mut c);
         let mut mcast_bytes = 0u64;
         let mut ucast_bytes = 0u64;
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             let len = pkt.wire_payload_len() as u64;
             if pkt.is_multicast() {
@@ -186,6 +180,7 @@ mod tests {
         }
         let rtsp = c
             .out
+            .to_packets()
             .iter()
             .filter(|p| {
                 Packet::parse(&p.frame)

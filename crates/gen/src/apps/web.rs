@@ -19,7 +19,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, weighted_choice, LogNormal};
 use crate::network::Role;
-use crate::synth::{synth_tcp, Close, Exchange, Outcome, Peer, TcpSessionSpec};
+use crate::synth::{Close, Exchange, Outcome, Peer, TcpSessionSpec};
 use ent_proto::http;
 use ent_proto::ssl;
 use ent_wire::Timestamp;
@@ -118,8 +118,7 @@ fn browser_connection(
         } else {
             Outcome::Unanswered
         };
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&spec);
         return;
     }
     // About half of page fetches are a single object; the rest pull in
@@ -168,8 +167,7 @@ fn browser_connection(
         // Wide-area paths lose a little; internal ones almost never (§6).
         spec.retx_rate = 0.004;
     }
-    let pkts = synth_tcp(&spec, &mut ctx.rng);
-    ctx.push(pkts);
+    ctx.tcp(&spec);
 }
 
 /// The automated internal clients of Table 6. These all target internal
@@ -225,8 +223,7 @@ fn automated_clients(ctx: &mut TraceCtx<'_>) {
             rtt,
             vec![Exchange::client(req, 0), Exchange::server(resp, 1_500)],
         );
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&spec);
     }
     // Google appliance bots: crawl with large-object fetches (bytes-heavy).
     for (rate, ua, med) in [
@@ -254,8 +251,7 @@ fn automated_clients(ctx: &mut TraceCtx<'_>) {
                 rtt,
                 vec![Exchange::client(req, 0), Exchange::server(resp, 3_000)],
             );
-            let pkts = synth_tcp(&spec, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec);
         }
     }
     // iFolder: POST-heavy sync with uniform 32,780-byte replies.
@@ -275,8 +271,7 @@ fn automated_clients(ctx: &mut TraceCtx<'_>) {
             rtt,
             vec![Exchange::client(req, 0), Exchange::server(resp, 2_000)],
         );
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&spec);
     }
 }
 
@@ -296,8 +291,7 @@ fn https_traffic(ctx: &mut TraceCtx<'_>) {
             (ctx.peer_of(&srv, 443), ctx.rtt_internal())
         };
         let records = ctx.rng.random_range(2..12);
-        let pkts = tls_session(ctx, client, server, rtt, records);
-        ctx.push(pkts);
+        tls_session(ctx, client, server, rtt, records);
     }
     // The buggy pair: ~800 short handshake-then-close connections/hour.
     if ctx.spec.name == "D4" && ctx.hosts_role(Role::WebServer) {
@@ -308,19 +302,12 @@ fn https_traffic(ctx: &mut TraceCtx<'_>) {
             let client = ctx.peer_eph(&client_host);
             let server = ctx.peer_of(&srv, 443);
             let rtt = ctx.rtt_internal();
-            let pkts = tls_session(ctx, client, server, rtt, 2);
-            ctx.push(pkts);
+            tls_session(ctx, client, server, rtt, 2);
         }
     }
 }
 
-fn tls_session(
-    ctx: &mut TraceCtx<'_>,
-    client: Peer,
-    server: Peer,
-    rtt: u64,
-    app_records: u32,
-) -> Vec<ent_pcap::TimedPacket> {
+fn tls_session(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, rtt: u64, app_records: u32) {
     let (ch, sf, ccc, scc) = ssl::encode_handshake();
     let mut exchanges = vec![
         Exchange::client(ch, 0),
@@ -341,7 +328,7 @@ fn tls_session(
     spec.close = Close::Fin;
     let start_latest = ctx.duration_us.saturating_sub(2_000_000);
     spec.start = Timestamp::from_micros(spec.start.micros().min(start_latest.max(1)));
-    synth_tcp(&spec, &mut ctx.rng)
+    ctx.tcp(&spec);
 }
 
 #[cfg(test)]
@@ -376,7 +363,7 @@ mod tests {
             let mut pool = Vec::new();
             browser_connection(&mut c, client, true, &mut pool);
         }
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         let (mut int_ok, mut int_all, mut wan_ok, mut wan_all) = (0.0, 0.0, 0.0, 0.0);
         for s in sums.iter().filter(|s| s.key.resp.port == 80) {
             let internal = crate::network::is_internal(s.key.resp.addr);
@@ -406,7 +393,7 @@ mod tests {
             automated_clients(&mut c);
         }
         let mut kinds = std::collections::HashSet::new();
-        for p in &c.out {
+        for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             let payload = pkt.payload();
             if payload.starts_with(b"GET") || payload.starts_with(b"POST") {
@@ -429,7 +416,7 @@ mod tests {
         let specs = all_datasets();
         let mut c = ctx(&site, &wan, &specs[4], 28);
         https_traffic(&mut c);
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         use std::collections::HashMap;
         let mut pairs: HashMap<_, usize> = HashMap::new();
         for s in sums.iter().filter(|s| s.key.resp.port == 443) {

@@ -19,7 +19,7 @@ use super::TraceCtx;
 use crate::dataset::RpcProfile;
 use crate::distr::{coin, weighted_choice, LogNormal};
 use crate::network::Role;
-use crate::synth::{synth_tcp, synth_udp, Close, Exchange, Outcome, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
+use crate::synth::{Close, Exchange, Outcome, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
 use ent_proto::cifs::{self, SmbCommand};
 use ent_proto::dcerpc::{self, interfaces};
 use ent_proto::netbios::{self, SsnType};
@@ -252,12 +252,10 @@ fn cifs_session(ctx: &mut TraceCtx<'_>) {
         if server_445 {
             // 445 wins; the 139 connection is opened then dropped.
             let spec445 = TcpSessionSpec::success(start, client445, server445, rtt, exchanges);
-            let pkts = synth_tcp(&spec445, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec445);
             let mut spec139 = TcpSessionSpec::success(start + 150, client139, server139, rtt, vec![]);
             spec139.close = Close::Rst;
-            let pkts = synth_tcp(&spec139, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec139);
         } else {
             // Server rejects 445; dialogue proceeds on 139.
             let mut spec445 = TcpSessionSpec::success(start, client445, server445, rtt, vec![]);
@@ -266,11 +264,9 @@ fn cifs_session(ctx: &mut TraceCtx<'_>) {
             } else {
                 Outcome::Unanswered
             };
-            let pkts = synth_tcp(&spec445, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec445);
             let spec139 = TcpSessionSpec::success(start + 150, client139, server139, rtt, exchanges);
-            let pkts = synth_tcp(&spec139, &mut ctx.rng);
-            ctx.push(pkts);
+            ctx.tcp(&spec139);
         }
     } else if use_139 {
         // Single-dial 139: a slice of attempts go unanswered (powered-off
@@ -283,12 +279,10 @@ fn cifs_session(ctx: &mut TraceCtx<'_>) {
                 Outcome::Rejected
             };
         }
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&spec);
     } else {
         let spec = TcpSessionSpec::success(start, client445, server445, rtt, exchanges);
-        let pkts = synth_tcp(&spec, &mut ctx.rng);
-        ctx.push(pkts);
+        ctx.tcp(&spec);
     }
 }
 
@@ -326,8 +320,7 @@ fn epmapper_then_dcerpc(ctx: &mut TraceCtx<'_>) {
             ),
         ],
     );
-    let pkts = synth_tcp(&epm, &mut ctx.rng);
-    ctx.push(pkts);
+    ctx.tcp(&epm);
     // The mapped-port DCE/RPC conversation.
     let client2 = ctx.peer_eph(&client_host);
     let svc_server = ctx.peer_of(&server_host, mapped_port);
@@ -340,8 +333,7 @@ fn epmapper_then_dcerpc(ctx: &mut TraceCtx<'_>) {
         exchanges.push(Exchange::server(dcerpc::encode_response(resp_len), 800));
     }
     let svc = TcpSessionSpec::success(start + 20_000, client2, svc_server, rtt, exchanges);
-    let pkts = synth_tcp(&svc, &mut ctx.rng);
-    ctx.push(pkts);
+    ctx.tcp(&svc);
 }
 
 /// NetBIOS datagram-service broadcasts (small; mostly stays on-subnet,
@@ -368,8 +360,7 @@ fn netbios_dgm(ctx: &mut TraceCtx<'_>) {
         }],
         multicast_mac: Some(ent_wire::ethernet::MacAddr::BROADCAST),
     };
-    let pkts = synth_udp(&spec);
-    ctx.push(pkts);
+    ctx.udp(&spec);
 }
 
 #[cfg(test)]
@@ -400,7 +391,7 @@ mod tests {
         for _ in 0..250 {
             cifs_session(&mut c);
         }
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         let rate = |port: u16| {
             let all: Vec<_> = sums.iter().filter(|s| s.key.resp.port == port).collect();
             let ok = all
@@ -440,7 +431,7 @@ mod tests {
                     .feed(dir == Dir::Orig, data);
             }
         }
-        let mut sorted = c.out.clone();
+        let mut sorted = c.out.to_packets();
         sorted.sort_by_key(|p| p.ts);
         let mut table = ConnTable::new(TableConfig::default());
         let mut h = H::default();
@@ -483,7 +474,7 @@ mod tests {
         for _ in 0..30 {
             epmapper_then_dcerpc(&mut c);
         }
-        let sums = summaries(&c.out);
+        let sums = summaries(&c.out.to_packets());
         let epm: Vec<_> = sums.iter().filter(|s| s.key.resp.port == 135).collect();
         let mapped: Vec<_> = sums.iter().filter(|s| s.key.resp.port >= 49_152).collect();
         assert!(!epm.is_empty() && !mapped.is_empty());

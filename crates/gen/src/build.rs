@@ -61,6 +61,31 @@ fn scaled_hosts(full: usize, scale: f64) -> usize {
     ((full as f64) * scale.sqrt().clamp(0.08, 1.0)).max(8.0) as usize
 }
 
+/// Wall-time and count breakdown of one [`generate_trace`] call, for the
+/// observability layer's `gen_synth` / `gen_sort` / `gen_tap` sub-stages.
+///
+/// `ent-gen` has no dependency on the metrics module, so this is a plain
+/// struct of monotonic nanoseconds (from [`std::time::Instant`]) and
+/// deterministic counts; `ent_core::run` folds it into `StageStat`s.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GenTiming {
+    /// Wall ns spent emitting application sessions into the trace buffer.
+    pub synth_ns: u64,
+    /// Wall ns spent in the global timestamp sort.
+    pub sort_ns: u64,
+    /// Wall ns spent in tap admission + snaplen clamp + materialization.
+    pub tap_ns: u64,
+    /// Logical packets emitted, including the beyond-window tail the
+    /// trace never materializes.
+    pub synth_packets: u64,
+    /// Logical wire bytes of the emitted packets (same tail included).
+    pub synth_bytes: u64,
+    /// In-window records that went through the sort.
+    pub sorted_packets: u64,
+    /// Captured (post-snaplen) bytes that survived the tap.
+    pub captured_bytes: u64,
+}
+
 /// Generate one trace: the packets seen at one subnet's router port
 /// during one monitoring pass.
 pub fn generate_trace(
@@ -71,36 +96,101 @@ pub fn generate_trace(
     pass: u8,
     config: &GenConfig,
 ) -> Trace {
+    generate_trace_timed(site, wan, spec, subnet, pass, config).0
+}
+
+/// [`generate_trace`] plus the per-sub-stage [`GenTiming`] breakdown.
+pub fn generate_trace_timed(
+    site: &Site,
+    wan: &WanPool,
+    spec: &DatasetSpec,
+    subnet: u16,
+    pass: u8,
+    config: &GenConfig,
+) -> (Trace, GenTiming) {
+    let (meta, arena, timing) = generate_trace_arena(site, wan, spec, subnet, pass, config);
+    let trace = Trace {
+        meta,
+        packets: arena.captured_packets(),
+    };
+    (trace, timing)
+}
+
+/// The zero-copy core of trace generation: emit, sort and tap the trace
+/// entirely inside one [`PacketArena`]. The returned arena holds the
+/// post-tap capture as `(ts, offset, len)` records over a single byte
+/// buffer; callers either iterate it borrowed
+/// ([`PacketArena::captured_frames`], what the study pipeline does) or
+/// materialize owned packets ([`PacketArena::captured_packets`]).
+pub fn generate_trace_arena(
+    site: &Site,
+    wan: &WanPool,
+    spec: &DatasetSpec,
+    subnet: u16,
+    pass: u8,
+    config: &GenConfig,
+) -> (TraceMeta, ent_pcap::PacketArena, GenTiming) {
+    let mut arena = ent_pcap::PacketArena::unbounded();
+    let (meta, timing) = generate_trace_into(site, wan, spec, subnet, pass, config, &mut arena);
+    (meta, arena, timing)
+}
+
+/// [`generate_trace_arena`] into a caller-owned arena, so a worker loop
+/// can reuse one arena's buffers across many traces: after the first
+/// trace the steady-state emission path performs no heap allocation at
+/// all. The arena is cleared (capacity kept) before generation.
+pub fn generate_trace_into(
+    site: &Site,
+    wan: &WanPool,
+    spec: &DatasetSpec,
+    subnet: u16,
+    pass: u8,
+    config: &GenConfig,
+    arena: &mut ent_pcap::PacketArena,
+) -> (TraceMeta, GenTiming) {
     let seed = spec
         .seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add((subnet as u64) << 8 | pass as u64)
         .wrapping_add(config.seed.rotate_left(32));
     let rng = StdRng::seed_from_u64(seed);
-    let mut ctx = TraceCtx::new(rng, site, wan, spec, subnet, config.scale);
+    let mut timing = GenTiming::default();
+    let mut clock = std::time::Instant::now();
+    let mut lap = |acc: &mut u64| {
+        let now = std::time::Instant::now();
+        *acc += now.duration_since(clock).as_nanos() as u64;
+        clock = now;
+    };
+    let staged = std::mem::replace(arena, ent_pcap::PacketArena::unbounded());
+    let mut ctx = TraceCtx::with_arena(rng, site, wan, spec, subnet, config.scale, staged);
     apps::generate_all(&mut ctx);
-    let mut packets = std::mem::take(&mut ctx.out);
-    // Sessions can overrun the monitoring window; the tap stops recording.
+    // Sessions can overrun the monitoring window; the arena already
+    // clipped those at admission, but they still count as emitted work.
+    timing.synth_packets = ctx.out.logical_len();
+    timing.synth_bytes = ctx.out.logical_wire_bytes();
+    lap(&mut timing.synth_ns);
     let limit = Timestamp::from_micros(spec.trace_secs * 1_000_000);
-    packets.retain(|p| p.ts < limit);
-    packets.sort_by_key(|p| p.ts);
-    // Through the capture tap: snaplen truncation + injected drops.
+    ctx.out.sort_records();
+    timing.sorted_packets = ctx.out.len() as u64;
+    lap(&mut timing.sort_ns);
+    // Through the capture tap: snaplen truncation + injected drops,
+    // applied to the records in place — no frame bytes move.
     let mut tap = Tap::new(spec.snaplen as usize);
     if spec.tap_drop_period > 0 {
         tap = tap.with_drop_period(spec.tap_drop_period);
     }
-    let packets = tap.capture_all(packets);
-    Trace {
-        meta: TraceMeta {
-            dataset: spec.name.into(),
-            subnet,
-            pass,
-            duration: limit,
-            snaplen: spec.snaplen,
-            link_capacity_bps: 100_000_000,
-        },
-        packets,
-    }
+    timing.captured_bytes = ctx.out.apply_tap(&mut tap);
+    lap(&mut timing.tap_ns);
+    let meta = TraceMeta {
+        dataset: spec.name.into(),
+        subnet,
+        pass,
+        duration: limit,
+        snaplen: spec.snaplen,
+        link_capacity_bps: 100_000_000,
+    };
+    *arena = ctx.out;
+    (meta, timing)
 }
 
 /// Generate a whole dataset, materializing all traces in memory.
@@ -110,7 +200,7 @@ pub fn generate_dataset(spec: &DatasetSpec, config: &GenConfig) -> GeneratedData
     let mut traces = Vec::with_capacity(spec.trace_count());
     for_each_trace(spec, config, |t| traces.push(t));
     GeneratedDataset {
-        spec: spec.clone(),
+        spec: *spec,
         traces,
     }
 }
@@ -120,7 +210,7 @@ pub fn generate_dataset(spec: &DatasetSpec, config: &GenConfig) -> GeneratedData
 pub fn for_each_trace<F: FnMut(Trace)>(spec: &DatasetSpec, config: &GenConfig, mut f: F) {
     let (site, wan) = build_site(spec, config);
     for pass in 1..=spec.passes {
-        for subnet in spec.monitored.clone() {
+        for subnet in spec.monitored {
             // D4 monitored only part of the subnets twice ("1-2 per tap").
             if spec.name == "D4" && pass == 2 && subnet % 2 == 0 {
                 continue;
@@ -200,8 +290,8 @@ mod tests {
         let config = tiny_config();
         let gd = generate_dataset(
             &DatasetSpec {
-                monitored: 0..2,
-                ..specs[1].clone()
+                monitored: (0..2).into(),
+                ..specs[1]
             },
             &config,
         );

@@ -7,8 +7,7 @@
 //! distributions are *not* scaled — only counts are — so per-connection
 //! characteristics (Figures 3–8) match the paper at any scale.
 
-use crate::network::{ROUTER_A, ROUTER_B};
-use std::ops::Range;
+use crate::network::{SubnetRange, ROUTER_A, ROUTER_B};
 
 /// Which DCE/RPC service mix dominates at this vantage (Table 11): D0
 /// monitored a major authentication server, D3–4 a major print server.
@@ -68,8 +67,9 @@ pub struct AppRates {
     pub icmp: f64,
 }
 
-/// Calibration record for one dataset.
-#[derive(Debug, Clone)]
+/// Calibration record for one dataset. Plain `Copy` data — the study's
+/// worker loop copies specs instead of cloning heap-backed ranges.
+#[derive(Debug, Clone, Copy)]
 pub struct DatasetSpec {
     /// Dataset label, "D0".."D4".
     pub name: &'static str,
@@ -78,7 +78,7 @@ pub struct DatasetSpec {
     /// Monitoring passes per subnet (Table 1 "Per Tap").
     pub passes: u8,
     /// Monitored subnet indices (Table 1 "# Subnets"; which router).
-    pub monitored: Range<u16>,
+    pub monitored: SubnetRange,
     /// Capture snaplen (Table 1 "Snaplen").
     pub snaplen: u32,
     /// Approximate workstations per subnet (drives Table 1 host counts).

@@ -89,9 +89,58 @@ pub struct Site {
 /// datasets D0–D2), 22–39 to router B (monitored by D3–D4).
 pub const TOTAL_SUBNETS: u16 = 40;
 /// Subnets attached to router A.
-pub const ROUTER_A: std::ops::Range<u16> = 0..22;
+pub const ROUTER_A: SubnetRange = SubnetRange::new(0, 22);
 /// Subnets attached to router B.
-pub const ROUTER_B: std::ops::Range<u16> = 22..40;
+pub const ROUTER_B: SubnetRange = SubnetRange::new(22, 40);
+
+/// A half-open range of subnet indices, `[start, end)`.
+///
+/// Unlike `std::ops::Range<u16>` this is `Copy`, so dataset specs that
+/// carry one can be copied instead of cloned on the generator hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubnetRange {
+    /// First subnet index in the range.
+    pub start: u16,
+    /// One past the last subnet index.
+    pub end: u16,
+}
+
+impl SubnetRange {
+    /// The range `[start, end)`.
+    pub const fn new(start: u16, end: u16) -> SubnetRange {
+        SubnetRange { start, end }
+    }
+
+    /// Number of subnets covered.
+    pub fn len(&self) -> usize {
+        usize::from(self.end.saturating_sub(self.start))
+    }
+
+    /// True if the range covers no subnets.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// True if `subnet` falls inside the range.
+    pub fn contains(&self, subnet: u16) -> bool {
+        (self.start..self.end).contains(&subnet)
+    }
+}
+
+impl From<std::ops::Range<u16>> for SubnetRange {
+    fn from(r: std::ops::Range<u16>) -> SubnetRange {
+        SubnetRange::new(r.start, r.end)
+    }
+}
+
+impl IntoIterator for SubnetRange {
+    type Item = u16;
+    type IntoIter = std::ops::Range<u16>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.start..self.end
+    }
+}
 
 /// Placement plan: (role, subnet) pairs, chosen to reproduce the paper's
 /// vantage-point effects — the main SMTP/IMAP servers and the NFS/NCP
@@ -332,13 +381,13 @@ mod tests {
     fn router_split_places_mail_on_a_print_on_b() {
         let s = site();
         for h in s.with_role(Role::SmtpServer) {
-            assert!(ROUTER_A.contains(&h.subnet));
+            assert!(ROUTER_A.contains(h.subnet));
         }
         for h in s.with_role(Role::PrintServer) {
-            assert!(ROUTER_B.contains(&h.subnet));
+            assert!(ROUTER_B.contains(h.subnet));
         }
         for h in s.with_role(Role::DnsServer) {
-            assert!(ROUTER_B.contains(&h.subnet), "main DNS servers off router A (paper: D0-2 lack DNS-server subnets)");
+            assert!(ROUTER_B.contains(h.subnet), "main DNS servers off router A (paper: D0-2 lack DNS-server subnets)");
         }
     }
 

@@ -5,7 +5,7 @@
 //! loss-driven retransmissions, and TCP keep-alive probes.
 
 use crate::distr::coin;
-use ent_pcap::TimedPacket;
+use ent_pcap::{Clip, PacketArena, TimedPacket};
 use ent_wire::ethernet::MacAddr;
 use ent_wire::{build, icmp, ipv4, tcp, Timestamp};
 use rand::{Rng, RngExt};
@@ -164,43 +164,50 @@ impl TcpSessionSpec {
     }
 }
 
+/// Precompute the frame template for one direction of a TCP session.
+fn tcp_template(src: &Peer, dst: &Peer) -> build::TcpTemplate {
+    build::TcpTemplate::new(&build::TcpFrameSpec {
+        src_mac: src.mac,
+        dst_mac: dst.mac,
+        src_ip: src.addr,
+        dst_ip: dst.addr,
+        src_port: src.port,
+        dst_port: dst.port,
+        seq: 0,
+        ack: 0,
+        flags: tcp::Flags::NONE,
+        window: 65_535,
+        ttl: src.ttl,
+    })
+}
+
 struct TcpSim<'a, R: Rng + ?Sized> {
     spec: &'a TcpSessionSpec,
     rng: &'a mut R,
-    out: Vec<TimedPacket>,
+    out: &'a mut PacketArena,
+    clip: Clip,
+    /// Client→server frame template (headers + static checksum halves).
+    c_tmpl: build::TcpTemplate,
+    /// Server→client frame template.
+    s_tmpl: build::TcpTemplate,
     c_seq: u32,
     s_seq: u32,
     c_acked: u32,
     s_acked: u32,
 }
 
-impl<'a, R: Rng + ?Sized> TcpSim<'a, R> {
+impl<R: Rng + ?Sized> TcpSim<'_, R> {
     fn frame(&mut self, ts: Timestamp, from_client: bool, flags: tcp::Flags, seq: u32, ack: u32, payload: &[u8]) {
-        let (src, dst) = if from_client {
-            (&self.spec.client, &self.spec.server)
-        } else {
-            (&self.spec.server, &self.spec.client)
-        };
-        let f = build::tcp_frame(
-            &build::TcpFrameSpec {
-                src_mac: src.mac,
-                dst_mac: dst.mac,
-                src_ip: src.addr,
-                dst_ip: dst.addr,
-                src_port: src.port,
-                dst_port: dst.port,
-                seq,
-                ack,
-                flags,
-                window: 65_535,
-                ttl: src.ttl,
-            },
-            payload,
-        );
-        self.out.push(TimedPacket::new(ts, f));
+        let wire = (build::TCP_HDR_LEN + payload.len()) as u64;
+        if !self.out.admit(ts, self.clip, wire) {
+            return;
+        }
+        let tmpl = if from_client { &self.c_tmpl } else { &self.s_tmpl };
+        build::tcp_frame_into(tmpl, seq, ack, flags, payload, self.out.frame_buf());
+        self.out.commit(ts);
     }
 
-    fn run(mut self) -> Vec<TimedPacket> {
+    fn run(mut self) {
         let spec = self.spec;
         let rtt = spec.rtt_us.max(20);
         let half = (rtt / 2).max(10);
@@ -212,7 +219,7 @@ impl<'a, R: Rng + ?Sized> TcpSim<'a, R> {
                 for delay in [0u64, 3_000_000, 9_000_000] {
                     self.frame(t + delay, true, tcp::Flags::SYN, seq, 0, &[]);
                 }
-                return self.out;
+                return;
             }
             Outcome::Rejected => {
                 let seq = self.c_seq;
@@ -225,7 +232,7 @@ impl<'a, R: Rng + ?Sized> TcpSim<'a, R> {
                     seq.wrapping_add(1),
                     &[],
                 );
-                return self.out;
+                return;
             }
             Outcome::Success => {}
         }
@@ -248,10 +255,11 @@ impl<'a, R: Rng + ?Sized> TcpSim<'a, R> {
         t += rtt;
         self.frame(t, true, tcp::Flags::ACK, self.c_seq, self.c_acked, &[]);
 
-        // Dialogue.
-        let exchanges = spec.exchanges.clone();
+        // Dialogue. `spec` is a copy of the `&'a TcpSessionSpec` reference,
+        // so iterating it does not hold a borrow of `self` (the legacy code
+        // cloned the whole exchange list here).
         let mut last_dir_client = true;
-        for ex in &exchanges {
+        for ex in &spec.exchanges {
             t += ex.gap_us;
             if ex.from_client != last_dir_client {
                 // Propagation before the other side can respond.
@@ -301,8 +309,8 @@ impl<'a, R: Rng + ?Sized> TcpSim<'a, R> {
             }
             Close::None => {}
         }
-        self.out.sort_by_key(|p| p.ts);
-        self.out
+        // No per-session sort: the arena's global `(ts, offset)` sort
+        // reproduces the legacy stable per-session + global ordering.
     }
 
     /// Send `payload` in MSS segments from one side; returns the time the
@@ -366,20 +374,39 @@ impl<'a, R: Rng + ?Sized> TcpSim<'a, R> {
     }
 }
 
-/// Synthesize one TCP session into timestamped frames.
-pub fn synth_tcp<R: Rng + ?Sized>(spec: &TcpSessionSpec, rng: &mut R) -> Vec<TimedPacket> {
+/// Emit one TCP session's frames into the arena. Out-of-window packets are
+/// skipped per `clip`; the RNG advances identically either way, so a given
+/// seed produces the same in-window bytes regardless of the window.
+pub fn emit_tcp<R: Rng + ?Sized>(
+    spec: &TcpSessionSpec,
+    rng: &mut R,
+    out: &mut PacketArena,
+    clip: Clip,
+) {
     let c_seq = rng.random::<u32>();
     let s_seq = rng.random::<u32>();
     TcpSim {
         spec,
         rng,
-        out: Vec::new(),
+        out,
+        clip,
+        c_tmpl: tcp_template(&spec.client, &spec.server),
+        s_tmpl: tcp_template(&spec.server, &spec.client),
         c_seq,
         s_seq,
         c_acked: 0,
         s_acked: 0,
     }
-    .run()
+    .run();
+}
+
+/// Synthesize one TCP session into timestamped frames (compatibility
+/// wrapper over [`emit_tcp`], time-sorted like the legacy path).
+pub fn synth_tcp<R: Rng + ?Sized>(spec: &TcpSessionSpec, rng: &mut R) -> Vec<TimedPacket> {
+    let mut arena = PacketArena::unbounded();
+    emit_tcp(spec, rng, &mut arena, Clip::Counted);
+    arena.sort_records();
+    arena.to_packets()
 }
 
 /// One UDP message in a flow script.
@@ -410,42 +437,107 @@ pub struct UdpFlowSpec {
     pub multicast_mac: Option<MacAddr>,
 }
 
-/// Synthesize a UDP flow.
-pub fn synth_udp(spec: &UdpFlowSpec) -> Vec<TimedPacket> {
-    let mut out = Vec::with_capacity(spec.messages.len());
+/// Emit a UDP flow's frames into the arena (see [`emit_tcp`] for the
+/// window-clipping contract).
+pub fn emit_udp(spec: &UdpFlowSpec, out: &mut PacketArena, clip: Clip) {
+    let c_tmpl = build::UdpTemplate::new(&build::UdpFrameSpec {
+        src_mac: spec.client.mac,
+        dst_mac: spec.multicast_mac.unwrap_or(spec.server.mac),
+        src_ip: spec.client.addr,
+        dst_ip: spec.server.addr,
+        src_port: spec.client.port,
+        dst_port: spec.server.port,
+        ttl: spec.client.ttl,
+    });
+    let s_tmpl = build::UdpTemplate::new(&build::UdpFrameSpec {
+        src_mac: spec.server.mac,
+        dst_mac: spec.client.mac,
+        src_ip: spec.server.addr,
+        dst_ip: spec.client.addr,
+        src_port: spec.server.port,
+        dst_port: spec.client.port,
+        ttl: spec.server.ttl,
+    });
     let mut t = spec.start;
     for m in &spec.messages {
         t += m.gap_us;
-        let (src, dst) = if m.from_client {
-            (&spec.client, &spec.server)
+        let (tmpl, ts) = if m.from_client {
+            (&c_tmpl, t)
         } else {
-            (&spec.server, &spec.client)
+            (&s_tmpl, t + spec.half_rtt_us)
         };
-        let dst_mac = if m.from_client {
-            spec.multicast_mac.unwrap_or(dst.mac)
-        } else {
-            dst.mac
-        };
-        let ts = if m.from_client { t } else { t + spec.half_rtt_us };
-        let f = build::udp_frame(
-            &build::UdpFrameSpec {
-                src_mac: src.mac,
-                dst_mac,
-                src_ip: src.addr,
-                dst_ip: dst.addr,
-                src_port: src.port,
-                dst_port: dst.port,
-                ttl: src.ttl,
-            },
-            &m.payload,
-        );
-        out.push(TimedPacket::new(ts, f));
+        if out.admit(ts, clip, (build::UDP_HDR_LEN + m.payload.len()) as u64) {
+            build::udp_frame_into(tmpl, &m.payload, out.frame_buf());
+            out.commit(ts);
+        }
     }
-    out.sort_by_key(|p| p.ts);
-    out
 }
 
-/// Synthesize an ICMP echo exchange (`answered` controls the reply).
+/// Synthesize a UDP flow (compatibility wrapper over [`emit_udp`],
+/// time-sorted like the legacy path).
+pub fn synth_udp(spec: &UdpFlowSpec) -> Vec<TimedPacket> {
+    let mut arena = PacketArena::unbounded();
+    emit_udp(spec, &mut arena, Clip::Counted);
+    arena.sort_records();
+    arena.to_packets()
+}
+
+/// The fixed 56-byte echo payload (classic `ping` pattern byte).
+const ICMP_PAYLOAD: [u8; 56] = [0x55; 56];
+
+/// Emit an ICMP echo exchange into the arena (`answered` controls the
+/// replies; see [`emit_tcp`] for the window-clipping contract).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_icmp_echo(
+    start: Timestamp,
+    client: Peer,
+    server: Peer,
+    rtt_us: u64,
+    ident: u16,
+    count: u16,
+    answered: bool,
+    out: &mut PacketArena,
+    clip: Clip,
+) {
+    let wire = (build::ICMP_HDR_LEN + ICMP_PAYLOAD.len()) as u64;
+    for i in 0..count {
+        let t = start + i as u64 * 1_000_000;
+        if out.admit(t, clip, wire) {
+            build::icmp_frame_into(
+                client.mac,
+                server.mac,
+                client.addr,
+                server.addr,
+                icmp::MessageType::EchoRequest,
+                ident,
+                i,
+                &ICMP_PAYLOAD,
+                out.frame_buf(),
+            );
+            out.commit(t);
+        }
+        if answered {
+            let tr = t + rtt_us;
+            if out.admit(tr, clip, wire) {
+                build::icmp_frame_into(
+                    server.mac,
+                    client.mac,
+                    server.addr,
+                    client.addr,
+                    icmp::MessageType::EchoReply,
+                    ident,
+                    i,
+                    &ICMP_PAYLOAD,
+                    out.frame_buf(),
+                );
+                out.commit(tr);
+            }
+        }
+    }
+}
+
+/// Synthesize an ICMP echo exchange (compatibility wrapper over
+/// [`emit_icmp_echo`]; emission order, unsorted, like the legacy path).
 pub fn synth_icmp_echo(
     start: Timestamp,
     client: Peer,
@@ -455,40 +547,9 @@ pub fn synth_icmp_echo(
     count: u16,
     answered: bool,
 ) -> Vec<TimedPacket> {
-    let mut out = Vec::new();
-    let payload = vec![0x55u8; 56];
-    for i in 0..count {
-        let t = start + i as u64 * 1_000_000;
-        out.push(TimedPacket::new(
-            t,
-            build::icmp_frame(
-                client.mac,
-                server.mac,
-                client.addr,
-                server.addr,
-                icmp::MessageType::EchoRequest,
-                ident,
-                i,
-                &payload,
-            ),
-        ));
-        if answered {
-            out.push(TimedPacket::new(
-                t + rtt_us,
-                build::icmp_frame(
-                    server.mac,
-                    client.mac,
-                    server.addr,
-                    client.addr,
-                    icmp::MessageType::EchoReply,
-                    ident,
-                    i,
-                    &payload,
-                ),
-            ));
-        }
-    }
-    out
+    let mut arena = PacketArena::unbounded();
+    emit_icmp_echo(start, client, server, rtt_us, ident, count, answered, &mut arena, Clip::Counted);
+    arena.to_packets()
 }
 
 #[cfg(test)]

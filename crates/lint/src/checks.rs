@@ -125,11 +125,16 @@ pub fn e001(file: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
 /// E002: unchecked offset arithmetic and truncating casts of
 /// length-derived values inside parser hot paths; in the named hot-map
 /// modules ([`LintConfig::hot_map_files`]), also any construction of a
-/// std-SipHash `HashMap` where the pre-sized fx-hash form is required.
+/// std-SipHash `HashMap` where the pre-sized fx-hash form is required;
+/// in the named hot-allocation modules ([`LintConfig::hot_alloc_files`]),
+/// also any ad-hoc `Vec` allocation where the arena buffer is required.
 pub fn e002(file: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
     let mut out = Vec::new();
     if !file.is_test_file && cfg.hot_map_files.iter().any(|f| f == &file.rel) {
         hot_map_scan(file, &mut out);
+    }
+    if !file.is_test_file && cfg.hot_alloc_files.iter().any(|f| f == &file.rel) {
+        hot_alloc_scan(file, &mut out);
     }
     if !cfg.arith_crates.iter().any(|c| c == &file.crate_name) || file.is_test_file {
         return out;
@@ -222,6 +227,56 @@ fn hot_map_scan(file: &SourceFile, out: &mut Vec<Finding>) {
                 t.line,
                 format!("std-SipHash `HashMap::{method}` in a hot-path module; use the pre-sized fx-hash form (`fx_map_with_capacity` / `with_capacity_and_hasher`, see crates/flow/src/fasthash.rs)"),
             ));
+        }
+    }
+}
+
+/// The hot-allocation half of E002: flag `Vec::new()`, `vec![..]` and
+/// `.to_vec()` — the forms that heap-allocate per call — in modules on the
+/// per-packet emission path. Those paths write through a reused
+/// [`PacketArena`] buffer (`frame_buf` / `extend_from_slice`), so a fresh
+/// `Vec` per packet is exactly the allocation churn the arena rework
+/// removed; reintroducing one compiles fine and silently costs ~2x.
+fn hot_alloc_scan(file: &SourceFile, out: &mut Vec<Finding>) {
+    let flag = |out: &mut Vec<Finding>, line: u32, what: &str| {
+        out.push(finding(
+            Code::E002,
+            file,
+            line,
+            format!("per-call heap allocation (`{what}`) in a hot emission module; write through the reused arena buffer instead (see crates/pcap/src/arena.rs)"),
+        ));
+    };
+    for i in 0..file.toks.len() {
+        let t = &file.toks[i];
+        if t.kind != TokKind::Ident || file.is_test_line(t.line) {
+            continue;
+        }
+        match file.text(i).as_ref() {
+            // `vec![..]` — ident `vec` directly followed by `!`.
+            "vec" if file.next_sig(i).is_some_and(|n| file.toks[n].kind == TokKind::Punct('!')) => {
+                flag(out, t.line, "vec![..]");
+            }
+            // `Vec::new()` — the empty-growable constructor. The sized
+            // forms (`with_capacity`) pass: one-time setup buffers are
+            // fine, it is the per-call empty Vec that churns.
+            "Vec" => {
+                let Some(c1) = file.next_sig(i) else { continue };
+                let Some(c2) = file.next_sig(c1) else { continue };
+                let Some(m) = file.next_sig(c2) else { continue };
+                if file.toks[c1].kind == TokKind::Punct(':')
+                    && file.toks[c2].kind == TokKind::Punct(':')
+                    && file.toks[m].kind == TokKind::Ident
+                    && file.text(m) == "new"
+                {
+                    flag(out, t.line, "Vec::new()");
+                }
+            }
+            // `.to_vec()` — method call only (ident preceded by `.`), so a
+            // local named `to_vec` would not trip it.
+            "to_vec" if file.prev_sig(i).is_some_and(|p| file.toks[p].kind == TokKind::Punct('.')) => {
+                flag(out, t.line, ".to_vec()");
+            }
+            _ => {}
         }
     }
 }
@@ -581,6 +636,51 @@ mod tests {
         let cfg = LintConfig::default();
         let f = wire_file("fn read_rec(b: &[u8]) -> u32 {\n    b.len() as u32\n}\n");
         assert_eq!(e002(&f, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn e002_hot_alloc_flags_per_call_allocation() {
+        let cfg = LintConfig::default();
+        let f = SourceFile::new(
+            "crates/gen/src/synth.rs".into(),
+            "gen".into(),
+            false,
+            b"fn emit() -> Vec<u8> {\n    let mut f = Vec::new();\n    f.extend_from_slice(&vec![0u8; 4]);\n    f[..2].to_vec()\n}\n".to_vec(),
+        );
+        let got = e002(&f, &cfg);
+        assert_eq!(got.len(), 3, "{got:?}");
+        assert_eq!(got[0].line, 2);
+        assert_eq!(got[1].line, 3);
+        assert_eq!(got[2].line, 4);
+        assert!(got.iter().all(|f| f.code == Code::E002));
+    }
+
+    #[test]
+    fn e002_hot_alloc_reused_and_sized_forms_pass() {
+        let cfg = LintConfig::default();
+        // with_capacity setup, writing through a reused buffer, a local
+        // *named* to_vec, and test-region allocation are all out of scope.
+        let f = SourceFile::new(
+            "crates/gen/src/synth.rs".into(),
+            "gen".into(),
+            false,
+            b"fn setup(n: usize) -> Vec<u8> {\n    Vec::with_capacity(n)\n}\nfn emit(buf: &mut Vec<u8>, to_vec: u8) {\n    buf.push(to_vec);\n}\n#[cfg(test)]\nmod tests {\n    fn t() -> Vec<u8> { vec![1, 2].to_vec() }\n}\n".to_vec(),
+        );
+        assert!(e002(&f, &cfg).is_empty(), "{:?}", e002(&f, &cfg));
+    }
+
+    #[test]
+    fn e002_hot_alloc_only_in_listed_files() {
+        let cfg = LintConfig::default();
+        // Same patterns in a non-listed gen module stay quiet (gen is not
+        // an arith crate either, so e002 has no other reason to look).
+        let f = SourceFile::new(
+            "crates/gen/src/apps/web.rs".into(),
+            "gen".into(),
+            false,
+            b"fn emit() -> Vec<u8> {\n    Vec::new()\n}\n".to_vec(),
+        );
+        assert!(e002(&f, &cfg).is_empty());
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct LintConfig {
     /// the pre-sized fx-hash forms, and a reintroduced default map is a
     /// silent perf regression the compiler will not catch.
     pub hot_map_files: Vec<String>,
+    /// Workspace-relative paths of per-packet emission modules in which
+    /// E002 also forbids ad-hoc heap allocation (`Vec::new()` / `vec![..]`
+    /// / `.to_vec()`): these paths were rebuilt around arena buffers, and
+    /// a reintroduced per-packet `Vec` is a silent throughput regression
+    /// the compiler will not catch.
+    pub hot_alloc_files: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -32,6 +38,7 @@ impl Default for LintConfig {
             hot_fn_markers: v(&["parse", "read", "next", "decode", "feed", "recover", "resync", "merge", "ingest"]),
             lenish_markers: v(&["len", "off", "size", "total", "ihl", "cap", "snap", "pos", "idx", "count"]),
             hot_map_files: v(&["crates/flow/src/table.rs", "crates/core/src/pipeline.rs"]),
+            hot_alloc_files: v(&["crates/gen/src/synth.rs", "crates/wire/src/build.rs"]),
         }
     }
 }

@@ -8,7 +8,7 @@
 //! | code | invariant |
 //! |------|-----------|
 //! | E001 | no panic surface (`unwrap`/`expect`/`panic!`/`unreachable!`/computed indexing) in non-test ingest code (`wire`, `pcap`, `proto`, `flow`, `core`) |
-//! | E002 | no unchecked offset arithmetic or truncating casts of length-derived values in parser hot paths (`wire`, `pcap`, `proto`); no std-SipHash `HashMap::new`/`default`/`with_capacity` in the named hot-map modules (`flow/table.rs`, `core/pipeline.rs`) |
+//! | E002 | no unchecked offset arithmetic or truncating casts of length-derived values in parser hot paths (`wire`, `pcap`, `proto`); no std-SipHash `HashMap::new`/`default`/`with_capacity` in the named hot-map modules (`flow/table.rs`, `core/pipeline.rs`); no per-call `Vec::new()`/`vec![..]`/`.to_vec()` allocation in the named hot emission modules (`gen/synth.rs`, `wire/build.rs`) |
 //! | E003 | every crate root carries `#![forbid(unsafe_code)]`, `#![deny(missing_docs)]` and the `cfg_attr(not(test))` unwrap/expect gate |
 //! | E004 | every `crates/proto/src/*.rs` analyzer module is listed in `registry.rs`'s `ANALYZER_MODULES` (and vice versa) |
 //! | E005 | every `Table N`/`Figure N` claimed in `crates/core/src/analyses` is referenced from test code |

@@ -16,7 +16,12 @@ fn fixture_report() -> Report {
 fn every_code_is_detected() {
     let r = fixture_report();
     assert_eq!(r.count(Code::E001), 3, "unwrap, panic!, computed index:\n{:#?}", r.findings);
-    assert_eq!(r.count(Code::E002), 3, "off + 4, len() as u16, hot-map HashMap::new:\n{:#?}", r.findings);
+    assert_eq!(
+        r.count(Code::E002),
+        6,
+        "off + 4, len() as u16, hot-map HashMap::new, hot-alloc Vec::new/vec!/to_vec:\n{:#?}",
+        r.findings
+    );
     assert_eq!(r.count(Code::E003), 2, "wire root misses two attrs:\n{:#?}", r.findings);
     assert_eq!(r.count(Code::E004), 2, "ghost listed, http unlisted:\n{:#?}", r.findings);
     assert_eq!(r.count(Code::E005), 1, "Figure 77 has no test reference:\n{:#?}", r.findings);
@@ -36,6 +41,9 @@ fn findings_anchor_to_the_seeded_lines() {
     assert!(has(Code::E002, "crates/wire/src/parse.rs", 6), "off + 4 site");
     assert!(has(Code::E002, "crates/wire/src/parse.rs", 7), "len() as u16 site");
     assert!(has(Code::E002, "crates/flow/src/table.rs", 10), "hot-map HashMap::new site");
+    assert!(has(Code::E002, "crates/gen/src/synth.rs", 7), "hot-alloc Vec::new site");
+    assert!(has(Code::E002, "crates/gen/src/synth.rs", 14), "hot-alloc vec! site");
+    assert!(has(Code::E002, "crates/gen/src/synth.rs", 19), "hot-alloc .to_vec site");
     assert!(has(Code::E005, "crates/core/src/analyses/foo.rs", 1), "Figure 77 claim");
 }
 
@@ -73,6 +81,15 @@ fn cold_paths_and_checked_forms_stay_quiet() {
             .iter()
             .any(|f| f.file == "crates/flow/src/table.rs" && f.line != 10),
         "hot-map rule flagged a hasher-explicit construction:\n{:#?}",
+        r.findings
+    );
+    // The reused-buffer and pre-sized forms in the hot-alloc fixture are
+    // clean — only the three per-call allocation sites surface.
+    assert!(
+        !r.findings
+            .iter()
+            .any(|f| f.file == "crates/gen/src/synth.rs" && ![7, 14, 19].contains(&f.line)),
+        "hot-alloc rule flagged a reused-buffer form:\n{:#?}",
         r.findings
     );
 }

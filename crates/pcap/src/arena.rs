@@ -1,0 +1,358 @@
+//! Packet arena: the zero-copy staging buffer behind trace generation.
+//!
+//! The generator used to materialize every packet as its own
+//! `TimedPacket { ts, frame: Vec<u8> }`, millions of small heap
+//! allocations per trace that dominated generation wall time. A
+//! [`PacketArena`] instead stores all frame bytes back-to-back in one
+//! growing buffer and represents each packet as a `(ts, offset, len)`
+//! record. Sessions append frames via [`PacketArena::frame_buf`] +
+//! [`PacketArena::commit`]; the trace assembly then orders records with
+//! [`PacketArena::sort_records`] and materializes the surviving
+//! post-[`Tap`](crate::Tap) packets in one pass.
+//!
+//! The arena also owns the monitoring-window cutoff that used to be a
+//! post-hoc `retain`: [`PacketArena::admit`] rejects packets timestamped
+//! at or past the window limit *before* their bytes are built, while
+//! still tallying them (for [`Clip::Counted`] sites) so logical
+//! emission counts match the old emit-then-retain pipeline.
+
+use crate::{Tap, TimedPacket};
+use ent_wire::Timestamp;
+
+/// How an out-of-window packet at an emission site is accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clip {
+    /// Tally the packet as logically emitted (the legacy pipeline pushed
+    /// it and a later `retain` removed it): it still appears in the
+    /// `gen_synth` observability counts.
+    Counted,
+    /// Drop silently (the legacy site filtered these packets before they
+    /// ever reached the trace buffer).
+    Silent,
+}
+
+/// One staged packet: timestamp plus the frame's span in the byte buffer.
+/// `cap` is the captured length — equal to `len` until
+/// [`PacketArena::apply_tap`] clamps it to the snaplen.
+#[derive(Debug, Clone, Copy)]
+struct Rec {
+    ts: Timestamp,
+    off: u64,
+    len: u32,
+    cap: u32,
+}
+
+/// Arena of trace packets: one contiguous byte buffer plus per-packet
+/// `(ts, offset, len)` records.
+#[derive(Debug, Clone)]
+pub struct PacketArena {
+    buf: Vec<u8>,
+    recs: Vec<Rec>,
+    /// Monitoring-window limit: packets with `ts >= limit` are refused.
+    limit: Timestamp,
+    /// Start of the frame currently being built in `buf`.
+    watermark: u64,
+    /// Wire bytes of all committed records.
+    wire_bytes: u64,
+    /// Out-of-window packets tallied by [`Clip::Counted`] admissions.
+    ghost_packets: u64,
+    /// Wire bytes of those tallied out-of-window packets.
+    ghost_bytes: u64,
+}
+
+impl PacketArena {
+    /// An arena admitting packets strictly before `limit`.
+    pub fn new(limit: Timestamp) -> PacketArena {
+        PacketArena {
+            buf: Vec::new(),
+            recs: Vec::new(),
+            limit,
+            watermark: 0,
+            wire_bytes: 0,
+            ghost_packets: 0,
+            ghost_bytes: 0,
+        }
+    }
+
+    /// An arena with no window limit (admits everything).
+    pub fn unbounded() -> PacketArena {
+        PacketArena::new(Timestamp::from_micros(u64::MAX))
+    }
+
+    /// Change the monitoring-window limit (for arena reuse across traces:
+    /// [`PacketArena::clear`] keeps the old limit).
+    pub fn set_limit(&mut self, limit: Timestamp) {
+        self.limit = limit;
+    }
+
+    /// Should a packet at `ts` be built at all? `false` means skip frame
+    /// construction entirely; `wire_len` is what the frame *would* have
+    /// occupied on the wire, tallied for [`Clip::Counted`] sites so
+    /// logical emission counts match the legacy emit-then-retain flow.
+    pub fn admit(&mut self, ts: Timestamp, clip: Clip, wire_len: u64) -> bool {
+        if ts < self.limit {
+            return true;
+        }
+        if clip == Clip::Counted {
+            self.ghost_packets += 1;
+            self.ghost_bytes += wire_len;
+        }
+        false
+    }
+
+    /// The byte buffer, positioned for appending one frame. Callers
+    /// extend it (e.g. via `ent_wire::build::tcp_frame_into`) then call
+    /// [`PacketArena::commit`] with the packet timestamp.
+    pub fn frame_buf(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+
+    /// Record the frame appended since the last commit as one packet.
+    pub fn commit(&mut self, ts: Timestamp) {
+        let off = self.watermark;
+        let end = self.buf.len() as u64;
+        let frame_bytes = end.saturating_sub(off);
+        self.watermark = end;
+        self.wire_bytes += frame_bytes;
+        self.recs.push(Rec {
+            ts,
+            off,
+            len: frame_bytes as u32,
+            cap: frame_bytes as u32,
+        });
+    }
+
+    /// Convenience: admit + append a prebuilt frame + commit.
+    pub fn push_frame(&mut self, ts: Timestamp, clip: Clip, frame: &[u8]) {
+        if !self.admit(ts, clip, frame.len() as u64) {
+            return;
+        }
+        self.buf.extend_from_slice(frame);
+        self.commit(ts);
+    }
+
+    /// Committed (in-window) packets.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// True if no packets were committed.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Logical packets emitted: committed plus counted out-of-window.
+    pub fn logical_len(&self) -> u64 {
+        self.recs.len() as u64 + self.ghost_packets
+    }
+
+    /// Logical wire bytes emitted (same tail included).
+    pub fn logical_wire_bytes(&self) -> u64 {
+        self.wire_bytes + self.ghost_bytes
+    }
+
+    /// Order records by `(timestamp, emission offset)`. The offset
+    /// tie-break reproduces the legacy pipeline's stable sort exactly:
+    /// equal-timestamp packets stay in emission order, and keys are
+    /// unique so the result is deterministic. The *stable* algorithm is
+    /// deliberate — the record list is a concatenation of per-session
+    /// ascending runs, which merge sort detects and exploits; pattern-
+    /// defeating quicksort measures ~2x slower on this shape.
+    pub fn sort_records(&mut self) {
+        self.recs.sort_by_key(|r| (r.ts, r.off));
+    }
+
+    /// Wire bytes of the committed (in-window) records. After
+    /// [`PacketArena::apply_tap`] this covers only the records the tap
+    /// kept — exactly the wire volume of a materialized trace.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
+    /// Run every record through a capture tap *in place*: snaplen clamps
+    /// the captured length, injected drops remove the record. No frame
+    /// bytes move. Returns the total captured (post-snaplen) bytes.
+    /// Call after [`PacketArena::sort_records`] so the tap's periodic
+    /// drop counter walks the trace in time order.
+    pub fn apply_tap(&mut self, tap: &mut Tap) -> u64 {
+        let mut captured = 0u64;
+        let mut dropped_wire = 0u64;
+        self.recs.retain_mut(|r| match tap.admit(r.len as usize) {
+            Some(cap) => {
+                r.cap = cap as u32;
+                captured += cap as u64;
+                true
+            }
+            None => {
+                dropped_wire += r.len as u64;
+                false
+            }
+        });
+        self.wire_bytes -= dropped_wire;
+        captured
+    }
+
+    /// Borrowed views of the captured packets in record order:
+    /// `(timestamp, captured frame bytes, original wire length)`. The
+    /// frame slice reflects any [`PacketArena::apply_tap`] snaplen clamp.
+    pub fn captured_frames(&self) -> impl Iterator<Item = (Timestamp, &[u8], u32)> + '_ {
+        self.recs.iter().filter_map(|r| {
+            let start = r.off as usize;
+            self.buf
+                .get(start..start.saturating_add(r.cap as usize))
+                .map(|frame| (r.ts, frame, r.len))
+        })
+    }
+
+    /// Materialize the captured packets (post-[`PacketArena::apply_tap`])
+    /// as owned [`TimedPacket`]s, one bounded copy per packet.
+    pub fn captured_packets(&self) -> Vec<TimedPacket> {
+        self.captured_frames()
+            .map(|(ts, frame, orig_len)| TimedPacket {
+                ts,
+                frame: frame.to_vec(),
+                orig_len,
+            })
+            .collect()
+    }
+
+    /// Materialize the packets in record order through a capture tap
+    /// (snaplen clamp + injected drops), one bounded copy per packet.
+    pub fn capture(&self, tap: &mut Tap) -> Vec<TimedPacket> {
+        let mut out = Vec::with_capacity(self.recs.len());
+        for r in &self.recs {
+            let Some(cap) = tap.admit(r.len as usize) else {
+                continue;
+            };
+            let start = r.off as usize;
+            let Some(frame) = self.buf.get(start..start.saturating_add(cap)) else {
+                continue;
+            };
+            out.push(TimedPacket {
+                ts: r.ts,
+                frame: frame.to_vec(),
+                orig_len: r.len,
+            });
+        }
+        out
+    }
+
+    /// Materialize every packet in record order, full frames (no tap).
+    pub fn to_packets(&self) -> Vec<TimedPacket> {
+        let mut tap = Tap::new(usize::MAX);
+        self.capture(&mut tap)
+    }
+
+    /// Drop all packets and bytes, keeping allocated capacity (and the
+    /// window limit) for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.recs.clear();
+        self.watermark = 0;
+        self.wire_bytes = 0;
+        self.ghost_packets = 0;
+        self.ghost_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    #[test]
+    fn commit_records_spans_and_counts() {
+        let mut a = PacketArena::unbounded();
+        a.frame_buf().extend_from_slice(&[1, 2, 3]);
+        a.commit(ts(5));
+        a.frame_buf().extend_from_slice(&[4, 5]);
+        a.commit(ts(2));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.logical_len(), 2);
+        assert_eq!(a.logical_wire_bytes(), 5);
+        let pkts = a.to_packets();
+        assert_eq!(pkts[0].frame, vec![1, 2, 3]);
+        assert_eq!(pkts[0].ts, ts(5));
+        assert_eq!(pkts[1].frame, vec![4, 5]);
+    }
+
+    #[test]
+    fn sort_orders_by_ts_then_emission() {
+        let mut a = PacketArena::unbounded();
+        for (t, b) in [(9u64, 0u8), (3, 1), (9, 2), (1, 3)] {
+            a.frame_buf().push(b);
+            a.commit(ts(t));
+        }
+        a.sort_records();
+        let order: Vec<u8> = a.to_packets().iter().map(|p| p.frame[0]).collect();
+        // Equal ts=9 packets keep emission order (0 before 2).
+        assert_eq!(order, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn window_limit_counts_or_silences_ghosts() {
+        let mut a = PacketArena::new(ts(100));
+        assert!(a.admit(ts(99), Clip::Counted, 60));
+        a.frame_buf().extend_from_slice(&[0; 60]);
+        a.commit(ts(99));
+        assert!(!a.admit(ts(100), Clip::Counted, 70));
+        assert!(!a.admit(ts(500), Clip::Silent, 80));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.logical_len(), 2, "counted ghost included");
+        assert_eq!(a.logical_wire_bytes(), 130, "ghost bytes included");
+    }
+
+    #[test]
+    fn capture_applies_snaplen_and_drops() {
+        let mut a = PacketArena::unbounded();
+        for i in 0..10u8 {
+            a.frame_buf().extend_from_slice(&[i; 100]);
+            a.commit(ts(i as u64));
+        }
+        let mut tap = Tap::new(68).with_drop_period(5);
+        let pkts = a.capture(&mut tap);
+        assert_eq!(pkts.len(), 8, "every 5th packet dropped");
+        assert!(pkts.iter().all(|p| p.frame.len() == 68 && p.orig_len == 100));
+        assert_eq!(tap.dropped(), 2);
+    }
+
+    #[test]
+    fn apply_tap_clamps_in_place_and_drops() {
+        let mut a = PacketArena::unbounded();
+        for i in 0..10u8 {
+            a.frame_buf().extend_from_slice(&[i; 100]);
+            a.commit(ts(i as u64));
+        }
+        let mut tap = Tap::new(68).with_drop_period(5);
+        let captured = a.apply_tap(&mut tap);
+        assert_eq!(a.len(), 8, "every 5th packet dropped");
+        assert_eq!(captured, 8 * 68);
+        assert_eq!(a.wire_bytes(), 8 * 100, "dropped wire bytes removed");
+        let views: Vec<_> = a.captured_frames().collect();
+        assert_eq!(views.len(), 8);
+        assert!(views.iter().all(|(_, f, orig)| f.len() == 68 && *orig == 100));
+        // Materialized form agrees with the borrowed views.
+        let pkts = a.captured_packets();
+        assert_eq!(pkts.len(), 8);
+        assert!(pkts.iter().all(|p| p.frame.len() == 68 && p.orig_len == 100));
+    }
+
+    #[test]
+    fn push_frame_roundtrip_and_clear() {
+        let mut a = PacketArena::new(ts(10));
+        a.push_frame(ts(1), Clip::Counted, &[7; 9]);
+        a.push_frame(ts(50), Clip::Counted, &[8; 4]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.logical_len(), 2);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.logical_len(), 0);
+        assert_eq!(a.logical_wire_bytes(), 0);
+        // Reusable after clear, same limit.
+        a.push_frame(ts(2), Clip::Counted, &[9; 3]);
+        assert_eq!(a.to_packets()[0].frame, vec![9, 9, 9]);
+    }
+}

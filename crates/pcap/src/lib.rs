@@ -29,6 +29,7 @@
 // hatches are compile errors outside tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod arena;
 pub mod fault;
 pub mod format;
 pub mod merge;
@@ -36,6 +37,7 @@ pub mod recover;
 pub mod tap;
 pub mod trace;
 
+pub use arena::{Clip, PacketArena};
 pub use fault::{Fault, FaultInjector};
 pub use format::{PcapReader, PcapWriter, LINKTYPE_ETHERNET, MAX_RECORD_BYTES};
 pub use merge::{merge_streams, merge_streams_with_stats, MergeStats};

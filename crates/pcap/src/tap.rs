@@ -51,15 +51,25 @@ impl Tap {
         self.seen
     }
 
-    /// Pass one packet through the tap: returns the (possibly truncated)
-    /// captured packet, or `None` if the tap dropped it.
-    pub fn capture(&mut self, mut pkt: TimedPacket) -> Option<TimedPacket> {
+    /// Offer one packet of `wire_len` bytes to the tap: returns the
+    /// capture length (wire length clamped to snaplen), or `None` if the
+    /// tap dropped it. This is the allocation-free core of
+    /// [`Tap::capture`], used by the arena path to decide how many bytes
+    /// to copy before any buffer exists.
+    pub fn admit(&mut self, wire_len: usize) -> Option<usize> {
         self.seen += 1;
         if self.drop_period != 0 && self.seen.is_multiple_of(self.drop_period) {
             self.dropped += 1;
             return None;
         }
-        pkt.truncate_to(self.snaplen);
+        Some(wire_len.min(self.snaplen))
+    }
+
+    /// Pass one packet through the tap: returns the (possibly truncated)
+    /// captured packet, or `None` if the tap dropped it.
+    pub fn capture(&mut self, mut pkt: TimedPacket) -> Option<TimedPacket> {
+        let cap = self.admit(pkt.frame.len())?;
+        pkt.frame.truncate(cap);
         Some(pkt)
     }
 

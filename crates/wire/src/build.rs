@@ -134,6 +134,303 @@ fn ip_ident(a: u32, b: u16) -> u16 {
     (a.wrapping_mul(0x9E37).wrapping_add(b as u32) & 0xFFFF) as u16
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy template builders.
+//
+// The legacy builders above assemble each frame from three nested `Vec`s
+// (transport, IP, Ethernet) and re-checksum every byte from scratch. The
+// template forms below precompute everything that is constant for one
+// session — the full 54-/42-byte header image and the static portion of the
+// ones-complement sums — so per-packet work reduces to: copy the header
+// image, patch the few dynamic fields, finish the checksums incrementally,
+// and append header + payload to a caller-provided buffer. Byte output is
+// identical to the legacy builders (pinned by the equivalence tests below).
+// ---------------------------------------------------------------------------
+
+/// Ethernet + IPv4 header bytes preceding the transport header.
+pub const NET_HDR_LEN: usize = 34;
+/// Full header image length for a TCP frame (Ethernet + IPv4 + TCP).
+pub const TCP_HDR_LEN: usize = 54;
+/// Full header image length for a UDP frame (Ethernet + IPv4 + UDP).
+pub const UDP_HDR_LEN: usize = 42;
+/// Full header image length for an ICMP frame (Ethernet + IPv4 + ICMP).
+pub const ICMP_HDR_LEN: usize = 42;
+
+/// Raw ones-complement word sum of `data` (big-endian 16-bit words, odd
+/// trailing byte zero-padded), carries unfolded.
+fn word_sum(data: &[u8]) -> u32 {
+    let mut s = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        s += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        s += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    s
+}
+
+/// Fold carries and complement: turns a [`word_sum`] into the wire checksum
+/// value (same folding as [`crate::checksum::Checksum::finish`]).
+fn fold_sum(mut s: u32) -> u16 {
+    while s > 0xFFFF {
+        s = (s & 0xFFFF) + (s >> 16);
+    }
+    !(s as u16)
+}
+
+/// Shared Ethernet + IPv4 header prefix of a template: MACs, EtherType,
+/// version/IHL, TTL, protocol and addresses filled in; total-length, ident
+/// and header checksum left zero for per-packet patching.
+fn net_prefix(
+    src_mac: ethernet::MacAddr,
+    dst_mac: ethernet::MacAddr,
+    src_ip: ipv4::Addr,
+    dst_ip: ipv4::Addr,
+    ttl: u8,
+    protocol: u8,
+) -> [u8; NET_HDR_LEN] {
+    let mut hdr = [0u8; NET_HDR_LEN];
+    hdr[0..6].copy_from_slice(&dst_mac.0);
+    hdr[6..12].copy_from_slice(&src_mac.0);
+    crate::put_be16(&mut hdr, 12, ethernet::EtherType::Ipv4.to_u16());
+    hdr[14] = 0x45; // version 4, IHL 5
+    hdr[22] = ttl;
+    hdr[23] = protocol;
+    hdr[26..30].copy_from_slice(&src_ip.octets());
+    hdr[30..34].copy_from_slice(&dst_ip.octets());
+    hdr
+}
+
+/// Per-session TCP frame template: the full 54-byte Ethernet/IPv4/TCP
+/// header image plus the static halves of both checksums.
+///
+/// Built once per session from a [`TcpFrameSpec`] (whose `seq`/`ack`/`flags`
+/// are ignored — they are per-packet); [`tcp_frame_into`] then emits each
+/// frame by patching seq, ack, flags, lengths, ident and checksums.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpTemplate {
+    /// Header image; dynamic fields zero.
+    hdr: [u8; TCP_HDR_LEN],
+    /// Word sum of the IPv4 header minus total-length and ident.
+    ip_static: u32,
+    /// Word sum of pseudo-header addresses + protocol + static TCP fields.
+    tcp_static: u32,
+    /// Source port, the per-session half of the IP ident derivation.
+    src_port: u16,
+}
+
+impl TcpTemplate {
+    /// Precompute the template for one session's direction.
+    pub fn new(spec: &TcpFrameSpec) -> TcpTemplate {
+        let mut hdr = [0u8; TCP_HDR_LEN];
+        hdr[0..NET_HDR_LEN].copy_from_slice(&net_prefix(
+            spec.src_mac,
+            spec.dst_mac,
+            spec.src_ip,
+            spec.dst_ip,
+            spec.ttl,
+            ipv4::Protocol::Tcp.to_u8(),
+        ));
+        crate::put_be16(&mut hdr, 34, spec.src_port);
+        crate::put_be16(&mut hdr, 36, spec.dst_port);
+        hdr[46] = 5 << 4; // data offset 5 words
+        crate::put_be16(&mut hdr, 48, spec.window);
+        // Dynamic IP fields (total length, ident, checksum) are zero in the
+        // image, so summing the whole IP header yields the static part.
+        let ip_static = word_sum(&hdr[14..34]);
+        // Pseudo-header addresses + protocol, plus the TCP header with
+        // seq/ack/flags/checksum zeroed; the pseudo-header length, seq, ack
+        // and flags are added per packet.
+        let tcp_static =
+            word_sum(&hdr[26..34]) + ipv4::Protocol::Tcp.to_u8() as u32 + word_sum(&hdr[34..54]);
+        TcpTemplate {
+            hdr,
+            ip_static,
+            tcp_static,
+            src_port: spec.src_port,
+        }
+    }
+}
+
+/// Append one TCP frame built from `t` to `out`.
+///
+/// Byte-identical to [`tcp_frame`] with the same dynamic fields: the header
+/// image is copied, seq/ack/flags/lengths/ident patched, and both checksums
+/// finished incrementally from the template's static sums.
+pub fn tcp_frame_into(
+    t: &TcpTemplate,
+    seq: u32,
+    ack: u32,
+    flags: tcp::Flags,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let mut hdr = t.hdr;
+    let total = (TCP_HDR_LEN - 14 + payload.len()) as u16;
+    let ident = ip_ident(seq, t.src_port);
+    crate::put_be16(&mut hdr, 16, total);
+    crate::put_be16(&mut hdr, 18, ident);
+    crate::put_be16(
+        &mut hdr,
+        24,
+        fold_sum(t.ip_static + total as u32 + ident as u32),
+    );
+    crate::put_be32(&mut hdr, 38, seq);
+    crate::put_be32(&mut hdr, 42, ack);
+    hdr[47] = flags.0;
+    let seg_len = (TCP_HDR_LEN - NET_HDR_LEN + payload.len()) as u32;
+    let sum = t.tcp_static
+        + seg_len
+        + (seq >> 16)
+        + (seq & 0xFFFF)
+        + (ack >> 16)
+        + (ack & 0xFFFF)
+        + flags.0 as u32
+        + word_sum(payload);
+    crate::put_be16(&mut hdr, 50, fold_sum(sum));
+    out.extend_from_slice(&hdr);
+    out.extend_from_slice(payload);
+}
+
+/// Per-session UDP frame template (see [`TcpTemplate`]).
+#[derive(Debug, Clone, Copy)]
+pub struct UdpTemplate {
+    /// Header image; dynamic fields zero.
+    hdr: [u8; UDP_HDR_LEN],
+    /// Word sum of the IPv4 header minus total-length and ident.
+    ip_static: u32,
+    /// Word sum of pseudo-header addresses + protocol + ports.
+    udp_static: u32,
+    /// Source port, the per-session half of the IP ident derivation.
+    src_port: u16,
+}
+
+impl UdpTemplate {
+    /// Precompute the template for one flow's direction.
+    pub fn new(spec: &UdpFrameSpec) -> UdpTemplate {
+        let mut hdr = [0u8; UDP_HDR_LEN];
+        hdr[0..NET_HDR_LEN].copy_from_slice(&net_prefix(
+            spec.src_mac,
+            spec.dst_mac,
+            spec.src_ip,
+            spec.dst_ip,
+            spec.ttl,
+            ipv4::Protocol::Udp.to_u8(),
+        ));
+        crate::put_be16(&mut hdr, 34, spec.src_port);
+        crate::put_be16(&mut hdr, 36, spec.dst_port);
+        let ip_static = word_sum(&hdr[14..34]);
+        let udp_static =
+            word_sum(&hdr[26..34]) + ipv4::Protocol::Udp.to_u8() as u32 + word_sum(&hdr[34..42]);
+        UdpTemplate {
+            hdr,
+            ip_static,
+            udp_static,
+            src_port: spec.src_port,
+        }
+    }
+}
+
+/// Append one UDP frame built from `t` to `out`; byte-identical to
+/// [`udp_frame`] for the same payload.
+pub fn udp_frame_into(t: &UdpTemplate, payload: &[u8], out: &mut Vec<u8>) {
+    let mut hdr = t.hdr;
+    let total = (UDP_HDR_LEN - 14 + payload.len()) as u16;
+    let dg_len = (UDP_HDR_LEN - NET_HDR_LEN + payload.len()) as u16;
+    let ident = ip_ident(payload.len() as u32, t.src_port);
+    crate::put_be16(&mut hdr, 16, total);
+    crate::put_be16(&mut hdr, 18, ident);
+    crate::put_be16(
+        &mut hdr,
+        24,
+        fold_sum(t.ip_static + total as u32 + ident as u32),
+    );
+    crate::put_be16(&mut hdr, 38, dg_len);
+    // The datagram length enters the sum twice: once in the pseudo-header,
+    // once as the UDP length field itself.
+    let ck = fold_sum(t.udp_static + 2 * dg_len as u32 + word_sum(payload));
+    // Per RFC 768 a computed checksum of zero is transmitted as all-ones.
+    crate::put_be16(&mut hdr, 40, if ck == 0 { 0xFFFF } else { ck });
+    out.extend_from_slice(&hdr);
+    out.extend_from_slice(payload);
+}
+
+/// Append one ICMP frame to `out`; byte-identical to [`icmp_frame`].
+///
+/// ICMP echoes are too few per session to warrant a cached template, but
+/// this form still avoids the legacy builder's three nested allocations.
+#[allow(clippy::too_many_arguments)]
+pub fn icmp_frame_into(
+    src_mac: ethernet::MacAddr,
+    dst_mac: ethernet::MacAddr,
+    src_ip: ipv4::Addr,
+    dst_ip: ipv4::Addr,
+    mtype: icmp::MessageType,
+    ident: u16,
+    seq: u16,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let mut hdr = net_icmp_header(src_mac, dst_mac, src_ip, dst_ip, mtype, ident, seq, payload);
+    let ck = fold_sum(word_sum(&hdr[34..42]) + word_sum(payload));
+    crate::put_be16(&mut hdr, 36, ck);
+    out.extend_from_slice(&hdr);
+    out.extend_from_slice(payload);
+}
+
+/// ICMP header image with the message checksum still zero.
+#[allow(clippy::too_many_arguments)]
+fn net_icmp_header(
+    src_mac: ethernet::MacAddr,
+    dst_mac: ethernet::MacAddr,
+    src_ip: ipv4::Addr,
+    dst_ip: ipv4::Addr,
+    mtype: icmp::MessageType,
+    ident: u16,
+    seq: u16,
+    payload: &[u8],
+) -> [u8; ICMP_HDR_LEN] {
+    let mut hdr = [0u8; ICMP_HDR_LEN];
+    hdr[0..NET_HDR_LEN].copy_from_slice(&net_prefix(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        64,
+        ipv4::Protocol::Icmp.to_u8(),
+    ));
+    let total = (ICMP_HDR_LEN - 14 + payload.len()) as u16;
+    crate::put_be16(&mut hdr, 16, total);
+    crate::put_be16(&mut hdr, 18, ip_ident(seq as u32, ident));
+    let ip_ck = fold_sum(word_sum(&hdr[14..34]));
+    crate::put_be16(&mut hdr, 24, ip_ck);
+    hdr[34] = mtype.to_u8();
+    crate::put_be16(&mut hdr, 38, ident);
+    crate::put_be16(&mut hdr, 40, seq);
+    hdr
+}
+
+/// Append one raw-IPv4 frame (arbitrary transport protocol) to `out`;
+/// byte-identical to [`raw_ip_frame`].
+pub fn raw_ip_frame_into(
+    src_mac: ethernet::MacAddr,
+    dst_mac: ethernet::MacAddr,
+    src_ip: ipv4::Addr,
+    dst_ip: ipv4::Addr,
+    protocol: u8,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let mut hdr = net_prefix(src_mac, dst_mac, src_ip, dst_ip, 64, protocol);
+    let total = (NET_HDR_LEN - 14 + payload.len()) as u16;
+    crate::put_be16(&mut hdr, 16, total);
+    let ip_ck = fold_sum(word_sum(&hdr[14..34]));
+    crate::put_be16(&mut hdr, 24, ip_ck);
+    out.extend_from_slice(&hdr);
+    out.extend_from_slice(payload);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +474,151 @@ mod tests {
         let p = Packet::parse(&f).unwrap();
         assert_eq!(p.transport, crate::Transport::Other(103));
         assert!(p.is_multicast());
+    }
+
+    /// Tiny deterministic generator (xorshift64*) so the equivalence
+    /// property runs without a rand dependency.
+    struct X(u64);
+    impl X {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+
+    fn random_payload(x: &mut X, len: usize) -> Vec<u8> {
+        (0..len).map(|_| x.next_u64() as u8).collect()
+    }
+
+    /// Payload lengths covering the interesting cases: empty, single byte,
+    /// odd (checksum pad), exact MSS-sized, and a few random in between.
+    fn payload_lens(x: &mut X) -> Vec<usize> {
+        let mut lens = vec![0, 1, 3, 57, 536, 1446];
+        for _ in 0..4 {
+            lens.push(x.below(1446) as usize);
+        }
+        lens
+    }
+
+    #[test]
+    fn tcp_template_matches_legacy_builder() {
+        let mut x = X(0xDEAD_BEEF_1234_5678);
+        for round in 0..50u64 {
+            let spec = TcpFrameSpec {
+                src_mac: ethernet::MacAddr::from_host_id(x.next_u64() as u32),
+                dst_mac: ethernet::MacAddr::from_host_id(x.next_u64() as u32),
+                src_ip: ipv4::Addr(x.next_u64() as u32),
+                dst_ip: ipv4::Addr(x.next_u64() as u32),
+                src_port: x.next_u64() as u16,
+                dst_port: x.next_u64() as u16,
+                seq: 0,
+                ack: 0,
+                flags: tcp::Flags::NONE,
+                window: x.next_u64() as u16,
+                ttl: if round % 2 == 0 { 64 } else { 52 },
+            };
+            let tmpl = TcpTemplate::new(&spec);
+            for len in payload_lens(&mut x) {
+                let payload = random_payload(&mut x, len);
+                // Exercise carry-heavy checksums too: all-0xFF payloads and
+                // extreme seq/ack values stress the incremental fold.
+                let seq = if len % 3 == 0 { u32::MAX } else { x.next_u64() as u32 };
+                let ack = x.next_u64() as u32;
+                let flags = tcp::Flags((x.next_u64() as u8) & 0x1F);
+                let legacy = tcp_frame(&TcpFrameSpec { seq, ack, flags, ..spec }, &payload);
+                let mut got = Vec::new();
+                tcp_frame_into(&tmpl, seq, ack, flags, &payload, &mut got);
+                assert_eq!(got, legacy, "tcp template mismatch (len {len})");
+            }
+            // Saturated payload: every word 0xFFFF, maximal carry folding.
+            let payload = vec![0xFFu8; 97];
+            let legacy = tcp_frame(
+                &TcpFrameSpec { seq: u32::MAX, ack: u32::MAX, flags: tcp::Flags::ACK, ..spec },
+                &payload,
+            );
+            let mut got = Vec::new();
+            tcp_frame_into(&tmpl, u32::MAX, u32::MAX, tcp::Flags::ACK, &payload, &mut got);
+            assert_eq!(got, legacy, "tcp template mismatch (saturated)");
+        }
+    }
+
+    #[test]
+    fn udp_template_matches_legacy_builder() {
+        let mut x = X(0x0123_4567_89AB_CDEF);
+        for _ in 0..50u64 {
+            let spec = UdpFrameSpec {
+                src_mac: ethernet::MacAddr::from_host_id(x.next_u64() as u32),
+                dst_mac: ethernet::MacAddr::from_host_id(x.next_u64() as u32),
+                src_ip: ipv4::Addr(x.next_u64() as u32),
+                dst_ip: ipv4::Addr(x.next_u64() as u32),
+                src_port: x.next_u64() as u16,
+                dst_port: x.next_u64() as u16,
+                ttl: 64,
+            };
+            let tmpl = UdpTemplate::new(&spec);
+            for len in payload_lens(&mut x) {
+                let payload = random_payload(&mut x, len);
+                let legacy = udp_frame(&spec, &payload);
+                let mut got = Vec::new();
+                udp_frame_into(&tmpl, &payload, &mut got);
+                assert_eq!(got, legacy, "udp template mismatch (len {len})");
+            }
+        }
+    }
+
+    #[test]
+    fn icmp_and_raw_into_match_legacy_builders() {
+        let mut x = X(0xFACE_CAFE_0BAD_F00D);
+        for _ in 0..100u64 {
+            let (sm, dm) = (
+                ethernet::MacAddr::from_host_id(x.next_u64() as u32),
+                ethernet::MacAddr::from_host_id(x.next_u64() as u32),
+            );
+            let (si, di) = (ipv4::Addr(x.next_u64() as u32), ipv4::Addr(x.next_u64() as u32));
+            let (ident, seq) = (x.next_u64() as u16, x.next_u64() as u16);
+            let mtype = if seq % 2 == 0 {
+                icmp::MessageType::EchoRequest
+            } else {
+                icmp::MessageType::EchoReply
+            };
+            let plen = x.below(120) as usize;
+            let payload = random_payload(&mut x, plen);
+            let legacy = icmp_frame(sm, dm, si, di, mtype, ident, seq, &payload);
+            let mut got = Vec::new();
+            icmp_frame_into(sm, dm, si, di, mtype, ident, seq, &payload, &mut got);
+            assert_eq!(got, legacy, "icmp mismatch");
+
+            let proto = x.next_u64() as u8;
+            let legacy = raw_ip_frame(sm, dm, si, di, proto, &payload);
+            let mut got = Vec::new();
+            raw_ip_frame_into(sm, dm, si, di, proto, &payload, &mut got);
+            assert_eq!(got, legacy, "raw ip mismatch (proto {proto})");
+        }
+    }
+
+    #[test]
+    fn frame_into_appends_after_existing_bytes() {
+        // The into-forms append; earlier arena contents must be untouched.
+        let spec = UdpFrameSpec {
+            src_mac: ethernet::MacAddr::from_host_id(1),
+            dst_mac: ethernet::MacAddr::from_host_id(2),
+            src_ip: ipv4::Addr::new(10, 0, 0, 1),
+            dst_ip: ipv4::Addr::new(10, 0, 0, 2),
+            src_port: 1000,
+            dst_port: 53,
+            ttl: 64,
+        };
+        let mut out = vec![0xAA, 0xBB];
+        udp_frame_into(&UdpTemplate::new(&spec), b"hi", &mut out);
+        assert_eq!(&out[..2], &[0xAA, 0xBB]);
+        assert_eq!(&out[2..], &udp_frame(&spec, b"hi")[..]);
     }
 
     #[test]

@@ -16,6 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> ent-lint (workspace static analysis, zero findings required)"
 cargo run --release -q -p ent-lint
 
+echo "==> generator golden fingerprints (byte equivalence, release mode)"
+# Pins the arena generation path to the exact bytes the legacy Vec path
+# produced (D0-D4, scale 0.01, seeds 1 and 2005). Any semantic drift in
+# gen/wire/pcap changes a fingerprint and fails here before the bench
+# gate ever runs.
+cargo test -q --release -p ent-integration --test gen_fingerprint
+
 echo "==> pipeline metrics smoke (tiny study -> BENCH_pipeline.json -> schema check)"
 BENCH_TMP="$(mktemp -d)"
 trap 'rm -rf "$BENCH_TMP"' EXIT
@@ -25,6 +32,15 @@ cargo run --release -q -p ent-cli -- study \
 # obs-check fails on schema drift or any zero-valued mandatory stage
 # (instrumentation rot): a stage someone forgot to re-wire reads zero.
 cargo run --release -q -p ent-cli -- obs-check "$BENCH_TMP/BENCH_pipeline.json"
+
+echo "==> bench history pin (committed baseline pair stays comparable)"
+# The committed pair documents the arena-generation overhaul:
+# BENCH_pipeline.baseline.json is the pre-overhaul record,
+# BENCH_pipeline.json the refreshed gate file. Events/bytes must match
+# exactly between them (the overhaul changed time, never content); the
+# wall half trivially passes because the new file is faster.
+cargo run --release -q -p ent-cli -- bench-compare \
+    BENCH_pipeline.baseline.json BENCH_pipeline.json
 
 echo "==> bench regression gate (study at gate config vs committed BENCH_pipeline.json)"
 # Serial run at the committed baseline's exact parameters: events/bytes must

@@ -20,7 +20,7 @@ pub fn small_dataset(name: &str, subnets: u16) -> DatasetAnalysis {
         panic!("unknown dataset {name}");
     };
     let start = spec.monitored.start;
-    spec.monitored = start..(start + subnets).min(spec.monitored.end);
+    spec.monitored = (start..(start + subnets).min(spec.monitored.end)).into();
     run_dataset(
         &spec,
         &StudyConfig {
@@ -37,8 +37,76 @@ pub fn trimmed_specs(subnets: u16) -> Vec<DatasetSpec> {
         .into_iter()
         .map(|mut spec| {
             let start = spec.monitored.start;
-            spec.monitored = start..(start + subnets).min(spec.monitored.end);
+            spec.monitored = (start..(start + subnets).min(spec.monitored.end)).into();
             spec
+        })
+        .collect()
+}
+
+/// One step of the word-at-a-time mixer behind the generator
+/// fingerprints: rotate, xor, multiply by a large odd constant. Cheap
+/// enough for debug builds, sensitive to order and content.
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95)
+}
+
+/// Fold a byte slice into the digest, 8 little-endian bytes at a time
+/// (trailing partial word zero-padded).
+fn mix_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(c);
+        h = mix(h, u64::from_le_bytes(w));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        h = mix(h, u64::from_le_bytes(w));
+    }
+    h
+}
+
+/// Digest seed (the FNV-1a offset basis, reused as a familiar constant).
+const FP_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Order- and content-sensitive digest of one generated trace: every
+/// packet's timestamp, wire length, capture length and captured bytes.
+/// Any byte-level change to generator output changes this value.
+pub fn trace_fingerprint(trace: &ent_pcap::Trace) -> u64 {
+    let mut h = FP_SEED;
+    h = mix(h, trace.packets.len() as u64);
+    for p in &trace.packets {
+        h = mix(h, p.ts.micros());
+        h = mix(h, p.orig_len as u64);
+        h = mix(h, p.frame.len() as u64);
+        h = mix_bytes(h, &p.frame);
+    }
+    h
+}
+
+/// Per-dataset generator digests for one `(scale, seed)`: for each of
+/// D0–D4, the fold of every trace's [`trace_fingerprint`] in
+/// (pass, subnet) generation order, plus the trace count. Generation
+/// only — no analysis — so this pins the generator's byte-for-byte
+/// output across refactors.
+pub fn generator_fingerprints(scale: f64, seed: u64) -> Vec<(String, u64, usize)> {
+    let config = GenConfig {
+        scale,
+        seed,
+        hosts_per_subnet: None,
+    };
+    all_datasets()
+        .iter()
+        .map(|spec| {
+            let mut h = FP_SEED;
+            let mut traces = 0usize;
+            ent_gen::build::for_each_trace(spec, &config, |t| {
+                h = mix(h, trace_fingerprint(&t));
+                traces += 1;
+            });
+            (spec.name.to_string(), h, traces)
         })
         .collect()
 }

@@ -1,0 +1,65 @@
+//! Golden generator-fingerprint regression suite.
+//!
+//! Pins the generator's byte-for-byte output: for each dataset D0–D4 at
+//! scale 0.01, a digest folding every trace's `(ts, frame, orig_len)`
+//! sequence (see `ent_integration::trace_fingerprint`). The constants
+//! below were captured from the pre-arena generator; the arena/template
+//! rewrite must reproduce them exactly, which proves every downstream
+//! paper table is unchanged. Two seeds guard against a rewrite that is
+//! only accidentally correct for one RNG stream.
+//!
+//! If a fingerprint changes, generator output changed. That is only
+//! acceptable for a deliberate modeling change, in which case rerun with
+//! `ENT_PRINT_FINGERPRINTS=1` and update the constants in the same
+//! commit (and expect BENCH_pipeline.json events/bytes to move too).
+
+use ent_integration::generator_fingerprints;
+
+const SCALE: f64 = 0.01;
+
+/// Expected (dataset, digest, traces) at scale 0.01, seed 1.
+const GOLDEN_SEED_1: [(&str, u64, usize); 5] = [
+    ("D0", 0xf8192ee2fb52100b, 22),
+    ("D1", 0x5fdac19cca14409a, 44),
+    ("D2", 0xe4dae02ef6ea5bc2, 22),
+    ("D3", 0x75740970adc3c8cd, 18),
+    ("D4", 0xa68a4019f7f68601, 27),
+];
+
+/// Expected (dataset, digest, traces) at scale 0.01, seed 2005 (the
+/// committed BENCH_pipeline.json workload).
+const GOLDEN_SEED_2005: [(&str, u64, usize); 5] = [
+    ("D0", 0xdf9ec45ce0eddff6, 22),
+    ("D1", 0x7a7c676afdbe67be, 44),
+    ("D2", 0x64f5dc15b7047852, 22),
+    ("D3", 0xda8106c53f7845b9, 18),
+    ("D4", 0x671ff75939625143, 27),
+];
+
+fn check(seed: u64, golden: &[(&str, u64, usize); 5]) {
+    let got = generator_fingerprints(SCALE, seed);
+    if std::env::var_os("ENT_PRINT_FINGERPRINTS").is_some() {
+        for (name, digest, traces) in &got {
+            println!("    (\"{name}\", {digest:#018x}, {traces}),");
+        }
+    }
+    let want: Vec<(String, u64, usize)> = golden
+        .iter()
+        .map(|(n, d, t)| (n.to_string(), *d, *t))
+        .collect();
+    assert_eq!(
+        got, want,
+        "generator output drifted at scale {SCALE}, seed {seed} \
+         (rerun with ENT_PRINT_FINGERPRINTS=1 to capture new values)"
+    );
+}
+
+#[test]
+fn golden_generator_fingerprints_seed_1() {
+    check(1, &GOLDEN_SEED_1);
+}
+
+#[test]
+fn golden_generator_fingerprints_seed_2005() {
+    check(2005, &GOLDEN_SEED_2005);
+}
