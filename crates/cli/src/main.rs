@@ -5,6 +5,9 @@
 //!   every table and figure of the paper (optionally export CSVs).
 //! * `generate`  — write one synthetic trace as a pcap file.
 //! * `analyze`   — analyze a pcap file (ours or any Ethernet capture).
+//! * `monitor`   — resident monitor mode: stream a capture through the
+//!   pipeline emitting rolling per-epoch reports, with optional
+//!   crash-safe checkpoints and bounded-state budgets.
 //! * `anonymize` — prefix-preserving anonymization of a pcap file.
 //! * `obs-check` — validate a `BENCH_pipeline.json` export.
 //! * `bench-compare` — gate a candidate bench export against a committed
@@ -13,10 +16,16 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use ent_core::metrics::{bench_json, compare_bench_json, validate_bench_json, BenchContext};
+use ent_core::metrics::{
+    bench_json, compare_bench_json, monitor_bench_json, validate_bench_json, BenchContext,
+    MonitorBenchContext,
+};
 use ent_core::run::{run_datasets, StudyConfig};
 use ent_core::study::build_report;
-use ent_core::{PipelineConfig, PipelineMetrics};
+use ent_core::{
+    capture_meta, drive_capture, Checkpoint, Monitor, MonitorConfig, PipelineConfig,
+    PipelineMetrics,
+};
 use ent_gen::build::{build_site, generate_trace};
 use ent_gen::dataset::{all_datasets, dataset};
 use ent_gen::GenConfig;
@@ -41,6 +50,7 @@ fn usage() -> ExitCode {
   entreport study [--scale S] [--seed N] [--threads N] [--datasets D0,D3] [--only 'table 9'] [--csv-dir DIR] [--keep-scanners] [--bench-json FILE.json]
   entreport generate --dataset D0 --subnet 3 [--pass 1] [--scale S] [--seed N] --out FILE.pcap
   entreport analyze FILE.pcap [--subnet N] [--name D0]
+  entreport monitor FILE.pcap [--epoch-secs 300] [--checkpoint FILE.ckpt] [--max-conns N] [--max-pending N] [--stop-after-epochs N] [--name NAME] [--keep-scanners] [--bench-json FILE.json]
   entreport anonymize IN.pcap OUT.pcap --key SEED
   entreport obs-check FILE.json
   entreport bench-compare BASELINE.json CANDIDATE.json [--tolerance 0.25]"
@@ -90,6 +100,7 @@ fn main() -> ExitCode {
         "study" => cmd_study(&args),
         "generate" => cmd_generate(&args),
         "analyze" => cmd_analyze(&args),
+        "monitor" => cmd_monitor(&args),
         "anonymize" => cmd_anonymize(&args),
         "obs-check" => cmd_obs_check(&args),
         "bench-compare" => cmd_bench_compare(&args),
@@ -442,6 +453,119 @@ fn cmd_bench_compare(args: &Args) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Resident monitor mode: stream a capture through the pipeline, emitting
+/// a full per-epoch report (plus cumulative totals) at every epoch
+/// boundary. `--checkpoint` makes each boundary durable: the state file is
+/// written atomically, and a later run with the same flag resumes
+/// mid-stream, reproducing the remaining epochs exactly. A checkpoint that
+/// fails to load degrades to a counted cold start, never an error exit.
+fn cmd_monitor(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.first() else {
+        return usage();
+    };
+    let data = or_die(std::fs::read(path), "read capture");
+    let epoch_secs: u64 = args
+        .flags
+        .get("epoch-secs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    if epoch_secs == 0 {
+        eprintln!("entreport: --epoch-secs must be nonzero");
+        return ExitCode::from(2);
+    }
+    let name = args.flags.get("name").map(String::as_str).unwrap_or("monitor");
+    let ckpt_path = args.flags.get("checkpoint").map(std::path::PathBuf::from);
+    let cfg = MonitorConfig {
+        epoch_secs,
+        checkpoints: ckpt_path.is_some(),
+        pipeline: PipelineConfig {
+            keep_scanners: args.switches.contains("keep-scanners"),
+            max_conns: args
+                .flags
+                .get("max-conns")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+            max_pending: args
+                .flags
+                .get("max-pending")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+            ..Default::default()
+        },
+    };
+    let meta = or_die(capture_meta(name, &data), "open capture");
+    let hint = data.len() / 600;
+    let mut resume = None;
+    let mut monitor = None;
+    if let Some(p) = &ckpt_path {
+        if p.exists() {
+            let loaded = Checkpoint::load(p).and_then(|ck| {
+                let m = Monitor::from_checkpoint(meta.clone(), cfg.clone(), &ck, hint)?;
+                Ok((m, ck.resume_offset, ck.reader_clock_us, ck.epoch_index))
+            });
+            match loaded {
+                Ok((m, offset, clock, idx)) => {
+                    eprintln!(
+                        "resuming from {} at epoch {idx} (offset {offset})",
+                        p.display()
+                    );
+                    resume = Some((offset, clock));
+                    monitor = Some(m);
+                }
+                Err(e) => {
+                    eprintln!("checkpoint {}: {e}; degrading to cold start", p.display());
+                }
+            }
+        }
+    }
+    let recovered = monitor.is_none() && ckpt_path.as_ref().is_some_and(|p| p.exists());
+    let mut monitor = monitor.unwrap_or_else(|| Monitor::new(meta, cfg.clone(), hint));
+    if recovered {
+        monitor.note_checkpoint_recovery();
+    }
+    let stop_after: Option<u64> = args
+        .flags
+        .get("stop-after-epochs")
+        .and_then(|s| s.parse().ok());
+    let result = drive_capture(
+        &data,
+        &mut monitor,
+        resume,
+        stop_after,
+        |rep| print!("{}", rep.render()),
+        |ck| {
+            if let Some(p) = &ckpt_path {
+                or_die(ck.write_atomic(p), "write checkpoint");
+            }
+        },
+    );
+    let Some(summary) = or_die(result, "monitor run") else {
+        eprintln!(
+            "stopped after {} epochs (checkpoint retained for resume)",
+            stop_after.unwrap_or(0)
+        );
+        return ExitCode::SUCCESS;
+    };
+    print!("{}", summary.render());
+    if let Some(out) = args.flags.get("bench-json") {
+        let ctx = MonitorBenchContext {
+            epoch_secs,
+            max_conns: cfg.pipeline.max_conns as u64,
+            max_pending: cfg.pipeline.max_pending as u64,
+            epochs: summary.totals.epochs,
+            checkpoints: summary.metrics.checkpoint.events,
+            evicted_conns: summary.health.evicted_conns,
+            pending_dropped: summary.health.pending_dropped,
+            checkpoint_recoveries: summary.health.checkpoint_recoveries,
+        };
+        let doc = monitor_bench_json(&ctx, &summary.metrics);
+        or_die(validate_bench_json(&doc), "bench json self-check");
+        or_die(std::fs::write(out, &doc), "write bench json");
+        eprintln!("monitor metrics written to {out}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_anonymize(args: &Args) -> ExitCode {

@@ -39,8 +39,10 @@
 #![allow(clippy::type_complexity)]
 
 pub mod analyses;
+pub mod checkpoint;
 pub mod error;
 pub mod metrics;
+pub mod monitor;
 pub mod pipeline;
 pub mod records;
 pub mod report;
@@ -50,8 +52,13 @@ pub mod small;
 pub mod stats;
 pub mod study;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use ent_flow::fasthash;
 pub use error::AnalysisError;
+pub use monitor::{
+    capture_meta, drive_capture, EpochReport, Monitor, MonitorConfig, MonitorSummary,
+    MonitorTotals,
+};
 pub use metrics::{PipelineMetrics, StageStat, StageTimer};
 pub use pipeline::{analyze_capture, analyze_trace, PipelineConfig};
 pub use records::{IngestHealth, TraceAnalysis};

@@ -259,6 +259,15 @@ pub const MANDATORY_STAGES: [&str; 10] = [
 /// * `scanner_removal` — the paper's §3 scanner filter: connections
 ///   examined / connections removed (in `bytes`, 0-cost reuse of the
 ///   field as a count is *not* done — bytes is 0 here).
+///
+/// Monitor mode adds three stages (all zero for batch runs):
+///
+/// * `epoch_rotate` — epoch-boundary rotation: epochs flushed (including
+///   the final partial epoch) / connections force-closed at a boundary.
+/// * `checkpoint` — checkpoint serialization + atomic write: checkpoints
+///   written / 0.
+/// * `backpressure` — bounded-state degradation: evicted connections plus
+///   dropped pending-map entries / 0.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineMetrics {
     /// Trace synthesis (`ent-gen`).
@@ -282,6 +291,13 @@ pub struct PipelineMetrics {
     pub finalize: StageStat,
     /// Scanner-removal pass over finished connections.
     pub scanner_removal: StageStat,
+    /// Monitor-mode epoch rotation (zero for batch runs).
+    pub epoch_rotate: StageStat,
+    /// Monitor-mode checkpoint writes (zero for batch runs).
+    pub checkpoint: StageStat,
+    /// Bounded-state degradation events: forced evictions + pending-map
+    /// drops (zero when no budget was exceeded).
+    pub backpressure: StageStat,
     /// Per-analyzer delivery time and event counts.
     pub analyzers: AnalyzerMetrics,
     /// High-water mark of simultaneously open connections (max, not sum,
@@ -296,9 +312,9 @@ pub struct PipelineMetrics {
 }
 
 impl PipelineMetrics {
-    /// (name, stat) pairs for the ten pipeline stages, in
-    /// [`MANDATORY_STAGES`] order.
-    pub fn stages(&self) -> [(&'static str, &StageStat); 10] {
+    /// (name, stat) pairs for every pipeline stage: the ten batch stages
+    /// in [`MANDATORY_STAGES`] order, then the three monitor-mode stages.
+    pub fn stages(&self) -> [(&'static str, &StageStat); 13] {
         [
             ("generate", &self.generate),
             ("gen_synth", &self.gen_synth),
@@ -310,6 +326,9 @@ impl PipelineMetrics {
             ("udp_deliver", &self.udp_deliver),
             ("finalize", &self.finalize),
             ("scanner_removal", &self.scanner_removal),
+            ("epoch_rotate", &self.epoch_rotate),
+            ("checkpoint", &self.checkpoint),
+            ("backpressure", &self.backpressure),
         ]
     }
 
@@ -326,6 +345,9 @@ impl PipelineMetrics {
         self.udp_deliver.absorb(&other.udp_deliver);
         self.finalize.absorb(&other.finalize);
         self.scanner_removal.absorb(&other.scanner_removal);
+        self.epoch_rotate.absorb(&other.epoch_rotate);
+        self.checkpoint.absorb(&other.checkpoint);
+        self.backpressure.absorb(&other.backpressure);
         self.analyzers.absorb(&other.analyzers);
         self.peak_open_conns = self.peak_open_conns.max(other.peak_open_conns);
         self.trace_wall_ns += other.trace_wall_ns;
@@ -383,6 +405,10 @@ impl PipelineMetrics {
             &["stage", "wall ms", "events", "Mbytes", "ev/s"],
         );
         for (name, s) in self.stages() {
+            // The monitor-only stages stay out of batch-study tables.
+            if !MANDATORY_STAGES.contains(&name) && *s == StageStat::default() {
+                continue;
+            }
             t.row(stage_row(name, s));
         }
         for (name, s) in self.analyzers.named() {
@@ -414,6 +440,45 @@ fn stage_row(name: &str, s: &StageStat) -> Vec<String> {
 
 /// Schema identifier emitted into and required from `BENCH_pipeline.json`.
 pub const BENCH_SCHEMA: &str = "ent-bench-pipeline/1";
+
+/// Schema identifier for monitor-mode bench documents (`entreport monitor
+/// --bench-json`). A separate schema from [`BENCH_SCHEMA`] because a
+/// monitor run has no generation stages and its gate keys are state
+/// budgets, not study wall time.
+pub const MONITOR_SCHEMA: &str = "ent-bench-monitor/1";
+
+/// The stages required nonzero in every monitor-mode bench document
+/// (which implies the run had checkpointing enabled and saw both TCP and
+/// UDP traffic — what the CI smoke drives).
+pub const MONITOR_MANDATORY_STAGES: [&str; 8] = [
+    "frame_parse",
+    "flow_ingest",
+    "tcp_deliver",
+    "udp_deliver",
+    "finalize",
+    "scanner_removal",
+    "epoch_rotate",
+    "checkpoint",
+];
+
+/// The top-level counters a monitor bench document must carry. The first
+/// three are run parameters (comparability keys for
+/// [`compare_bench_json`]); the rest are outcome totals compared exactly —
+/// including the bounded-state memory gate (`peak_open_conns`,
+/// `evicted_conns`, `pending_dropped`).
+pub const MONITOR_NUMERIC_KEYS: [&str; 11] = [
+    "epoch_secs",
+    "max_conns",
+    "max_pending",
+    "epochs",
+    "checkpoints",
+    "packets",
+    "bytes",
+    "peak_open_conns",
+    "evicted_conns",
+    "pending_dropped",
+    "checkpoint_recoveries",
+];
 
 /// Study-level context for the perf-trajectory export.
 #[derive(Debug, Clone, Default)]
@@ -498,6 +563,74 @@ pub fn bench_json(ctx: &BenchContext, total: &PipelineMetrics) -> String {
         out.push_str(if i + 1 < ctx.datasets.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Run parameters and outcome totals for a monitor-mode bench document.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorBenchContext {
+    /// Epoch length in seconds of trace time.
+    pub epoch_secs: u64,
+    /// Connection-table budget (0 = unbounded).
+    pub max_conns: u64,
+    /// Per-connection pending-transaction budget (0 = unbounded).
+    pub max_pending: u64,
+    /// Epochs flushed (including the final partial epoch).
+    pub epochs: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Connections force-evicted by the table budget.
+    pub evicted_conns: u64,
+    /// Pending-map entries dropped by the pending budget.
+    pub pending_dropped: u64,
+    /// Bad checkpoints degraded to counted cold starts.
+    pub checkpoint_recoveries: u64,
+}
+
+/// Serialize a monitor run's metrics as an `ent-bench-monitor/1` document.
+///
+/// Same shape as [`bench_json`] — flat counters plus `stages` and
+/// `analyzers` maps — but keyed by the monitor's state budgets so
+/// [`compare_bench_json`] can gate steady-state memory (peak open conns,
+/// eviction and drop counters) alongside wall time.
+pub fn monitor_bench_json(ctx: &MonitorBenchContext, total: &PipelineMetrics) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{MONITOR_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"epoch_secs\": {},\n", ctx.epoch_secs));
+    out.push_str(&format!("  \"max_conns\": {},\n", ctx.max_conns));
+    out.push_str(&format!("  \"max_pending\": {},\n", ctx.max_pending));
+    out.push_str(&format!("  \"epochs\": {},\n", ctx.epochs));
+    out.push_str(&format!("  \"checkpoints\": {},\n", ctx.checkpoints));
+    out.push_str(&format!("  \"packets\": {},\n", total.packets()));
+    out.push_str(&format!("  \"bytes\": {},\n", total.bytes()));
+    out.push_str(&format!(
+        "  \"peak_open_conns\": {},\n",
+        total.peak_open_conns
+    ));
+    out.push_str(&format!("  \"evicted_conns\": {},\n", ctx.evicted_conns));
+    out.push_str(&format!(
+        "  \"pending_dropped\": {},\n",
+        ctx.pending_dropped
+    ));
+    out.push_str(&format!(
+        "  \"checkpoint_recoveries\": {},\n",
+        ctx.checkpoint_recoveries
+    ));
+    out.push_str("  \"stages\": {\n");
+    let stages = total.stages();
+    for (i, (name, s)) in stages.iter().enumerate() {
+        push_stat(&mut out, name, s);
+        out.push_str(if i + 1 < stages.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"analyzers\": {\n");
+    let an = total.analyzers.named();
+    for (i, (name, s)) in an.iter().enumerate() {
+        push_stat(&mut out, name, s);
+        out.push_str(if i + 1 < an.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
     out
 }
 
@@ -742,37 +875,31 @@ fn stat_fields(stage: &JsonValue, name: &str) -> Result<(f64, u64, u64), String>
     Ok((wall_us, events as u64, bytes as u64))
 }
 
-/// Validate a `BENCH_pipeline.json` document: schema identifier, required
-/// run parameters, the per-stage map with all [`MANDATORY_STAGES`]
-/// present, and — the instrumentation-rot check — nonzero wall time *and*
-/// event counts for every mandatory stage.
-pub fn validate_bench_json(text: &str) -> Result<BenchSummary, String> {
-    let doc = json_parse(text)?;
+/// Schema of a bench document (the dispatch key for validation and
+/// comparison).
+fn bench_schema(doc: &JsonValue) -> Result<&str, String> {
     let schema = doc
         .get("schema")
         .and_then(|v| v.as_str())
         .ok_or("missing \"schema\"")?;
-    if schema != BENCH_SCHEMA {
+    if schema != BENCH_SCHEMA && schema != MONITOR_SCHEMA {
         return Err(format!(
-            "schema mismatch: got {schema:?}, want {BENCH_SCHEMA:?}"
+            "schema mismatch: got {schema:?}, want {BENCH_SCHEMA:?} or {MONITOR_SCHEMA:?}"
         ));
     }
-    for key in ["scale", "seed", "threads", "study_wall_us", "worker_wall_us", "traces", "packets", "bytes", "packets_per_sec", "bytes_per_sec", "peak_open_conns"] {
-        if doc.get(key).and_then(|v| v.as_f64()).is_none() {
-            return Err(format!("missing numeric field {key:?}"));
-        }
-    }
-    let mut summary = BenchSummary {
-        packets: doc.get("packets").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
-        traces: doc.get("traces").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
-        study_wall_us: doc
-            .get("study_wall_us")
-            .and_then(|v| v.as_f64())
-            .unwrap_or(0.0),
-        stages: Vec::new(),
-    };
+    Ok(schema)
+}
+
+/// Check every `names` stage exists in the document's `stages` map with
+/// nonzero wall time and events (the instrumentation-rot check), pushing
+/// each into `summary`.
+fn check_mandatory_stages(
+    doc: &JsonValue,
+    names: &[&str],
+    summary: &mut BenchSummary,
+) -> Result<(), String> {
     let stages = doc.get("stages").ok_or("missing \"stages\" object")?;
-    for name in MANDATORY_STAGES {
+    for &name in names {
         let stage = stages
             .get(name)
             .ok_or_else(|| format!("missing mandatory stage {name:?}"))?;
@@ -793,6 +920,51 @@ pub fn validate_bench_json(text: &str) -> Result<BenchSummary, String> {
     if !matches!(analyzers, JsonValue::Object(_)) {
         return Err("\"analyzers\" is not an object".into());
     }
+    Ok(())
+}
+
+/// Validate a bench document — either schema.
+///
+/// * `ent-bench-pipeline/1` (`BENCH_pipeline.json`): required run
+///   parameters, the per-stage map with all [`MANDATORY_STAGES`] present,
+///   and — the instrumentation-rot check — nonzero wall time *and* event
+///   counts for every mandatory stage.
+/// * `ent-bench-monitor/1` (`entreport monitor --bench-json`): the
+///   [`MONITOR_NUMERIC_KEYS`] counters plus nonzero
+///   [`MONITOR_MANDATORY_STAGES`].
+pub fn validate_bench_json(text: &str) -> Result<BenchSummary, String> {
+    let doc = json_parse(text)?;
+    let mut summary = BenchSummary {
+        packets: doc.get("packets").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
+        traces: 0,
+        study_wall_us: 0.0,
+        stages: Vec::new(),
+    };
+    if bench_schema(&doc)? == MONITOR_SCHEMA {
+        for key in MONITOR_NUMERIC_KEYS {
+            if doc.get(key).and_then(|v| v.as_f64()).is_none() {
+                return Err(format!("missing numeric field {key:?}"));
+            }
+        }
+        // Epochs stand in for traces in the human-readable echo.
+        summary.traces = doc.get("epochs").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+        check_mandatory_stages(&doc, &MONITOR_MANDATORY_STAGES, &mut summary)?;
+        if summary.packets == 0 {
+            return Err("monitor run analyzed zero packets".into());
+        }
+        return Ok(summary);
+    }
+    for key in ["scale", "seed", "threads", "study_wall_us", "worker_wall_us", "traces", "packets", "bytes", "packets_per_sec", "bytes_per_sec", "peak_open_conns"] {
+        if doc.get(key).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("missing numeric field {key:?}"));
+        }
+    }
+    summary.traces = doc.get("traces").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+    summary.study_wall_us = doc
+        .get("study_wall_us")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    check_mandatory_stages(&doc, &MANDATORY_STAGES, &mut summary)?;
     match doc.get("datasets") {
         Some(JsonValue::Array(items)) => {
             for d in items {
@@ -818,7 +990,13 @@ pub fn validate_bench_json(text: &str) -> Result<BenchSummary, String> {
 /// still enforced for every stage regardless of share.
 pub const WALL_SHARE_FLOOR: f64 = 0.05;
 
-/// Compare a candidate `BENCH_pipeline.json` against a committed baseline.
+/// Compare a candidate bench document against a committed baseline. Both
+/// documents must share a schema: pipeline runs compare on
+/// `scale`/`seed`/`threads` and study totals; monitor runs compare on
+/// `epoch_secs`/`max_conns`/`max_pending` and the bounded-state outcome
+/// counters (`epochs`, `checkpoints`, `peak_open_conns`, `evicted_conns`,
+/// `pending_dropped`, `checkpoint_recoveries`) — the steady-state memory
+/// gate.
 ///
 /// The gate contract has two halves:
 ///
@@ -847,9 +1025,43 @@ pub fn compare_bench_json(
     validate_bench_json(candidate).map_err(|e| format!("candidate: {e}"))?;
     let b = json_parse(baseline).map_err(|e| format!("baseline: {e}"))?;
     let c = json_parse(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let b_schema = bench_schema(&b).map_err(|e| format!("baseline: {e}"))?;
+    let c_schema = bench_schema(&c).map_err(|e| format!("candidate: {e}"))?;
+    if b_schema != c_schema {
+        return Err(format!(
+            "runs are not comparable: schema differs (baseline {b_schema:?}, candidate {c_schema:?})"
+        ));
+    }
+    // Monitor documents compare on state budgets and degradation
+    // counters; pipeline documents on study parameters and totals.
+    let monitor = b_schema == MONITOR_SCHEMA;
+    let comparability: &[&str] = if monitor {
+        &["epoch_secs", "max_conns", "max_pending"]
+    } else {
+        &["scale", "seed", "threads"]
+    };
+    let exact: &[&str] = if monitor {
+        &[
+            "packets",
+            "bytes",
+            "epochs",
+            "checkpoints",
+            "peak_open_conns",
+            "evicted_conns",
+            "pending_dropped",
+            "checkpoint_recoveries",
+        ]
+    } else {
+        &["packets", "traces", "peak_open_conns"]
+    };
+    let mandatory: &[&str] = if monitor {
+        &MONITOR_MANDATORY_STAGES
+    } else {
+        &MANDATORY_STAGES
+    };
     let num =
         |doc: &JsonValue, key: &str| doc.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
-    for key in ["scale", "seed", "threads"] {
+    for &key in comparability {
         if num(&b, key) != num(&c, key) {
             return Err(format!(
                 "runs are not comparable: {key:?} differs (baseline {}, candidate {})",
@@ -859,7 +1071,7 @@ pub fn compare_bench_json(
         }
     }
     let mut failures: Vec<String> = Vec::new();
-    for key in ["packets", "traces", "peak_open_conns"] {
+    for &key in exact {
         if num(&b, key) != num(&c, key) {
             failures.push(format!(
                 "{key} drifted: baseline {}, candidate {}",
@@ -871,7 +1083,7 @@ pub fn compare_bench_json(
     let b_stages = b.get("stages").ok_or("baseline: missing \"stages\"")?;
     let c_stages = c.get("stages").ok_or("candidate: missing \"stages\"")?;
     let mut total_wall = 0.0f64;
-    for name in MANDATORY_STAGES {
+    for &name in mandatory {
         let stage = b_stages
             .get(name)
             .ok_or_else(|| format!("baseline: missing stage {name:?}"))?;
@@ -881,7 +1093,7 @@ pub fn compare_bench_json(
         "{:<16} {:>12} {:>12} {:>7}  wall check\n",
         "stage", "base_us", "cand_us", "ratio"
     );
-    for name in MANDATORY_STAGES {
+    for &name in mandatory {
         let bst = b_stages
             .get(name)
             .ok_or_else(|| format!("baseline: missing stage {name:?}"))?;
@@ -1080,6 +1292,75 @@ mod tests {
         let other = base.replace("\"seed\": 2005", "\"seed\": 7");
         let err = compare_bench_json(&base, &other, 0.25, true).expect_err("seed mismatch");
         assert!(err.contains("not comparable"), "{err}");
+    }
+
+    fn monitor_doc(m: &PipelineMetrics, ctx: &MonitorBenchContext) -> String {
+        monitor_bench_json(ctx, m)
+    }
+
+    fn monitor_metrics() -> PipelineMetrics {
+        let mut m = nonzero_metrics();
+        m.epoch_rotate.add(300, 4, 6);
+        m.checkpoint.add(900, 3, 0);
+        m.backpressure.add(50, 2, 0);
+        m
+    }
+
+    fn monitor_ctx() -> MonitorBenchContext {
+        MonitorBenchContext {
+            epoch_secs: 300,
+            max_conns: 4_096,
+            max_pending: 8,
+            epochs: 4,
+            checkpoints: 3,
+            evicted_conns: 1,
+            pending_dropped: 1,
+            checkpoint_recoveries: 0,
+        }
+    }
+
+    #[test]
+    fn monitor_bench_json_roundtrips_and_validates() {
+        let text = monitor_doc(&monitor_metrics(), &monitor_ctx());
+        let summary = validate_bench_json(&text).expect("valid monitor doc");
+        assert_eq!(summary.packets, 10);
+        assert_eq!(summary.traces, 4); // epochs echo through the traces slot
+        assert_eq!(summary.stages.len(), MONITOR_MANDATORY_STAGES.len());
+        // A monitor run without checkpoints fails the rot check.
+        let mut no_ckpt = monitor_metrics();
+        no_ckpt.checkpoint = StageStat::default();
+        let err = validate_bench_json(&monitor_doc(&no_ckpt, &monitor_ctx()))
+            .expect_err("zero checkpoint stage");
+        assert!(err.contains("checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn monitor_compare_gates_state_budgets_and_degradation_counters() {
+        let base = monitor_doc(&monitor_metrics(), &monitor_ctx());
+        compare_bench_json(&base, &base, 0.25, true).expect("identical monitor runs pass");
+        // A leak shows up as peak_open_conns drift — hard failure.
+        let mut leaky = monitor_metrics();
+        leaky.peak_open_conns += 100;
+        let err = compare_bench_json(&base, &monitor_doc(&leaky, &monitor_ctx()), 0.25, false)
+            .expect_err("peak drift must fail even with wall waived");
+        assert!(err.contains("peak_open_conns"), "{err}");
+        // Unaccounted drops drift the degradation counters — hard failure.
+        let mut dropping = monitor_ctx();
+        dropping.pending_dropped += 5;
+        let err = compare_bench_json(&base, &monitor_doc(&monitor_metrics(), &dropping), 0.25, true)
+            .expect_err("pending_dropped drift");
+        assert!(err.contains("pending_dropped"), "{err}");
+        // Different budgets are not comparable at all.
+        let mut other_budget = monitor_ctx();
+        other_budget.max_conns = 64;
+        let err =
+            compare_bench_json(&base, &monitor_doc(&monitor_metrics(), &other_budget), 0.25, true)
+                .expect_err("budget mismatch");
+        assert!(err.contains("not comparable"), "{err}");
+        // And a monitor doc never compares against a pipeline doc.
+        let pipeline = bench_doc(&nonzero_metrics());
+        let err = compare_bench_json(&pipeline, &base, 0.25, true).expect_err("schema mix");
+        assert!(err.contains("schema differs"), "{err}");
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct PipelineConfig {
     /// When hit, the least-recently-active connections are evicted and
     /// tallied in [`IngestHealth::evicted_conns`].
     pub max_conns: usize,
+    /// Per-connection pending-transaction budget for the DNS/NBNS
+    /// outstanding-request maps (0 = unbounded, the batch default). A full
+    /// map drops further requests from tracking — they are counted in
+    /// [`IngestHealth::pending_dropped`] instead of growing the map, the
+    /// monitor's defense against request floods that never see answers.
+    pub max_pending: usize,
     /// Fault-injection hook: panic inside the application analyzer on
     /// every Nth TCP data delivery (0 = never). Exercises the
     /// analyzer-failure demotion path deterministically; never set outside
@@ -102,8 +108,11 @@ fn kind_of(state: &AppState) -> Option<AnalyzerKind> {
     }
 }
 
-struct Handler<'a> {
-    out: &'a mut TraceAnalysis,
+struct Handler {
+    /// The window's output record, owned so the engine can swap in a fresh
+    /// one at an epoch boundary (the monitor's rotation) without touching
+    /// any other analyzer state.
+    out: TraceAnalysis,
     /// Per-connection analyzer state, indexed directly by [`ConnIndex`].
     /// The flow table hands out dense sequential indices, so a slab vector
     /// replaces the former `HashMap<ConnIndex, PerConn>`: lookup is a
@@ -112,6 +121,7 @@ struct Handler<'a> {
     dynamic: DynamicPorts,
     payload_ok: bool,
     panic_every: u64,
+    max_pending: usize,
     tcp_data_events: u64,
 }
 
@@ -123,7 +133,17 @@ fn demote(out: &mut TraceAnalysis) {
     out.health.demoted_conns += 1;
 }
 
-impl Handler<'_> {
+impl Handler {
+    /// Clear per-epoch state, retaining allocations: the slab truncates
+    /// (every entry is `None` after a rotation drains the table) and the
+    /// injected-fault counter restarts so fault cadence stays epoch-
+    /// deterministic. Learned dynamic ports deliberately survive — an
+    /// Endpoint-Mapper lease outlives any one epoch.
+    fn reset_epoch(&mut self) {
+        self.conns.clear();
+        self.tcp_data_events = 0;
+    }
+
     fn classify(&self, key: &FlowKey) -> Option<AppProtocol> {
         let transport = match key.proto {
             Proto::Tcp => Transport::Tcp,
@@ -183,7 +203,7 @@ impl Handler<'_> {
             self.drain_app(&mut pc, summary);
         }));
         if drained.is_err() {
-            demote(self.out);
+            demote(&mut self.out);
         }
         // `ConnSummary` is `Copy`; storing it by value is a plain memcpy
         // with no per-connection heap traffic (pinned by the allocation
@@ -303,7 +323,7 @@ impl Handler<'_> {
     }
 }
 
-impl FlowHandler for Handler<'_> {
+impl FlowHandler for Handler {
     fn on_new_conn(&mut self, idx: ConnIndex, key: &FlowKey, _ts: Timestamp) {
         let app = self.classify(key);
         let state = self.attach(key, app);
@@ -386,7 +406,7 @@ impl FlowHandler for Handler<'_> {
             }
             // The connection entry already holds AppState::None: from here
             // on it gets header-only treatment.
-            Err(_) => demote(self.out),
+            Err(_) => demote(&mut self.out),
         }
     }
 
@@ -422,8 +442,9 @@ impl FlowHandler for Handler<'_> {
         let (server, client) = (pc.key.resp.addr, pc.key.orig.addr);
         let mut state = std::mem::replace(&mut pc.state, AppState::None);
         let kind = kind_of(&state);
+        let max_pending = self.max_pending;
         let mut timer = StageTimer::start();
-        let out = &mut *self.out;
+        let out = &mut self.out;
         let fed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             match &mut state {
                 AppState::Dns(st) => {
@@ -432,7 +453,14 @@ impl FlowHandler for Handler<'_> {
                     };
                     if !msg.is_response {
                         if let Some(qt) = msg.qtype {
-                            st.pending.insert(msg.id, (ts, qt));
+                            if max_pending != 0 && st.pending.len() >= max_pending {
+                                // Budget exhausted: stop tracking the query
+                                // (its answer will not match) and account
+                                // the drop instead of growing the map.
+                                out.health.pending_dropped += 1;
+                            } else {
+                                st.pending.insert(msg.id, (ts, qt));
+                            }
                         }
                     } else if let Some((t0, qt)) = st.pending.remove(&msg.id) {
                         out.dns.push(DnsRecord {
@@ -457,7 +485,13 @@ impl FlowHandler for Handler<'_> {
                             rcode: None,
                             client,
                         };
-                        st.pending.insert(msg.id, out.nbns.len());
+                        if max_pending != 0 && st.pending.len() >= max_pending {
+                            // Keep the (unanswerable) request record but
+                            // stop tracking it; account the drop.
+                            out.health.pending_dropped += 1;
+                        } else {
+                            st.pending.insert(msg.id, out.nbns.len());
+                        }
                         out.nbns.push(rec);
                     } else if let Some(i) = st.pending.remove(&msg.id) {
                         if let Some(rec) = out.nbns.get_mut(i) {
@@ -480,7 +514,7 @@ impl FlowHandler for Handler<'_> {
         }
         match fed {
             Ok(()) => pc.state = state,
-            Err(_) => demote(self.out),
+            Err(_) => demote(&mut self.out),
         }
     }
 
@@ -510,10 +544,10 @@ impl FlowHandler for Handler<'_> {
 /// analysis loop, produced either from an in-memory [`Trace`] or streamed
 /// straight off a pcap byte buffer by the recovering reader.
 #[derive(Clone, Copy)]
-struct FrameRef<'a> {
-    ts: Timestamp,
-    frame: &'a [u8],
-    orig_len: u32,
+pub(crate) struct FrameRef<'a> {
+    pub(crate) ts: Timestamp,
+    pub(crate) frame: &'a [u8],
+    pub(crate) orig_len: u32,
 }
 
 /// Pre-size hot structures from a packet-count hint. Connection
@@ -521,11 +555,11 @@ struct FrameRef<'a> {
 /// a few dozen packets per connection, so `packets / 32` with sane bounds
 /// keeps the key map from rehashing mid-trace without over-reserving for
 /// tiny fixtures.
-fn expected_conns_hint(packets_hint: usize) -> usize {
+pub(crate) fn expected_conns_hint(packets_hint: usize) -> usize {
     (packets_hint / 32).clamp(64, 16_384)
 }
 
-fn table_config(config: &PipelineConfig, expected_conns: usize) -> TableConfig {
+pub(crate) fn table_config(config: &PipelineConfig, expected_conns: usize) -> TableConfig {
     TableConfig {
         max_conns: config.max_conns,
         expected_conns,
@@ -570,53 +604,63 @@ where
     }
 }
 
-/// The generic per-packet loop: parse → tally → flow ingest, over any
-/// frame source and either connection-table hasher.
-fn analyze_frames<'a, S, I>(
-    meta: &TraceMeta,
-    frames: I,
-    config: &PipelineConfig,
-    mut table: ConnTable<S>,
-    expected_conns: usize,
-) -> TraceAnalysis
-where
-    S: BuildHasher,
-    I: Iterator<Item = FrameRef<'a>>,
-{
-    let mut out = TraceAnalysis {
-        dataset: meta.dataset.clone(),
-        subnet: meta.subnet,
-        pass: meta.pass,
-        duration_secs: meta.duration.micros() / 1_000_000,
-        link_capacity_bps: meta.link_capacity_bps,
-        bytes_per_second: vec![0; (meta.duration.micros() / 1_000_000 + 1) as usize],
-        ..Default::default()
-    };
-    let payload_ok = meta.has_payload();
-    let mut handler = Handler {
-        out: &mut out,
-        conns: Vec::with_capacity(expected_conns),
-        dynamic: DynamicPorts::new(),
-        payload_ok,
-        panic_every: config.analyzer_panic_every,
-        tcp_data_events: 0,
-    };
-    let total = StageTimer::start();
-    // Load bins are indexed relative to the trace's first timestamp —
-    // traces with epoch-based clocks (real captures) would otherwise land
+/// The streaming analysis core shared by the batch pipeline and the
+/// resident monitor: a connection table plus per-connection analyzer
+/// state, fed one frame at a time. The batch path drives it straight
+/// through and finishes once; the monitor rotates it at epoch boundaries,
+/// swapping a fresh [`TraceAnalysis`] in while the table, analyzer slab
+/// and learned dynamic ports keep their allocations.
+pub(crate) struct Engine<S: BuildHasher> {
+    table: ConnTable<S>,
+    handler: Handler,
+    // Load bins are indexed relative to the window base — the trace's
+    // first timestamp in batch mode, the epoch start in monitor mode.
+    // Traces with epoch-based clocks (real captures) would otherwise land
     // every sample past the end of the vec and the series would read zero.
-    let mut first = true;
-    let mut base_us = 0u64;
-    let mut base_sec = 0u64;
-    let mut max_ts = Timestamp::ZERO;
-    let mut pt = StageTimer::start();
-    for p in frames {
-        if first {
-            first = false;
-            base_us = p.ts.micros();
-            base_sec = base_us / 1_000_000;
-            max_ts = p.ts;
+    first: bool,
+    base_us: u64,
+    base_sec: u64,
+    max_ts: Timestamp,
+    pt: StageTimer,
+}
+
+impl<S: BuildHasher> Engine<S> {
+    /// Build an engine around an output record and a connection table.
+    pub(crate) fn new(
+        out: TraceAnalysis,
+        table: ConnTable<S>,
+        config: &PipelineConfig,
+        payload_ok: bool,
+        expected_conns: usize,
+    ) -> Engine<S> {
+        Engine {
+            table,
+            handler: Handler {
+                out,
+                conns: Vec::with_capacity(expected_conns),
+                dynamic: DynamicPorts::new(),
+                payload_ok,
+                panic_every: config.analyzer_panic_every,
+                max_pending: config.max_pending,
+                tcp_data_events: 0,
+            },
+            first: true,
+            base_us: 0,
+            base_sec: 0,
+            max_ts: Timestamp::ZERO,
+            pt: StageTimer::start(),
         }
+    }
+
+    /// Parse, tally and flow-ingest one frame.
+    pub(crate) fn ingest_frame(&mut self, p: FrameRef<'_>) {
+        if self.first {
+            self.first = false;
+            self.base_us = p.ts.micros();
+            self.base_sec = self.base_us / 1_000_000;
+            self.max_ts = p.ts;
+        }
+        let handler = &mut self.handler;
         let Ok(pkt) = Packet::parse(p.frame) else {
             // Undissectable frame: count it rather than silently narrowing
             // the trace — the analyses' denominators stay honest.
@@ -625,8 +669,8 @@ where
                 .out
                 .metrics
                 .frame_parse
-                .add(pt.lap(), 1, p.frame.len() as u64);
-            continue;
+                .add(self.pt.lap(), 1, p.frame.len() as u64);
+            return;
         };
         handler.out.packets += 1;
         match &pkt.net {
@@ -637,14 +681,14 @@ where
             ent_wire::NetLayer::Ipx { .. } => handler.out.ipx_packets += 1,
             ent_wire::NetLayer::OtherL3(_) => handler.out.other_l3_packets += 1,
         }
-        let sec = (p.ts.micros() / 1_000_000).saturating_sub(base_sec) as usize;
+        let sec = (p.ts.micros() / 1_000_000).saturating_sub(self.base_sec) as usize;
         if let Some(bin) = handler.out.bytes_per_second.get_mut(sec) {
             *bin += p.orig_len as u64;
         } else {
             handler.out.health.load_samples_out_of_range += 1;
         }
-        if p.ts > max_ts {
-            max_ts = p.ts;
+        if p.ts > self.max_ts {
+            self.max_ts = p.ts;
         }
         // One lap boundary per stage, two clock reads per packet: layer
         // tallying and load binning are charged to frame_parse, everything
@@ -653,28 +697,112 @@ where
             .out
             .metrics
             .frame_parse
-            .add(pt.lap(), 1, p.frame.len() as u64);
-        table.ingest(&pkt, p.ts, &mut handler);
+            .add(self.pt.lap(), 1, p.frame.len() as u64);
+        self.table.ingest(&pkt, p.ts, handler);
         handler
             .out
             .metrics
             .flow_ingest
-            .add(pt.lap(), 1, p.orig_len as u64);
+            .add(self.pt.lap(), 1, p.orig_len as u64);
     }
-    // Close out still-open connections at the trace's absolute end: the
-    // nominal duration past the first packet, or the last packet seen,
-    // whichever is later (finish() clamps open conns back to this point).
-    let end_abs =
-        Timestamp::from_micros(base_us.saturating_add(meta.duration.micros())).max(max_ts);
-    pt.lap();
-    table.finish(end_abs, &mut handler);
-    handler.out.metrics.flow_ingest.add(pt.lap(), 0, 0);
-    drop(handler);
-    let fstats = *table.stats();
-    out.health.clock_regressions = fstats.clock_regressions;
-    out.health.evicted_conns = fstats.evicted_conns;
-    out.metrics.peak_open_conns = fstats.peak_open_conns;
-    // Scanner removal (paper §3), unless the ablation keeps them.
+
+    /// Close out still-open connections at `end_ts` (finish() clamps open
+    /// conns back to this point). The batch terminal step.
+    pub(crate) fn finish_at(&mut self, end_ts: Timestamp) {
+        self.pt.lap();
+        self.table.finish(end_ts, &mut self.handler);
+        self.handler.out.metrics.flow_ingest.add(self.pt.lap(), 0, 0);
+    }
+
+    /// Rotate at an epoch boundary: force-close every open connection
+    /// (clamped to `end_ts`), reset the per-epoch analyzer state retaining
+    /// capacity, swap `next` in as the new output window, and return the
+    /// finished window. Lifetime counters (table stats, dynamic ports,
+    /// the stream clock watermark) survive the rotation.
+    pub(crate) fn rotate(&mut self, end_ts: Timestamp, next: TraceAnalysis) -> TraceAnalysis {
+        self.pt.lap();
+        self.table.rotate(end_ts, &mut self.handler);
+        self.handler.out.metrics.flow_ingest.add(self.pt.lap(), 0, 0);
+        self.handler.reset_epoch();
+        std::mem::replace(&mut self.handler.out, next)
+    }
+
+    /// Re-base the load-bin window (monitor epochs start at epoch
+    /// boundaries, not at the first packet of the epoch).
+    pub(crate) fn set_window_base(&mut self, base_us: u64) {
+        self.first = false;
+        self.base_us = base_us;
+        self.base_sec = base_us / 1_000_000;
+    }
+
+    /// First-packet window base, microseconds (0 before the first packet).
+    pub(crate) fn base_us(&self) -> u64 {
+        self.base_us
+    }
+
+    /// Latest timestamp seen on the stream.
+    pub(crate) fn max_ts(&self) -> Timestamp {
+        self.max_ts
+    }
+
+    /// Lifetime flow-table robustness counters.
+    pub(crate) fn flow_stats(&self) -> &ent_flow::FlowStats {
+        self.table.stats()
+    }
+
+    /// The connection table's cross-epoch scalar state.
+    pub(crate) fn table_carry(&self) -> ent_flow::TableCarry {
+        self.table.carry()
+    }
+
+    /// Restore cross-epoch table state (checkpoint resume).
+    pub(crate) fn restore_table_carry(&mut self, carry: ent_flow::TableCarry) {
+        self.table.restore(carry);
+    }
+
+    /// Dynamically learned port→protocol mappings (checkpoint export).
+    pub(crate) fn dynamic_ports(&self) -> &DynamicPorts {
+        &self.handler.dynamic
+    }
+
+    /// Re-learn a dynamic port mapping (checkpoint restore).
+    pub(crate) fn learn_dynamic(&mut self, addr: ent_wire::ipv4::Addr, port: u16, app: AppProtocol) {
+        self.handler.dynamic.learn(addr, port, app);
+    }
+
+    /// The in-progress output window.
+    pub(crate) fn analysis_mut(&mut self) -> &mut TraceAnalysis {
+        &mut self.handler.out
+    }
+
+    /// Consume the engine, yielding the final output window.
+    pub(crate) fn into_analysis(self) -> TraceAnalysis {
+        self.handler.out
+    }
+}
+
+/// A window's initial output record, with the load-bin series sized for
+/// `duration_secs` of trace time.
+pub(crate) fn window_analysis(meta: &TraceMeta, duration_secs: u64) -> TraceAnalysis {
+    TraceAnalysis {
+        dataset: meta.dataset.clone(),
+        subnet: meta.subnet,
+        pass: meta.pass,
+        duration_secs,
+        link_capacity_bps: meta.link_capacity_bps,
+        bytes_per_second: vec![0; (duration_secs + 1) as usize],
+        ..Default::default()
+    }
+}
+
+/// The post-ingest passes over a finished window's connection records:
+/// scanner removal (paper §3), unless the ablation keeps them, then
+/// retransmission accounting (keep-alive probes excluded, §6) — after
+/// scanner removal so failed-probe SYN retries do not pollute the rates.
+/// Rates are over *data* packets (the paper's denominator): pure ACKs
+/// carry nothing and cannot be retransmissions, so counting them would
+/// systematically understate every rate.
+pub(crate) fn post_process(out: &mut TraceAnalysis, config: &PipelineConfig) {
     let mut st = StageTimer::start();
     let conns_examined = out.conns.len() as u64;
     if !config.keep_scanners {
@@ -689,11 +817,6 @@ where
         out.scanner_conns = removed;
     }
     out.metrics.scanner_removal.add(st.lap(), conns_examined, 0);
-    // Retransmission accounting (keep-alive probes excluded, §6) — after
-    // scanner removal so failed-probe SYN retries do not pollute the rates.
-    // Rates are over *data* packets (the paper's denominator): pure ACKs
-    // carry nothing and cannot be retransmissions, so counting them would
-    // systematically understate every rate.
     for c in &out.conns {
         if c.summary.key.proto != Proto::Tcp {
             continue;
@@ -710,6 +833,46 @@ where
         slot.0 += data_pkts;
         slot.1 += retx;
     }
+}
+
+/// The generic per-packet loop: parse → tally → flow ingest, over any
+/// frame source and either connection-table hasher.
+fn analyze_frames<'a, S, I>(
+    meta: &TraceMeta,
+    frames: I,
+    config: &PipelineConfig,
+    table: ConnTable<S>,
+    expected_conns: usize,
+) -> TraceAnalysis
+where
+    S: BuildHasher,
+    I: Iterator<Item = FrameRef<'a>>,
+{
+    let out = window_analysis(meta, meta.duration.micros() / 1_000_000);
+    let payload_ok = meta.has_payload();
+    let mut engine = Engine::new(out, table, config, payload_ok, expected_conns);
+    let total = StageTimer::start();
+    for p in frames {
+        engine.ingest_frame(p);
+    }
+    // Close out still-open connections at the trace's absolute end: the
+    // nominal duration past the first packet, or the last packet seen,
+    // whichever is later.
+    let end_abs = Timestamp::from_micros(engine.base_us().saturating_add(meta.duration.micros()))
+        .max(engine.max_ts());
+    engine.finish_at(end_abs);
+    let fstats = *engine.flow_stats();
+    let mut out = engine.into_analysis();
+    out.health.clock_regressions = fstats.clock_regressions;
+    out.health.evicted_conns = fstats.evicted_conns;
+    out.metrics.peak_open_conns = fstats.peak_open_conns;
+    // Degradation events surface as the backpressure stage even in batch
+    // runs, so a capped batch analysis and a monitor read the same way.
+    let degraded = fstats.evicted_conns + out.health.pending_dropped;
+    if degraded > 0 {
+        out.metrics.backpressure.add(0, degraded, 0);
+    }
+    post_process(&mut out, config);
     out.metrics.trace_wall_ns = total.elapsed_ns();
     out.metrics.traces = 1;
     out

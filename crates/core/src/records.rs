@@ -240,6 +240,14 @@ pub struct IngestHealth {
     /// nominal duration (relative to its first timestamp) and were
     /// excluded from the utilization series instead of silently dropped.
     pub load_samples_out_of_range: u64,
+    /// Pending application-transaction map entries (DNS/NBNS request state
+    /// awaiting a response) dropped because the per-connection pending
+    /// budget was exhausted — the backpressure path for request floods.
+    pub pending_dropped: u64,
+    /// Checkpoint files that failed to load (truncated, corrupted, or
+    /// config-mismatched) and degraded the monitor to a counted cold
+    /// start instead of an error exit.
+    pub checkpoint_recoveries: u64,
 }
 
 impl IngestHealth {
@@ -252,6 +260,8 @@ impl IngestHealth {
             && self.analyzer_failures == 0
             && self.demoted_conns == 0
             && self.load_samples_out_of_range == 0
+            && self.pending_dropped == 0
+            && self.checkpoint_recoveries == 0
     }
 
     /// Total damage events past the capture layer.
@@ -261,6 +271,8 @@ impl IngestHealth {
             + self.evicted_conns
             + self.analyzer_failures
             + self.load_samples_out_of_range
+            + self.pending_dropped
+            + self.checkpoint_recoveries
     }
 
     /// Fold another trace's health into this one (dataset aggregation).
@@ -272,6 +284,8 @@ impl IngestHealth {
         self.analyzer_failures += other.analyzer_failures;
         self.demoted_conns += other.demoted_conns;
         self.load_samples_out_of_range += other.load_samples_out_of_range;
+        self.pending_dropped += other.pending_dropped;
+        self.checkpoint_recoveries += other.checkpoint_recoveries;
     }
 }
 
@@ -284,7 +298,8 @@ impl core::fmt::Display for IngestHealth {
             f,
             "capture[{}], {} malformed frames, {} clock regressions, \
              {} evicted conns, {} analyzer failures ({} conns demoted), \
-             {} load samples out of range",
+             {} load samples out of range, {} pending dropped, \
+             {} checkpoint recoveries",
             self.capture,
             self.malformed_frames,
             self.clock_regressions,
@@ -292,6 +307,8 @@ impl core::fmt::Display for IngestHealth {
             self.analyzer_failures,
             self.demoted_conns,
             self.load_samples_out_of_range,
+            self.pending_dropped,
+            self.checkpoint_recoveries,
         )
     }
 }

@@ -69,6 +69,7 @@ pub fn build_report(studies: &[DatasetAnalysis]) -> StudyReport {
                 "bad frames",
                 "clock regr",
                 "evicted",
+                "pend drop",
                 "demoted",
             ],
         );
@@ -83,6 +84,7 @@ pub fn build_report(studies: &[DatasetAnalysis]) -> StudyReport {
                 h.malformed_frames.to_string(),
                 (h.capture.clock_regressions + h.clock_regressions).to_string(),
                 h.evicted_conns.to_string(),
+                h.pending_dropped.to_string(),
                 h.demoted_conns.to_string(),
             ]);
             if !h.is_clean() {

@@ -72,7 +72,7 @@ pub use fasthash::{fx_map_with_capacity, FxBuildHasher, FxHashMap, FxHasher};
 pub use handler::{CollectSummaries, FlowHandler};
 pub use key::{ConnIndex, Dir, Endpoint, FlowKey, Proto};
 pub use summary::{ConnSummary, DirStats, TcpOutcome, TcpState};
-pub use table::{ConnTable, FlowStats, TableConfig};
+pub use table::{ConnTable, FlowStats, TableCarry, TableConfig};
 
 #[cfg(test)]
 mod integration_tests {

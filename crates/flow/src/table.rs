@@ -61,6 +61,20 @@ pub struct FlowStats {
     pub peak_open_conns: u64,
 }
 
+/// The scalar state a [`ConnTable`] must carry across an epoch boundary
+/// (or a checkpoint/restore cycle) to behave identically to a table that
+/// never stopped: the monotone clock watermark and the lifetime
+/// robustness counters. Everything else — open connections — is closed at
+/// the boundary by [`ConnTable::rotate`], so there is nothing else to
+/// carry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableCarry {
+    /// Monotone clock watermark (`None` before the first packet).
+    pub last_ts: Option<Timestamp>,
+    /// Lifetime robustness counters.
+    pub stats: FlowStats,
+}
+
 struct Conn {
     idx: ConnIndex,
     key: FlowKey,
@@ -202,6 +216,42 @@ impl<S: BuildHasher> ConnTable<S> {
     /// Robustness counters accumulated so far.
     pub fn stats(&self) -> &FlowStats {
         &self.stats
+    }
+
+    /// Snapshot the carryable scalar state (clock watermark + lifetime
+    /// stats). Only meaningful between packets; a checkpoint taken at an
+    /// epoch boundary serializes exactly this.
+    pub fn carry(&self) -> TableCarry {
+        TableCarry {
+            last_ts: self.last_ts,
+            stats: self.stats,
+        }
+    }
+
+    /// Restore carried state into a freshly-constructed table, making it
+    /// behave exactly like the table [`ConnTable::carry`] was taken from
+    /// (post-[`ConnTable::rotate`]: no open connections, same clock, same
+    /// counters). Intended for checkpoint resume; calling it on a table
+    /// that has already ingested packets would rewrite history.
+    pub fn restore(&mut self, carry: TableCarry) {
+        self.last_ts = carry.last_ts;
+        self.stats = carry.stats;
+    }
+
+    /// Close every open connection at `end_ts` (exactly like
+    /// [`ConnTable::finish`]) and reset the per-epoch index space while
+    /// retaining the clock watermark, the lifetime stats, and every
+    /// allocation (map/slot/scratch capacity). After rotation the table is
+    /// indistinguishable from a fresh table carrying
+    /// [`ConnTable::carry`]'s state: connection indices restart at zero
+    /// and steady-state epochs allocate nothing new.
+    pub fn rotate<H: FlowHandler>(&mut self, end_ts: Timestamp, handler: &mut H) {
+        self.finish(end_ts, handler);
+        // finish() removed every map entry via close_slot; clear() keeps
+        // the bucket allocation either way.
+        self.map.clear();
+        self.conns.clear();
+        self.next_idx = 0;
     }
 
     /// Clamp a regressed timestamp forward to the table clock, counting
@@ -899,6 +949,53 @@ mod tests {
         assert_eq!(t.stats().peak_open_conns, 6);
         t.finish(Timestamp::from_secs(200), &mut h);
         assert_eq!(t.stats().peak_open_conns, 6);
+    }
+
+    #[test]
+    fn rotate_closes_all_and_resets_index_space() {
+        let a = Addr::new(10, 0, 0, 1);
+        let server = Addr::new(10, 0, 9, 9);
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        for i in 0..3u16 {
+            let f = udp_frame(a, server, 4000 + i, 53, 20);
+            t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_millis(u64::from(i)), &mut h);
+        }
+        t.rotate(Timestamp::from_secs(1), &mut h);
+        assert_eq!(h.summaries.len(), 3);
+        assert_eq!(t.open_conns(), 0);
+        // Post-rotation connections get indices from zero again, exactly
+        // like a fresh table — resume-equivalence depends on this.
+        let f = udp_frame(a, server, 5000, 53, 20);
+        t.ingest(&Packet::parse(&f).unwrap(), Timestamp::from_secs(2), &mut h);
+        t.finish(Timestamp::from_secs(3), &mut h);
+        assert_eq!(h.summaries.len(), 4);
+        assert_eq!(t.stats().peak_open_conns, 3, "peak survives rotation");
+    }
+
+    #[test]
+    fn carry_restore_preserves_clock_and_stats() {
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 53);
+        let mut t = ConnTable::new(TableConfig::default());
+        let mut h = CollectSummaries::default();
+        let f1 = udp_frame(a, b, 5000, 53, 30);
+        let f2 = udp_frame(b, a, 53, 5000, 80);
+        t.ingest(&Packet::parse(&f1).unwrap(), Timestamp::from_micros(700), &mut h);
+        t.ingest(&Packet::parse(&f2).unwrap(), Timestamp::from_micros(100), &mut h);
+        t.rotate(Timestamp::from_secs(1), &mut h);
+        let carry = t.carry();
+        assert_eq!(carry.stats.clock_regressions, 1);
+        assert_eq!(carry.last_ts, Some(Timestamp::from_micros(700)));
+        // A fresh table restored from the carry clamps a regressed clock
+        // exactly like the original table would have.
+        let mut fresh = ConnTable::new(TableConfig::default());
+        fresh.restore(carry);
+        let mut h2 = CollectSummaries::default();
+        fresh.ingest(&Packet::parse(&f1).unwrap(), Timestamp::from_micros(200), &mut h2);
+        assert_eq!(fresh.stats().clock_regressions, 2);
+        fresh.finish(Timestamp::from_secs(2), &mut h2);
+        assert_eq!(h2.summaries[0].start, Timestamp::from_micros(700));
     }
 
     #[test]

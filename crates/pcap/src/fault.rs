@@ -45,6 +45,12 @@ pub enum Fault {
     InsertGarbage,
     /// Flip a few random bits inside one record's payload.
     FlipPayloadBits,
+    /// Cut a checkpoint file off at a random point, as when a monitor host
+    /// loses power mid-write (torn write without the atomic rename).
+    TruncateCheckpoint,
+    /// Flip random bytes inside a checkpoint's payload, past the header
+    /// magic — bit rot the checksum must catch.
+    CorruptCheckpoint,
 }
 
 impl Fault {
@@ -63,6 +69,11 @@ impl Fault {
         Fault::InsertGarbage,
         Fault::FlipPayloadBits,
     ];
+
+    /// The checkpoint-file fault modes. Kept out of [`Fault::ALL`] because
+    /// they damage `ent_core::checkpoint` files, not pcap buffers — the
+    /// capture-corpus sweeps iterate `ALL` against pcaps only.
+    pub const CHECKPOINT: [Fault; 2] = [Fault::TruncateCheckpoint, Fault::CorruptCheckpoint];
 
     /// True if this fault leaves the file unreadable even for the
     /// recovering reader (the global header itself is destroyed).
@@ -239,6 +250,31 @@ impl FaultInjector {
                     }
                 }
             }
+            Fault::TruncateCheckpoint => {
+                // Checkpoint faults treat the buffer as opaque bytes: no
+                // record structure to respect, just a torn write.
+                if data.len() < 2 {
+                    return false;
+                }
+                let cut = self.rng.random_range(1..data.len());
+                data.truncate(cut);
+            }
+            Fault::CorruptCheckpoint => {
+                // Flip bytes strictly past the 16-byte magic/version/len
+                // prefix so the checksum — not the magic check — must
+                // catch the damage.
+                if data.len() <= 16 {
+                    return false;
+                }
+                let flips = self.rng.random_range(1usize..8);
+                for _ in 0..flips {
+                    let byte = 16 + self.rng.random_range(0..data.len() - 16);
+                    let mask = 1u8 << self.rng.random_range(0u32..8);
+                    if let Some(b) = data.get_mut(byte) {
+                        *b ^= mask;
+                    }
+                }
+            }
         }
         true
     }
@@ -334,6 +370,45 @@ mod tests {
         let (pkts, stats) = RecoveringReader::new(&buf).unwrap().read_all();
         assert_eq!(pkts.len(), 6);
         assert_eq!(stats.clock_regressions, 1);
+    }
+
+    #[test]
+    fn checkpoint_faults_change_opaque_buffers_deterministically() {
+        // Any byte buffer with a 16-byte header prefix qualifies; no pcap
+        // structure is required for the checkpoint fault modes.
+        let clean: Vec<u8> = (0u16..200).map(|i| i as u8).collect();
+        for (i, fault) in Fault::CHECKPOINT.into_iter().enumerate() {
+            let mut a = clean.clone();
+            let mut b = clean.clone();
+            assert!(FaultInjector::new(40 + i as u64).apply(&mut a, fault));
+            assert!(FaultInjector::new(40 + i as u64).apply(&mut b, fault));
+            assert_eq!(a, b, "{fault:?} not deterministic");
+            assert_ne!(a, clean, "{fault:?} left the buffer unchanged");
+            assert!(!fault.is_fatal());
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_spares_the_header_prefix() {
+        let clean = vec![0xAAu8; 64];
+        for seed in 0..32 {
+            let mut damaged = clean.clone();
+            assert!(FaultInjector::new(seed).apply(&mut damaged, Fault::CorruptCheckpoint));
+            assert_eq!(
+                &damaged[..16],
+                &clean[..16],
+                "seed {seed} touched the magic/version prefix"
+            );
+            assert_ne!(&damaged[16..], &clean[16..]);
+        }
+    }
+
+    #[test]
+    fn checkpoint_faults_refuse_degenerate_buffers() {
+        let mut tiny = vec![1u8];
+        assert!(!FaultInjector::new(1).apply(&mut tiny, Fault::TruncateCheckpoint));
+        let mut header_only = vec![0u8; 16];
+        assert!(!FaultInjector::new(1).apply(&mut header_only, Fault::CorruptCheckpoint));
     }
 
     #[test]

@@ -318,6 +318,18 @@ impl DynamicPorts {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Every learned mapping in a deterministic (addr, port) order — the
+    /// serialization order for checkpoints, independent of hash state.
+    pub fn export(&self) -> Vec<(ent_wire::ipv4::Addr, u16, AppProtocol)> {
+        let mut v: Vec<_> = self
+            .map
+            .iter()
+            .map(|(&(addr, port), &proto)| (addr, port, proto))
+            .collect();
+        v.sort_unstable_by_key(|&(addr, port, _)| (addr.0, port));
+        v
+    }
 }
 
 /// Identify the application protocol of a flow from its responder port and
@@ -390,6 +402,23 @@ mod tests {
         assert_eq!(
             identify(srv, 80, Transport::Tcp, &dp),
             Some(AppProtocol::Http)
+        );
+    }
+
+    #[test]
+    fn dynamic_ports_export_is_sorted() {
+        let mut dp = DynamicPorts::new();
+        dp.learn(Addr::new(10, 2, 0, 1), 50_000, AppProtocol::DceRpc);
+        dp.learn(Addr::new(10, 1, 0, 1), 60_000, AppProtocol::DceRpc);
+        dp.learn(Addr::new(10, 1, 0, 1), 49_152, AppProtocol::DceRpc);
+        let ex = dp.export();
+        assert_eq!(
+            ex.iter().map(|&(a, p, _)| (a, p)).collect::<Vec<_>>(),
+            vec![
+                (Addr::new(10, 1, 0, 1), 49_152),
+                (Addr::new(10, 1, 0, 1), 60_000),
+                (Addr::new(10, 2, 0, 1), 50_000),
+            ]
         );
     }
 

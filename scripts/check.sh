@@ -55,4 +55,29 @@ cargo run --release -q -p ent-cli -- study \
 cargo run --release -q -p ent-cli -- bench-compare \
     BENCH_pipeline.json "$BENCH_TMP/BENCH_gate.json"
 
+echo "==> monitor smoke (epoch reports + kill/resume equivalence + obs gate)"
+# Resident-monitor contract (DESIGN §9) on a small capture: a run killed at
+# an epoch boundary and resumed from its checkpoint must print the exact
+# remaining epoch reports of the uninterrupted run, the monitor bench json
+# must pass the observability gate, and the resumed run's cumulative
+# event/byte counters must match the full run's exactly.
+cargo run --release -q -p ent-cli -- generate \
+    --dataset D0 --subnet 3 --scale 0.01 --seed 2005 \
+    --out "$BENCH_TMP/monitor.pcap" 2> /dev/null
+cargo run --release -q -p ent-cli -- monitor "$BENCH_TMP/monitor.pcap" \
+    --epoch-secs 60 --checkpoint "$BENCH_TMP/full.ckpt" \
+    --bench-json "$BENCH_TMP/BENCH_monitor.json" > "$BENCH_TMP/full.txt"
+cargo run --release -q -p ent-cli -- monitor "$BENCH_TMP/monitor.pcap" \
+    --epoch-secs 60 --checkpoint "$BENCH_TMP/part.ckpt" \
+    --stop-after-epochs 4 > "$BENCH_TMP/part1.txt" 2> /dev/null
+cargo run --release -q -p ent-cli -- monitor "$BENCH_TMP/monitor.pcap" \
+    --epoch-secs 60 --checkpoint "$BENCH_TMP/part.ckpt" \
+    --bench-json "$BENCH_TMP/BENCH_monitor_resumed.json" \
+    > "$BENCH_TMP/part2.txt" 2> /dev/null
+diff <(awk '/^== Epoch 4 /,0' "$BENCH_TMP/full.txt") \
+     <(awk '/^== Epoch 4 /,0' "$BENCH_TMP/part2.txt")
+cargo run --release -q -p ent-cli -- obs-check "$BENCH_TMP/BENCH_monitor.json"
+cargo run --release -q -p ent-cli -- bench-compare \
+    "$BENCH_TMP/BENCH_monitor.json" "$BENCH_TMP/BENCH_monitor_resumed.json"
+
 echo "All checks passed."

@@ -86,7 +86,11 @@ fn corrupted_corpus_survives_full_pipeline() {
             // records; they surface (if at all) as retransmissions or
             // malformed frames, not capture damage.
             Fault::DuplicateRecord | Fault::FlipPayloadBits => {}
-            Fault::BadMagic => unreachable!(),
+            // Checkpoint modes live in Fault::CHECKPOINT, not Fault::ALL;
+            // they damage checkpoint files (tests/tests/monitor.rs).
+            Fault::BadMagic | Fault::TruncateCheckpoint | Fault::CorruptCheckpoint => {
+                unreachable!()
+            }
         }
     }
 }
