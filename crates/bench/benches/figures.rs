@@ -14,7 +14,12 @@ fn bench_fig1(c: &mut Criterion) {
     let ds = datasets();
     // Shape: name services lead connections but not bytes.
     let mix = appmix::appmix(&ds[1].traces);
-    let name = mix.shares.iter().find(|(k, _)| *k == ent_proto::Category::Name).unwrap().1;
+    let name = mix
+        .shares
+        .iter()
+        .find(|(k, _)| *k == ent_proto::Category::Name)
+        .expect("dataset 1 always produces name-service traffic")
+        .1;
     assert!(name.conns_pct() > 30.0 && name.bytes_pct() < 3.0);
     c.bench_function("fig1_application_mix", |b| {
         b.iter(|| {
@@ -95,8 +100,10 @@ fn bench_fig7_fig8(c: &mut Criterion) {
     // Dual-mode NFS sizes: requests cluster small, replies reach ~8 KB.
     let dist = netfile::netfile_distributions(&ds[0].traces);
     if dist.nfs_reply_sizes.n() > 50 {
-        assert!(dist.nfs_reply_sizes.quantile(0.95).unwrap() > 4_000.0);
-        assert!(dist.nfs_req_sizes.quantile(0.5).unwrap() < 500.0);
+        let p95 = dist.nfs_reply_sizes.quantile(0.95).expect("n > 50 implies a p95");
+        assert!(p95 > 4_000.0);
+        let p50 = dist.nfs_req_sizes.quantile(0.5).expect("n > 50 implies a median");
+        assert!(p50 < 500.0);
     }
     c.bench_function("fig7_fig8_netfile_distributions", |b| {
         b.iter(|| {

@@ -56,6 +56,45 @@ impl From<std::io::Error> for AnalysisError {
     }
 }
 
+/// A malformed or non-conforming bench-JSON document
+/// (`ent-bench-pipeline/1` / `ent-bench-monitor/1`): parse failures,
+/// schema violations, and baseline comparisons that found real drift.
+///
+/// The diagnosis is carried as rendered text: the documents are small,
+/// the consumers are CLI gates and tests, and the failure modes are
+/// open-ended (any missing key, any drifted stat), so an enum would only
+/// re-encode the message. What the taxonomy buys here is the *boundary* —
+/// public APIs signal bench-JSON trouble with a dedicated type instead of
+/// a bare `String`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchJsonError(String);
+
+impl BenchJsonError {
+    /// Wrap a rendered diagnosis.
+    pub fn new(msg: impl Into<String>) -> BenchJsonError {
+        BenchJsonError(msg.into())
+    }
+
+    /// The rendered diagnosis, for assertions on failure causes.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl core::fmt::Display for BenchJsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for BenchJsonError {}
+
+impl From<String> for BenchJsonError {
+    fn from(msg: String) -> Self {
+        BenchJsonError(msg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

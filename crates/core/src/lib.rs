@@ -54,7 +54,7 @@ pub mod study;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use ent_flow::fasthash;
-pub use error::AnalysisError;
+pub use error::{AnalysisError, BenchJsonError};
 pub use monitor::{
     capture_meta, drive_capture, EpochReport, Monitor, MonitorConfig, MonitorSummary,
     MonitorTotals,

@@ -20,6 +20,7 @@
 //!   (analyzer delivery time is *inside* flow-ingest time), never
 //!   double-reported as disjoint.
 
+use crate::error::BenchJsonError;
 use crate::report::Table;
 use std::time::Instant;
 
@@ -833,7 +834,14 @@ impl<'a> JsonReader<'a> {
 }
 
 /// Parse a JSON document (the subset [`bench_json`] emits).
-pub fn json_parse(text: &str) -> Result<JsonValue, String> {
+pub fn json_parse(text: &str) -> Result<JsonValue, BenchJsonError> {
+    json_parse_inner(text).map_err(BenchJsonError::new)
+}
+
+// Internal plumbing keeps `String` diagnoses (cheap to compose with
+// `format!`); the public wrappers above/below convert to the taxonomy's
+// [`BenchJsonError`] exactly once, at the crate boundary.
+fn json_parse_inner(text: &str) -> Result<JsonValue, String> {
     let mut r = JsonReader {
         bytes: text.as_bytes(),
         pos: 0,
@@ -932,8 +940,12 @@ fn check_mandatory_stages(
 /// * `ent-bench-monitor/1` (`entreport monitor --bench-json`): the
 ///   [`MONITOR_NUMERIC_KEYS`] counters plus nonzero
 ///   [`MONITOR_MANDATORY_STAGES`].
-pub fn validate_bench_json(text: &str) -> Result<BenchSummary, String> {
-    let doc = json_parse(text)?;
+pub fn validate_bench_json(text: &str) -> Result<BenchSummary, BenchJsonError> {
+    validate_bench_json_inner(text).map_err(BenchJsonError::new)
+}
+
+fn validate_bench_json_inner(text: &str) -> Result<BenchSummary, String> {
+    let doc = json_parse_inner(text)?;
     let mut summary = BenchSummary {
         packets: doc.get("packets").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64,
         traces: 0,
@@ -1020,11 +1032,21 @@ pub fn compare_bench_json(
     candidate: &str,
     wall_tolerance: f64,
     check_wall: bool,
+) -> Result<String, BenchJsonError> {
+    compare_bench_json_inner(baseline, candidate, wall_tolerance, check_wall)
+        .map_err(BenchJsonError::new)
+}
+
+fn compare_bench_json_inner(
+    baseline: &str,
+    candidate: &str,
+    wall_tolerance: f64,
+    check_wall: bool,
 ) -> Result<String, String> {
-    validate_bench_json(baseline).map_err(|e| format!("baseline: {e}"))?;
-    validate_bench_json(candidate).map_err(|e| format!("candidate: {e}"))?;
-    let b = json_parse(baseline).map_err(|e| format!("baseline: {e}"))?;
-    let c = json_parse(candidate).map_err(|e| format!("candidate: {e}"))?;
+    validate_bench_json_inner(baseline).map_err(|e| format!("baseline: {e}"))?;
+    validate_bench_json_inner(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let b = json_parse_inner(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let c = json_parse_inner(candidate).map_err(|e| format!("candidate: {e}"))?;
     let b_schema = bench_schema(&b).map_err(|e| format!("baseline: {e}"))?;
     let c_schema = bench_schema(&c).map_err(|e| format!("candidate: {e}"))?;
     if b_schema != c_schema {
@@ -1214,6 +1236,33 @@ mod tests {
     }
 
     #[test]
+    fn wall_and_rate_keys_agree_with_their_sources() {
+        let ctx = BenchContext {
+            scale: 0.002,
+            seed: 7,
+            threads: 4,
+            study_wall_ns: 5_000_000,
+            datasets: vec![("D0".into(), 2, 3_000_000, 20, 2_000)],
+        };
+        let m = nonzero_metrics();
+        let doc = json_parse(&bench_json(&ctx, &m)).expect("parse");
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| panic!("missing numeric key {key:?}"))
+        };
+        // "study_wall_us" is the study's elapsed wall; "worker_wall_us"
+        // the summed per-trace worker wall — emitted in microseconds.
+        assert!((num("study_wall_us") - ctx.study_wall_ns as f64 / 1e3).abs() < 1e-6);
+        assert!((num("worker_wall_us") - m.trace_wall_ns as f64 / 1e3).abs() < 1e-6);
+        // "packets_per_sec" / "bytes_per_sec" are throughput over worker
+        // wall time, consistent with the emitted packet and byte totals.
+        let worker_secs = m.trace_wall_ns as f64 / 1e9;
+        assert!((num("packets_per_sec") - m.packets() as f64 / worker_secs).abs() < 0.1);
+        assert!((num("bytes_per_sec") - m.bytes() as f64 / worker_secs).abs() < 0.1);
+    }
+
+    #[test]
     fn validation_rejects_zeroed_mandatory_stage() {
         let ctx = BenchContext {
             scale: 0.002,
@@ -1226,11 +1275,12 @@ mod tests {
         m.udp_deliver = StageStat::default();
         let text = bench_json(&ctx, &m);
         let err = validate_bench_json(&text).expect_err("zero stage must fail");
-        assert!(err.contains("udp_deliver"), "{err}");
+        assert!(err.message().contains("udp_deliver"), "{err}");
         // Wrong schema string also fails.
         let bad = text.replace(BENCH_SCHEMA, "something-else/9");
         assert!(validate_bench_json(&bad)
             .expect_err("schema mismatch")
+            .message()
             .contains("schema mismatch"));
     }
 
@@ -1263,8 +1313,8 @@ mod tests {
         drifted.tcp_deliver.events += 1;
         let err = compare_bench_json(&base, &bench_doc(&drifted), 0.25, false)
             .expect_err("event drift must fail even when wall is waived");
-        assert!(err.contains("tcp_deliver"), "{err}");
-        assert!(err.contains("drifted"), "{err}");
+        assert!(err.message().contains("tcp_deliver"), "{err}");
+        assert!(err.message().contains("drifted"), "{err}");
     }
 
     #[test]
@@ -1275,7 +1325,7 @@ mod tests {
         slow.flow_ingest.wall_ns *= 2;
         let err = compare_bench_json(&base, &bench_doc(&slow), 0.25, true)
             .expect_err("2x regression on a dominant stage must fail");
-        assert!(err.contains("flow_ingest") && err.contains("regressed"), "{err}");
+        assert!(err.message().contains("flow_ingest") && err.message().contains("regressed"), "{err}");
         // ...unless the waiver is on (determinism half still enforced).
         compare_bench_json(&base, &bench_doc(&slow), 0.25, false).expect("waiver skips wall");
         // A stage below the share floor may regress wildly without failing.
@@ -1291,7 +1341,7 @@ mod tests {
         let base = bench_doc(&nonzero_metrics());
         let other = base.replace("\"seed\": 2005", "\"seed\": 7");
         let err = compare_bench_json(&base, &other, 0.25, true).expect_err("seed mismatch");
-        assert!(err.contains("not comparable"), "{err}");
+        assert!(err.message().contains("not comparable"), "{err}");
     }
 
     fn monitor_doc(m: &PipelineMetrics, ctx: &MonitorBenchContext) -> String {
@@ -1331,7 +1381,7 @@ mod tests {
         no_ckpt.checkpoint = StageStat::default();
         let err = validate_bench_json(&monitor_doc(&no_ckpt, &monitor_ctx()))
             .expect_err("zero checkpoint stage");
-        assert!(err.contains("checkpoint"), "{err}");
+        assert!(err.message().contains("checkpoint"), "{err}");
     }
 
     #[test]
@@ -1343,24 +1393,24 @@ mod tests {
         leaky.peak_open_conns += 100;
         let err = compare_bench_json(&base, &monitor_doc(&leaky, &monitor_ctx()), 0.25, false)
             .expect_err("peak drift must fail even with wall waived");
-        assert!(err.contains("peak_open_conns"), "{err}");
+        assert!(err.message().contains("peak_open_conns"), "{err}");
         // Unaccounted drops drift the degradation counters — hard failure.
         let mut dropping = monitor_ctx();
         dropping.pending_dropped += 5;
         let err = compare_bench_json(&base, &monitor_doc(&monitor_metrics(), &dropping), 0.25, true)
             .expect_err("pending_dropped drift");
-        assert!(err.contains("pending_dropped"), "{err}");
+        assert!(err.message().contains("pending_dropped"), "{err}");
         // Different budgets are not comparable at all.
         let mut other_budget = monitor_ctx();
         other_budget.max_conns = 64;
         let err =
             compare_bench_json(&base, &monitor_doc(&monitor_metrics(), &other_budget), 0.25, true)
                 .expect_err("budget mismatch");
-        assert!(err.contains("not comparable"), "{err}");
+        assert!(err.message().contains("not comparable"), "{err}");
         // And a monitor doc never compares against a pipeline doc.
         let pipeline = bench_doc(&nonzero_metrics());
         let err = compare_bench_json(&pipeline, &base, 0.25, true).expect_err("schema mix");
-        assert!(err.contains("schema differs"), "{err}");
+        assert!(err.message().contains("schema differs"), "{err}");
     }
 
     #[test]

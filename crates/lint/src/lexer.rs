@@ -167,7 +167,7 @@ fn starts_string_prefix(src: &[u8], i: usize) -> bool {
             while j < n && src[j] == b'#' {
                 j += 1;
             }
-            j > i + 1 && j < n && src[j] == b'"' || (i + 1 < n && src[i + 1] == b'"')
+            (j > i + 1 && j < n && src[j] == b'"') || (i + 1 < n && src[i + 1] == b'"')
         }
         b'b' => match src.get(i + 1) {
             Some(b'"') | Some(b'\'') => true,
@@ -237,6 +237,9 @@ fn scan_prefixed_literal(src: &[u8], mut i: usize, line: &mut u32) -> usize {
 }
 
 /// Scan a `"…"` string starting at the opening quote; returns end offset.
+/// The returned offset is always `<= src.len()`, even when the literal is
+/// cut off mid-escape at end-of-input (`"x\`): token spans must stay
+/// sliceable or every downstream `Tok::text` call becomes a panic site.
 fn scan_string(src: &[u8], mut i: usize, line: &mut u32) -> usize {
     let n = src.len();
     i += 1;
@@ -247,7 +250,7 @@ fn scan_string(src: &[u8], mut i: usize, line: &mut u32) -> usize {
                 if src.get(i + 1) == Some(&b'\n') {
                     *line += 1;
                 }
-                i += 2;
+                i = (i + 2).min(n);
             }
             b'\n' => {
                 *line += 1;
@@ -261,6 +264,8 @@ fn scan_string(src: &[u8], mut i: usize, line: &mut u32) -> usize {
 }
 
 /// Scan a `'…'` char literal starting at the opening quote; returns end.
+/// Clamped to `src.len()` like [`scan_string`] (a trailing `'\` must not
+/// produce an out-of-bounds span).
 fn scan_char(src: &[u8], mut i: usize, line: &mut u32) -> usize {
     let n = src.len();
     i += 1;
@@ -270,7 +275,7 @@ fn scan_char(src: &[u8], mut i: usize, line: &mut u32) -> usize {
                 if src.get(i + 1) == Some(&b'\n') {
                     *line += 1;
                 }
-                i += 2;
+                i = (i + 2).min(n);
             }
             b'\n' => {
                 *line += 1;
@@ -366,5 +371,49 @@ mod tests {
         assert_eq!(kinds("b'\\xFF'")[0], TokKind::Char);
         // `r` and `b` as plain identifiers still lex as idents.
         assert_eq!(texts("r + b"), vec!["r", "+", "b"]);
+    }
+
+    #[test]
+    fn trailing_escape_at_eof_stays_in_bounds() {
+        // A literal cut off mid-escape must not overrun the buffer: every
+        // token span has to stay sliceable for `Tok::text`.
+        for src in ["let s = \"x\\", "let c = '\\", "b\"bytes\\", "\"\\"] {
+            let toks = lex(src.as_bytes());
+            for t in &toks {
+                assert!(t.end <= src.len(), "span {}..{} beyond len {} in {src:?}", t.start, t.end, src.len());
+                let _ = t.text(src.as_bytes()); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn raw_string_hash_varieties() {
+        // Fewer hashes inside don't close the literal; the contents stay
+        // hidden (no phantom `unwrap` ident).
+        let src = r###"let s = r##"inner "# unwrap "# body"## ;"###;
+        let toks = lex(src.as_bytes());
+        assert!(toks.iter().all(|t| !(t.kind == TokKind::Ident && t.text(src.as_bytes()) == "unwrap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        // Empty raw string and raw byte string.
+        assert_eq!(kinds(r##"r#""#"##), vec![TokKind::Str]);
+        assert_eq!(kinds(r##"br#"x"#"##), vec![TokKind::Str]);
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof_in_bounds() {
+        for src in ["r#\"never closed", "/* outer /* inner */ no close", "\"open", "r\"open"] {
+            let toks = lex(src.as_bytes());
+            assert_eq!(toks.len(), 1, "{src:?} should lex as one token: {toks:?}");
+            assert_eq!(toks[0].end, src.len());
+        }
+    }
+
+    #[test]
+    fn exact_line_numbers_for_every_token() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e\nr#\"raw\nraw\"# f";
+        for t in lex(src.as_bytes()) {
+            let expect = 1 + src.as_bytes()[..t.start].iter().filter(|&&b| b == b'\n').count() as u32;
+            assert_eq!(t.line, expect, "token {:?} at {}..{}", t.kind, t.start, t.end);
+        }
     }
 }

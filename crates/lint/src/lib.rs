@@ -3,19 +3,28 @@
 //! An offline, dependency-free analyzer that machine-checks the repo
 //! invariants PR 1's graceful-degradation work relies on. It lexes the
 //! workspace with a hand-rolled Rust lexer (no `syn`: the build is
-//! vendored-only) and enforces five coded lints:
+//! vendored-only), builds a per-file symbol table plus an approximate
+//! intra-crate call graph ([`symbols`]), and enforces nine coded lints:
 //!
 //! | code | invariant |
 //! |------|-----------|
-//! | E001 | no panic surface (`unwrap`/`expect`/`panic!`/`unreachable!`/computed indexing) in non-test ingest code (`wire`, `pcap`, `proto`, `flow`, `core`) |
+//! | E001 | no panic surface (`unwrap`/`expect`/`panic!`/`unreachable!`/computed indexing) in non-test ingest code (`wire`, `pcap`, `proto`, `flow`, `core`); an E001-lite sweep (bare `unwrap`, `todo!`/`unimplemented!`) also covers harness code in `tests`/`bench` outside `#[test]`/`#[cfg(test)]` regions |
 //! | E002 | no unchecked offset arithmetic or truncating casts of length-derived values in parser hot paths (`wire`, `pcap`, `proto`); no std-SipHash `HashMap::new`/`default`/`with_capacity` in the named hot-map modules (`flow/table.rs`, `core/pipeline.rs`); no per-call `Vec::new()`/`vec![..]`/`.to_vec()` allocation in the named hot emission modules (`gen/synth.rs`, `wire/build.rs`) |
 //! | E003 | every crate root carries `#![forbid(unsafe_code)]`, `#![deny(missing_docs)]` and the `cfg_attr(not(test))` unwrap/expect gate |
 //! | E004 | every `crates/proto/src/*.rs` analyzer module is listed in `registry.rs`'s `ANALYZER_MODULES` (and vice versa) |
 //! | E005 | every `Table N`/`Figure N` claimed in `crates/core/src/analyses` is referenced from test code |
+//! | E006 | no nondeterminism on report-feeding paths in analysis crates: std `HashMap`/`HashSet` iteration reaching a report/signature/finalize sink without a sort or order-insensitive reduction, wall-clock/thread-id/env reads, float accumulation over unordered iteration |
+//! | E007 | shared-state discipline for sharded workers: no `static mut`, no non-`Sync` interior mutability (`RefCell`/`Cell`/`Rc`) in worker-side crates, no lock acquisition inside per-packet hot functions |
+//! | E008 | error-taxonomy totality: public fallible fns in ingest crates return typed taxonomy errors — no `Result<_, String>`, no `bool`/`Option` smuggling on fallible-verb names, no truncating `as` casts inside `Err(..)` construction |
+//! | E009 | checkpoint/bench schema hygiene: every `Checkpoint` payload field and every key the `ent-bench-*` JSON emitters write is referenced from test code |
 //!
-//! Findings carry `file:line` anchors and can be emitted as JSON
-//! (`ent-lint --json`). A finding is silenced by an inline comment on the
-//! same line or the line above:
+//! E006–E009 are symbol-aware: they consult the call graph
+//! ([`symbols::WorkspaceSymbols`]) rather than matching tokens alone, so a
+//! map iteration is only a finding when its enclosing function actually
+//! reaches a sink. Findings carry `file:line` anchors and can be emitted
+//! as JSON (`ent-lint --json`, schema tag [`report::JSON_SCHEMA`]). A
+//! finding is silenced by an inline comment on the same line or the line
+//! above:
 //!
 //! ```text
 //! // ent-lint: allow(E001) — index bounded by the length check above
@@ -30,10 +39,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod checks;
+pub mod checks_det;
 pub mod config;
 pub mod lexer;
 pub mod report;
 pub mod source;
+pub mod symbols;
 pub mod walk;
 
 pub use config::LintConfig;
@@ -66,6 +77,7 @@ pub fn lint_sources(sources: Vec<SourceFile>, cfg: &LintConfig) -> Report {
     findings.extend(checks::e003(&sources));
     findings.extend(checks::e004(&sources));
     findings.extend(checks::e005(&sources));
+    findings.extend(checks_det::symbol_checks(&sources, cfg));
 
     let mut suppressed = 0usize;
     findings.retain(|f| {

@@ -25,10 +25,45 @@ pub enum Code {
     /// Paper-artifact coverage: every `Table N`/`Figure N` claimed in
     /// `crates/core/src/analyses` must be referenced from test code.
     E005,
+    /// Nondeterminism hazard in analysis code: iteration over a std
+    /// `HashMap`/`HashSet` on a path that reaches report/signature/
+    /// finalize sinks without an intervening sort or order-insensitive
+    /// reduction; wall-clock/thread-id/env reads; float accumulation over
+    /// unordered-map iteration.
+    E006,
+    /// Shared-state discipline for the sharded pipeline: `static mut`
+    /// items, non-`Sync` interior mutability (`RefCell`/`Cell`/`Rc`) in
+    /// worker-side crates, or lock acquisition inside per-packet hot
+    /// functions.
+    E007,
+    /// Error-taxonomy totality: public fallible functions in ingest crates
+    /// must return a typed taxonomy error (no `Result<_, String>`, no
+    /// `bool`/`Option` smuggling on fallible-verb names, no truncating
+    /// `as` casts inside `Err(..)` construction).
+    E008,
+    /// Checkpoint/bench schema hygiene: every `Checkpoint` payload field
+    /// and every key emitted by the `ent-bench-*` JSON writers must be
+    /// referenced from test code (round-trip or obs-check coverage).
+    E009,
 }
 
 /// All codes, in order.
-pub const ALL_CODES: [Code; 5] = [Code::E001, Code::E002, Code::E003, Code::E004, Code::E005];
+pub const ALL_CODES: [Code; 9] = [
+    Code::E001,
+    Code::E002,
+    Code::E003,
+    Code::E004,
+    Code::E005,
+    Code::E006,
+    Code::E007,
+    Code::E008,
+    Code::E009,
+];
+
+/// Version tag stamped into `ent-lint --json` output. Bumped whenever the
+/// set of codes or the JSON shape changes, so downstream diffing tools can
+/// refuse mismatched reports instead of mis-parsing them.
+pub const JSON_SCHEMA: &str = "ent-lint/2";
 
 impl Code {
     /// The code as printed in findings and written in suppressions.
@@ -39,6 +74,10 @@ impl Code {
             Code::E003 => "E003",
             Code::E004 => "E004",
             Code::E005 => "E005",
+            Code::E006 => "E006",
+            Code::E007 => "E007",
+            Code::E008 => "E008",
+            Code::E009 => "E009",
         }
     }
 
@@ -50,6 +89,10 @@ impl Code {
             Code::E003 => "crate hygiene attributes missing",
             Code::E004 => "protocol analyzer not registered",
             Code::E005 => "paper artifact without test reference",
+            Code::E006 => "nondeterminism hazard in analysis path",
+            Code::E007 => "shared-state hazard for sharded workers",
+            Code::E008 => "untyped error on public fallible function",
+            Code::E009 => "checkpoint/bench schema field without test coverage",
         }
     }
 
@@ -136,7 +179,9 @@ impl Report {
     /// external dependencies).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + self.findings.len() * 128);
-        out.push_str("{\n  \"files_scanned\": ");
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(JSON_SCHEMA);
+        out.push_str("\",\n  \"files_scanned\": ");
         out.push_str(&self.files_scanned.to_string());
         out.push_str(",\n  \"suppressed\": ");
         out.push_str(&self.suppressed.to_string());

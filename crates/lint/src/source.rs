@@ -84,6 +84,15 @@ impl SourceFile {
         self.is_test_file || self.test_lines.get(line as usize).copied().unwrap_or(false)
     }
 
+    /// Like [`is_test_line`](Self::is_test_line), but ignores the
+    /// whole-file flag: true only inside an attribute-marked
+    /// `#[test]`/`#[cfg(test)]` region. The harness sweep (E001-lite over
+    /// the `tests`/`bench` crates) uses this so helper code *between* test
+    /// fns is still checked even though the whole file is test context.
+    pub fn is_attr_test_line(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
     /// Is `code` suppressed at `line` by an inline
     /// `// ent-lint: allow(CODE)` comment (same line or the line above)?
     pub fn suppressed(&self, line: u32, code: Code) -> bool {

@@ -1,0 +1,10 @@
+//! Seeded E009 (checkpoint half): one payload field has no test
+//! reference anywhere in the fixture workspace.
+
+/// Checkpoint payload (fixture shape).
+pub struct Checkpoint {
+    /// Covered: the fixture obs test constructs this field by name.
+    pub epoch_index: u64,
+    /// Seeded E009: never referenced from test code.
+    pub ghost_field: u64,
+}

@@ -1,0 +1,22 @@
+//! Seeded E009 (emitter half): a bench-JSON emitter whose keys must all
+//! be test-covered. The schema const is referenced via `format!`
+//! interpolation, and one key is emitted from a shared helper reached
+//! through the call graph — both resolution paths the lint must follow.
+
+/// Fixture schema tag.
+pub const BENCH_SCHEMA: &str = "ent-bench-pipeline/1";
+
+/// Emitter root: writes the schema tag and a covered key.
+pub fn bench_json() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"schema\": \"{BENCH_SCHEMA}\", "));
+    out.push_str("\"packets\": 1, ");
+    push_stat(&mut out);
+    out
+}
+
+/// Seeded E009: `ghost_key` is emitted through this helper but never
+/// referenced from any test.
+fn push_stat(out: &mut String) {
+    out.push_str("\"ghost_key\": 2}");
+}

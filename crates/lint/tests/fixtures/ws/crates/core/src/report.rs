@@ -1,0 +1,52 @@
+//! Seeded E006 violations: sink-reachable std-map iteration, a wall-clock
+//! read in analysis code, and float accumulation over unordered
+//! iteration — plus the clean escape forms that must stay quiet.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Seeded E006: iteration order leaks straight into the report sink.
+pub fn render_report(m: &HashMap<u32, u64>) {
+    for (k, v) in m.iter() {
+        push_row(k, v);
+    }
+}
+
+/// Seeded E006: wall clock read inside an analysis crate.
+pub fn tally_epoch() {
+    let _t = Instant::now();
+}
+
+/// Seeded E006: float `+=` whose summation order follows map order.
+pub fn mean_latency(m: &HashMap<u32, f64>) -> f64 {
+    let mut total: f64 = 0.0;
+    for v in m.values() {
+        total += *v;
+    }
+    total
+}
+
+/// Clean: keys are sorted before emission, so order cannot leak.
+pub fn render_sorted(m: &HashMap<u32, u64>) {
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    for k in ks {
+        if let Some(v) = m.get(&k) {
+            push_row(&k, v);
+        }
+    }
+}
+
+/// Clean: an order-insensitive reduction commutes over any iteration.
+pub fn render_total(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+/// Clean: hasher-explicit maps have a deterministic seed by contract.
+pub fn render_fx(m: &HashMap<u32, u64, FxBuildHasher>) {
+    for (k, v) in m.iter() {
+        push_row(k, v);
+    }
+}
+
+fn push_row(_k: &u32, _v: &u64) {}

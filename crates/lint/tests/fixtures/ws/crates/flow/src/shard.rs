@@ -1,0 +1,26 @@
+//! Seeded E007 violations: a mutable static, non-`Sync` interior
+//! mutability in a worker-side struct, and lock acquisition on the
+//! per-packet hot path — plus the cold-path form that must stay quiet.
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+/// Seeded E007: unsynchronized global counter.
+static mut PACKET_COUNT: u64 = 0;
+
+/// Worker-side shard state.
+pub struct ShardState {
+    /// Seeded E007: `RefCell` is not `Sync`, so this cannot be shared
+    /// across shard workers.
+    cache: RefCell<u64>,
+}
+
+/// Seeded E007: per-packet hot fn (`ingest`) taking a lock every call.
+pub fn ingest_packet(table: &Mutex<u64>) {
+    let _guard = table.lock();
+}
+
+/// Clean: the same lock in a cold snapshot fn is out of scope.
+pub fn snapshot(table: &Mutex<u64>) {
+    let _guard = table.lock();
+}

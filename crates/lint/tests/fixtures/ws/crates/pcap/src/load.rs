@@ -1,0 +1,35 @@
+//! Seeded E008 violations: a stringly-typed `Result`, a fallible
+//! operation smuggled through `Option`, and a truncating cast inside
+//! `Err(..)` — plus the taxonomy-typed form that must stay quiet.
+
+/// Seeded E008: `String` is not a taxonomy error.
+pub fn load_header(b: &[u8]) -> Result<u32, String> {
+    if b.len() < 4 {
+        return Err("short header".to_string());
+    }
+    Ok(0)
+}
+
+/// Seeded E008: a fallible `open` must return a typed `Result`, not
+/// smuggle the failure through `Option`.
+pub fn open_trace(path: &str) -> Option<u32> {
+    let _ = path;
+    None
+}
+
+/// Seeded E008: the cast inside `Err(..)` silently drops width.
+pub fn restore_index(v: u64) -> Result<u32, PcapError> {
+    Err(PcapError::bad_offset(v as u32))
+}
+
+/// Clean: taxonomy error on a fallible name passes.
+pub fn load_count(b: &[u8]) -> Result<u32, PcapError> {
+    let _ = b;
+    Ok(1)
+}
+
+/// Clean: a predicate is not a fallible operation (`payload` must not
+/// trip the `load` marker).
+pub fn has_payload(b: &[u8]) -> bool {
+    !b.is_empty()
+}

@@ -1,0 +1,18 @@
+//! Seeded harness-sweep violation: a bare `.unwrap()` in a shared test
+//! helper (outside any `#[test]` region) must be flagged as E001, while
+//! the same call inside a `#[test]` fn stays exempt.
+
+/// Seeded E001-lite: bare unwrap in helper code shared by many tests.
+pub fn parse_num(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+
+/// Clean: `expect` with a message names the failing fixture.
+pub fn parse_num_named(s: &str) -> u32 {
+    s.parse().expect("fixture numbers are decimal")
+}
+
+#[test]
+fn unwrap_inside_a_test_region_is_exempt() {
+    let _: u32 = "1".parse().unwrap();
+}

@@ -1,0 +1,10 @@
+//! Fixture coverage for the E009 rule: references `schema`, `packets`
+//! (as JSON-key strings) and `epoch_index` (as a struct field), so only
+//! the seeded `ghost_field`/`ghost_key` stay uncovered.
+
+#[test]
+fn obs_roundtrip_covers_the_live_keys() {
+    let doc = "{\"schema\": \"ent-bench-pipeline/1\", \"packets\": 1}";
+    let epoch_index = 7u64;
+    assert!(doc.contains("packets") && epoch_index > 0);
+}

@@ -15,7 +15,12 @@ fn fixture_report() -> Report {
 #[test]
 fn every_code_is_detected() {
     let r = fixture_report();
-    assert_eq!(r.count(Code::E001), 3, "unwrap, panic!, computed index:\n{:#?}", r.findings);
+    assert_eq!(
+        r.count(Code::E001),
+        4,
+        "unwrap, panic!, computed index, harness bare unwrap:\n{:#?}",
+        r.findings
+    );
     assert_eq!(
         r.count(Code::E002),
         6,
@@ -25,6 +30,30 @@ fn every_code_is_detected() {
     assert_eq!(r.count(Code::E003), 2, "wire root misses two attrs:\n{:#?}", r.findings);
     assert_eq!(r.count(Code::E004), 2, "ghost listed, http unlisted:\n{:#?}", r.findings);
     assert_eq!(r.count(Code::E005), 1, "Figure 77 has no test reference:\n{:#?}", r.findings);
+    assert_eq!(
+        r.count(Code::E006),
+        3,
+        "sink-reachable map iter, Instant::now, float accumulation:\n{:#?}",
+        r.findings
+    );
+    assert_eq!(
+        r.count(Code::E007),
+        3,
+        "static mut, RefCell field, hot-path lock:\n{:#?}",
+        r.findings
+    );
+    assert_eq!(
+        r.count(Code::E008),
+        3,
+        "String error, Option smuggling, Err truncation:\n{:#?}",
+        r.findings
+    );
+    assert_eq!(
+        r.count(Code::E009),
+        2,
+        "ghost checkpoint field, ghost bench key:\n{:#?}",
+        r.findings
+    );
 }
 
 #[test]
@@ -45,6 +74,18 @@ fn findings_anchor_to_the_seeded_lines() {
     assert!(has(Code::E002, "crates/gen/src/synth.rs", 14), "hot-alloc vec! site");
     assert!(has(Code::E002, "crates/gen/src/synth.rs", 19), "hot-alloc .to_vec site");
     assert!(has(Code::E005, "crates/core/src/analyses/foo.rs", 1), "Figure 77 claim");
+    assert!(has(Code::E006, "crates/core/src/report.rs", 10), "sink-reachable map iter site");
+    assert!(has(Code::E006, "crates/core/src/report.rs", 17), "Instant::now site");
+    assert!(has(Code::E006, "crates/core/src/report.rs", 24), "float accumulation site");
+    assert!(has(Code::E007, "crates/flow/src/shard.rs", 9), "static mut site");
+    assert!(has(Code::E007, "crates/flow/src/shard.rs", 15), "RefCell field site");
+    assert!(has(Code::E007, "crates/flow/src/shard.rs", 20), "hot-path lock site");
+    assert!(has(Code::E008, "crates/pcap/src/load.rs", 6), "String error site");
+    assert!(has(Code::E008, "crates/pcap/src/load.rs", 15), "Option smuggling site");
+    assert!(has(Code::E008, "crates/pcap/src/load.rs", 22), "Err truncation site");
+    assert!(has(Code::E009, "crates/core/src/checkpoint.rs", 9), "ghost checkpoint field");
+    assert!(has(Code::E009, "crates/core/src/metrics.rs", 21), "ghost bench key");
+    assert!(has(Code::E001, "tests/src/helpers.rs", 7), "harness bare unwrap site");
 }
 
 #[test]
@@ -92,12 +133,83 @@ fn cold_paths_and_checked_forms_stay_quiet() {
         "hot-alloc rule flagged a reused-buffer form:\n{:#?}",
         r.findings
     );
+    // E006 escapes: sorted, sum-reduced and hasher-explicit forms pass.
+    assert!(
+        !r.findings
+            .iter()
+            .any(|f| f.file == "crates/core/src/report.rs" && ![10, 17, 24].contains(&f.line)),
+        "E006 flagged a clean escape form:\n{:#?}",
+        r.findings
+    );
+    // E007: the cold-path lock in `snapshot` is out of scope.
+    assert!(
+        !r.findings
+            .iter()
+            .any(|f| f.file == "crates/flow/src/shard.rs" && ![9, 15, 20].contains(&f.line)),
+        "E007 flagged the cold-path lock:\n{:#?}",
+        r.findings
+    );
+    // E008: the taxonomy-typed fn and the `has_payload` predicate pass.
+    assert!(
+        !r.findings
+            .iter()
+            .any(|f| f.file == "crates/pcap/src/load.rs" && ![6, 15, 22].contains(&f.line)),
+        "E008 flagged a clean form:\n{:#?}",
+        r.findings
+    );
+    // E009: the covered field and keys stay quiet; only the ghosts fire.
+    assert!(
+        !r.findings
+            .iter()
+            .any(|f| f.code == Code::E009 && f.message.contains("epoch_index")),
+        "E009 flagged a covered checkpoint field:\n{:#?}",
+        r.findings
+    );
+    assert!(
+        !r.findings.iter().any(|f| {
+            f.code == Code::E009
+                && (f.message.contains("`schema`") || f.message.contains("`packets`"))
+        }),
+        "E009 flagged a covered bench key:\n{:#?}",
+        r.findings
+    );
+    // Harness sweep: unwrap inside the #[test] region is exempt.
+    assert!(
+        !r.findings
+            .iter()
+            .any(|f| f.file == "tests/src/helpers.rs" && f.line != 7),
+        "harness sweep flagged exempt test-region code:\n{:#?}",
+        r.findings
+    );
 }
 
 #[test]
-fn json_report_carries_every_code() {
+fn json_report_carries_every_code_and_schema() {
     let json = fixture_report().to_json();
-    for code in ["E001", "E002", "E003", "E004", "E005"] {
+    for code in ["E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E009"] {
         assert!(json.contains(code), "JSON output missing {code}:\n{json}");
     }
+    // The version tag is the first key, so diff tools can gate on it.
+    assert!(
+        json.starts_with("{\n  \"schema\": \"ent-lint/2\","),
+        "schema tag missing or not first:\n{json}"
+    );
+}
+
+#[test]
+fn json_report_is_deterministic_and_sorted() {
+    let a = fixture_report().to_json();
+    let b = fixture_report().to_json();
+    assert_eq!(a, b, "two runs over the same tree must emit identical JSON");
+    // Findings are sorted by (file, line, code): the serialized anchors
+    // must already be in order, so reports diff cleanly run-to-run.
+    let r = fixture_report();
+    let keys: Vec<(String, u32, String)> = r
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.code.to_string()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings not in stable (file, line, code) order");
 }

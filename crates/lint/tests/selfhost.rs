@@ -1,9 +1,11 @@
 //! Tier-1 gate: `ent-lint` run self-hosted over this workspace must report
 //! zero findings. Any new panic surface, unchecked parser arithmetic,
-//! missing hygiene attribute, unregistered analyzer or untested paper
-//! artifact fails `cargo test` — not just `scripts/check.sh`.
+//! missing hygiene attribute, unregistered analyzer, untested paper
+//! artifact, nondeterminism hazard, shared-state violation, untyped
+//! public error or uncovered schema key fails `cargo test` — not just
+//! `scripts/check.sh`.
 
-use ent_lint::{find_workspace_root, lint_workspace, LintConfig};
+use ent_lint::{find_workspace_root, lint_workspace, walk, LintConfig};
 use std::path::Path;
 
 #[test]
@@ -18,5 +20,28 @@ fn workspace_lints_clean() {
         "ent-lint found {} issue(s) in the workspace:\n{}",
         report.findings.len(),
         rendered.join("\n")
+    );
+}
+
+/// The E001-lite harness sweep is only as good as the walk: if the walker
+/// ever stops descending into the `tests` member or the `bench` crate,
+/// the zero-findings assertion above goes blind to them silently. Pin the
+/// coverage here.
+#[test]
+fn harness_crates_are_walked() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let entries = walk::walk_workspace(&root).expect("workspace readable");
+    for needed in ["tests/", "crates/bench/"] {
+        assert!(
+            entries.iter().any(|e| e.rel.starts_with(needed)),
+            "walker skipped the {needed} harness crate entirely"
+        );
+    }
+    // Fixture trees must never leak into the self-hosted walk: they hold
+    // seeded violations by design.
+    assert!(
+        !entries.iter().any(|e| e.rel.contains("fixtures/")),
+        "seeded-violation fixtures leaked into the workspace walk"
     );
 }

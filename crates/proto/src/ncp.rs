@@ -216,16 +216,22 @@ impl NcpAnalyzer {
         }
     }
 
-    /// Flush unanswered requests.
+    /// Flush unanswered requests in ascending-sequence order: `HashMap`
+    /// drain order is per-process random, and these calls feed the report
+    /// path.
     pub fn finish(&mut self) {
-        for (_, (op, req_bytes, _)) in self.pending.drain() {
-            self.out.push(NcpCall {
-                op,
-                request_bytes: req_bytes,
-                reply_bytes: 0,
-                ok: false,
-                latency_us: 0,
-            });
+        let mut seqs: Vec<u8> = self.pending.keys().copied().collect();
+        seqs.sort_unstable();
+        for seq in seqs {
+            if let Some((op, req_bytes, _)) = self.pending.remove(&seq) {
+                self.out.push(NcpCall {
+                    op,
+                    request_bytes: req_bytes,
+                    reply_bytes: 0,
+                    ok: false,
+                    latency_us: 0,
+                });
+            }
         }
     }
 

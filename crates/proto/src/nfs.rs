@@ -159,16 +159,21 @@ impl NfsAnalyzer {
         }
     }
 
-    /// Flush unanswered requests.
+    /// Flush unanswered requests in ascending-xid order: `HashMap` drain
+    /// order is per-process random, and these calls feed the report path.
     pub fn finish(&mut self) {
-        for (_, (op, req_bytes, _)) in self.pending.drain() {
-            self.out.push(NfsCall {
-                op,
-                request_bytes: req_bytes,
-                reply_bytes: 0,
-                ok: false,
-                latency_us: 0,
-            });
+        let mut xids: Vec<u32> = self.pending.keys().copied().collect();
+        xids.sort_unstable();
+        for xid in xids {
+            if let Some((op, req_bytes, _)) = self.pending.remove(&xid) {
+                self.out.push(NfsCall {
+                    op,
+                    request_bytes: req_bytes,
+                    reply_bytes: 0,
+                    ok: false,
+                    latency_us: 0,
+                });
+            }
         }
     }
 
