@@ -9,16 +9,23 @@
 //!   pipeline emitting rolling per-epoch reports, with optional
 //!   crash-safe checkpoints and bounded-state budgets.
 //! * `anonymize` — prefix-preserving anonymization of a pcap file.
-//! * `obs-check` — validate a `BENCH_pipeline.json` export.
+//! * `scaling`   — run the study once per shard count and export the
+//!   multi-shard scaling curve (`BENCH_scaling.json`): the determinism
+//!   gate (identical events signature at every shard count) plus the
+//!   ingest-wall speedup curve.
+//! * `obs-check` — validate a bench export (pipeline, monitor or scaling
+//!   schema).
 //! * `bench-compare` — gate a candidate bench export against a committed
-//!   baseline (exact event/byte equality, one-sided wall tolerance).
+//!   baseline (exact event/byte equality, one-sided wall tolerance; for
+//!   scaling documents, entry-for-entry determinism plus the speedup
+//!   floor on machines with at least 4 cores).
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use ent_core::metrics::{
-    bench_json, compare_bench_json, monitor_bench_json, validate_bench_json, BenchContext,
-    MonitorBenchContext,
+    bench_json, compare_bench_json, monitor_bench_json, scaling_bench_json, validate_bench_json,
+    BenchContext, MonitorBenchContext, ScalingContext, ScalingEntry,
 };
 use ent_core::run::{run_datasets, StudyConfig};
 use ent_core::study::build_report;
@@ -47,7 +54,8 @@ fn or_die<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  entreport study [--scale S] [--seed N] [--threads N] [--datasets D0,D3] [--only 'table 9'] [--csv-dir DIR] [--keep-scanners] [--bench-json FILE.json]
+  entreport study [--scale S] [--seed N] [--threads N] [--shards N] [--datasets D0,D3] [--only 'table 9'] [--csv-dir DIR] [--keep-scanners] [--bench-json FILE.json]
+  entreport scaling [--scale S] [--seed N] [--threads N] [--shard-counts 0,1,2,4,8] [--floor 1.6] [--datasets D0,D3] [--out FILE.json]
   entreport generate --dataset D0 --subnet 3 [--pass 1] [--scale S] [--seed N] --out FILE.pcap
   entreport analyze FILE.pcap [--subnet N] [--name D0]
   entreport monitor FILE.pcap [--epoch-secs 300] [--checkpoint FILE.ckpt] [--max-conns N] [--max-pending N] [--stop-after-epochs N] [--name NAME] [--keep-scanners] [--bench-json FILE.json]
@@ -98,6 +106,7 @@ fn main() -> ExitCode {
     let args = parse_args(&raw[1..]);
     match cmd.as_str() {
         "study" => cmd_study(&args),
+        "scaling" => cmd_scaling(&args),
         "generate" => cmd_generate(&args),
         "analyze" => cmd_analyze(&args),
         "monitor" => cmd_monitor(&args),
@@ -129,6 +138,11 @@ fn cmd_study(args: &Args) -> ExitCode {
         gen: gen_config(args),
         pipeline: PipelineConfig {
             keep_scanners: args.switches.contains("keep-scanners"),
+            shards: args
+                .flags
+                .get("shards")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
             ..Default::default()
         },
         threads: args
@@ -207,6 +221,7 @@ fn cmd_study(args: &Args) -> ExitCode {
             scale: config.gen.scale,
             seed: config.gen.seed,
             threads,
+            shards: config.pipeline.shards,
             study_wall_ns,
             datasets: studies
                 .iter()
@@ -257,6 +272,114 @@ fn slug(title: &str) -> String {
         .chars()
         .take(48)
         .collect()
+}
+
+/// Run the study once per shard count (same scale/seed/threads) and
+/// export the scaling curve as an `ent-bench-scaling/1` document. The
+/// built-in self-check is the determinism gate: every shard count must
+/// produce the identical events signature, packet and trace totals, or
+/// the command fails. Defaults are the gate configuration: scale 0.01,
+/// seed 2005, 1 worker thread, shard counts 0 (serial), 1, 2, 4, 8.
+fn cmd_scaling(args: &Args) -> ExitCode {
+    let mut gen = gen_config(args);
+    if !args.flags.contains_key("seed") {
+        gen.seed = 2005; // the scaling gate's seed, not `study`'s default
+    }
+    let threads: usize = args
+        .flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let floor: f64 = args
+        .flags
+        .get("floor")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.6);
+    let counts: Vec<usize> = match args.flags.get("shard-counts") {
+        Some(s) => {
+            let parsed: Option<Vec<usize>> =
+                s.split(',').map(|x| x.trim().parse().ok()).collect();
+            match parsed {
+                Some(v) if !v.is_empty() => v,
+                _ => {
+                    eprintln!("entreport: bad --shard-counts {s:?} (want e.g. 0,1,2,4,8)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => vec![0, 1, 2, 4, 8],
+    };
+    let wanted: Option<Vec<String>> = args
+        .flags
+        .get("datasets")
+        .map(|s| s.split(',').map(|x| x.trim().to_string()).collect());
+    let specs: Vec<_> = all_datasets()
+        .into_iter()
+        .filter(|d| {
+            wanted
+                .as_ref()
+                .map(|w| w.iter().any(|x| x == d.name))
+                .unwrap_or(true)
+        })
+        .collect();
+    eprintln!(
+        "scaling curve: scale={} seed={} threads={threads} shard counts {counts:?}",
+        gen.scale, gen.seed
+    );
+    let mut entries = Vec::new();
+    for &shards in &counts {
+        let config = StudyConfig {
+            gen,
+            pipeline: PipelineConfig {
+                shards,
+                ..Default::default()
+            },
+            threads,
+        };
+        let studies = run_datasets(&specs, &config);
+        let mut total = PipelineMetrics::default();
+        for da in &studies {
+            total.absorb(&da.pipeline_metrics());
+        }
+        eprintln!(
+            "  shards={shards}: ingest wall {:.1} ms, {} packets, signature {:016x}",
+            total.shard_ingest.wall_ns as f64 / 1e6,
+            total.packets(),
+            total.events_signature_hash(),
+        );
+        entries.push(ScalingEntry {
+            shards,
+            ingest_wall_ns: total.shard_ingest.wall_ns,
+            frame_parse_wall_ns: total.frame_parse.wall_ns,
+            flow_ingest_wall_ns: total.flow_ingest.wall_ns,
+            packets: total.packets(),
+            traces: total.traces,
+            peak_open_conns: total.peak_open_conns,
+            signature_hash: total.events_signature_hash(),
+        });
+    }
+    let ctx = ScalingContext {
+        scale: gen.scale,
+        seed: gen.seed,
+        threads,
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        floor,
+        entries,
+    };
+    let doc = scaling_bench_json(&ctx);
+    // The self-check is the determinism half of the gate: it fails if any
+    // shard count produced a different signature or packet total.
+    or_die(validate_bench_json(&doc), "scaling determinism self-check");
+    match args.flags.get("out") {
+        Some(path) => {
+            or_die(std::fs::write(path, &doc), "write scaling json");
+            eprintln!("scaling curve written to {path}");
+        }
+        None => print!("{doc}"),
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_generate(args: &Args) -> ExitCode {

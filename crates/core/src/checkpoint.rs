@@ -28,8 +28,11 @@ use std::path::Path;
 /// File magic: 8 bytes at offset 0.
 pub const MAGIC: [u8; 8] = *b"ENTCKPT\0";
 
-/// Current (and only) format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Bumped to 2 when the `shard_ingest` stage was
+/// added to [`PipelineMetrics`] (one more stage record in the metrics
+/// block); version-1 files degrade to a counted cold start like any other
+/// unreadable checkpoint.
+pub const VERSION: u32 = 2;
 
 /// Why a checkpoint could not be loaded. Every variant is recoverable —
 /// the monitor answers all of them with a counted cold start.
@@ -261,7 +264,7 @@ impl Checkpoint {
         put_u64(&mut p, self.health.load_samples_out_of_range);
         put_u64(&mut p, self.health.pending_dropped);
         put_u64(&mut p, self.health.checkpoint_recoveries);
-        // Cumulative pipeline metrics: 13 stages, 11 analyzers, scalars.
+        // Cumulative pipeline metrics: 14 stages, 11 analyzers, scalars.
         for (_, s) in self.metrics.stages() {
             put_stage(&mut p, s);
         }
@@ -375,6 +378,7 @@ impl Checkpoint {
         m.epoch_rotate = take_stage(&mut c)?;
         m.checkpoint = take_stage(&mut c)?;
         m.backpressure = take_stage(&mut c)?;
+        m.shard_ingest = take_stage(&mut c)?;
         let a = &mut m.analyzers;
         a.http = take_stage(&mut c)?;
         a.smtp = take_stage(&mut c)?;

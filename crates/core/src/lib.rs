@@ -48,6 +48,7 @@ pub mod records;
 pub mod report;
 pub mod run;
 pub mod scanners;
+mod shard;
 pub mod small;
 pub mod stats;
 pub mod study;

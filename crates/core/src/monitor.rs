@@ -60,7 +60,9 @@ pub struct MonitorConfig {
     /// with the same setting.
     pub checkpoints: bool,
     /// The underlying pipeline configuration (budgets, ablations). The
-    /// `use_std_hash` escape hatch is ignored in monitor mode.
+    /// `use_std_hash` escape hatch is ignored in monitor mode, and so is
+    /// `shards`: the monitor's epoch/checkpoint machinery is built around
+    /// one streaming engine, so it always runs the serial table.
     pub pipeline: PipelineConfig,
 }
 
@@ -136,7 +138,11 @@ impl MonitorTotals {
         self.arp_packets += epoch.arp_packets;
         self.ipx_packets += epoch.ipx_packets;
         self.other_l3_packets += epoch.other_l3_packets;
-        self.bytes += epoch.bytes_per_second.iter().sum::<u64>();
+        // The authoritative capture byte counter, NOT the per-second bins:
+        // binning drops samples whose timestamps land outside the window
+        // (wild clocks) and never sees undissectable frames, so summing
+        // the bins undercounts cumulative bytes.
+        self.bytes += epoch.wire_bytes;
         self.conns += epoch.conns.len() as u64;
         self.http += epoch.http.len() as u64;
         self.dns += epoch.dns.len() as u64;
@@ -251,7 +257,7 @@ impl EpochReport {
     /// diffs. The `== Epoch N` header is the anchor that test cuts on.
     pub fn render(&self) -> String {
         let a = &self.analysis;
-        let epoch_bytes: u64 = a.bytes_per_second.iter().sum();
+        let epoch_bytes: u64 = a.wire_bytes;
         let mut out = String::with_capacity(512);
         let _ = writeln!(
             out,
@@ -309,25 +315,6 @@ pub struct MonitorSummary {
     pub metrics: PipelineMetrics,
 }
 
-/// Fold an events signature into one u64 for display — FNV-1a over the
-/// (name, events, bytes) triples, so two runs match iff every counter
-/// matches.
-fn signature_hash(sig: &[(String, u64, u64)]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut mix = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    for (name, events, bytes) in sig {
-        mix(name.as_bytes());
-        mix(&events.to_le_bytes());
-        mix(&bytes.to_le_bytes());
-    }
-    h
-}
-
 impl MonitorSummary {
     /// Render the run summary. Deterministic: wall times excluded; the
     /// trailing signature line condenses every event counter, so a diff of
@@ -363,7 +350,7 @@ impl MonitorSummary {
         let _ = writeln!(
             out,
             "  events-signature {:016x}",
-            signature_hash(&self.metrics.events_signature()),
+            self.metrics.events_signature_hash(),
         );
         out
     }
@@ -821,6 +808,35 @@ mod tests {
         // The final flush never queues a checkpoint.
         let _ = m.finish(&IngestStats::default());
         assert!(m.take_boundaries().is_empty());
+    }
+
+    #[test]
+    fn cumulative_bytes_use_the_wire_counter_not_the_bins() {
+        // Regression: totals.bytes used to be derived by summing the
+        // per-second load bins, which never see frames the dissector
+        // rejects (and drop wild-timestamp samples in batch mode). The
+        // cumulative counter must come from the authoritative wire-byte
+        // tally instead.
+        let mut m = Monitor::new(meta(), MonitorConfig::default(), 64);
+        let f = udp_frame(40_005, 9);
+        m.observe(Timestamp::from_secs(0), &f, f.len() as u32);
+        // Undissectable frame with a large original (pre-snaplen) length:
+        // real capture bytes, invisible to the bins.
+        let damaged = vec![0xFF; 9];
+        m.observe(Timestamp::from_secs(1), &damaged, 1_000);
+        m.observe(Timestamp::from_secs(2), &f, f.len() as u32);
+        let (last, summary) = m.finish(&IngestStats::default());
+        assert_eq!(summary.health.malformed_frames, 1);
+        assert_eq!(summary.totals.bytes, 2 * f.len() as u64 + 1_000);
+        // The bins really did miss the damaged frame — the undercount the
+        // old derivation would have produced.
+        let binned: u64 = last
+            .expect("final epoch")
+            .analysis
+            .bytes_per_second
+            .iter()
+            .sum();
+        assert!(binned < summary.totals.bytes, "bins {binned} should undercount");
     }
 
     #[test]

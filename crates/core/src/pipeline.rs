@@ -53,6 +53,15 @@ pub struct PipelineConfig {
     /// instantiation the differential equivalence suite compares against;
     /// results must be identical either way (see `ent_flow::fasthash`).
     pub use_std_hash: bool,
+    /// Intra-trace sharding: split the flow pipeline across this many
+    /// per-core `ConnTable` shards, steering frames by canonical host pair
+    /// (see `ent_flow::shard`) and merging the per-shard outputs in shard
+    /// order at finalize. `0` (the default) runs the serial single-table
+    /// path unchanged; `1` exercises the sharded machinery with one worker
+    /// (event-for-event identical to serial). The batch study path honors
+    /// this; the resident monitor ignores it (its streaming rotation is
+    /// inherently serial — see `MonitorConfig`).
+    pub shards: usize,
 }
 
 /// Outstanding-query maps hold a handful of entries at most; 4 inline
@@ -590,6 +599,9 @@ pub fn analyze_packets<'a, I>(
 where
     I: Iterator<Item = (Timestamp, &'a [u8], u32)>,
 {
+    if config.shards > 0 {
+        return crate::shard::analyze_packets_sharded(meta, packets, config, packets_hint);
+    }
     let frames = packets.map(|(ts, frame, orig_len)| FrameRef { ts, frame, orig_len });
     let expected = expected_conns_hint(packets_hint);
     // Branch on the hasher once, outside the loop: each arm monomorphizes
@@ -654,6 +666,17 @@ impl<S: BuildHasher> Engine<S> {
 
     /// Parse, tally and flow-ingest one frame.
     pub(crate) fn ingest_frame(&mut self, p: FrameRef<'_>) {
+        match Packet::parse(p.frame) {
+            Ok(pkt) => self.ingest_dissected(p, Some(&pkt)),
+            Err(_) => self.ingest_dissected(p, None),
+        }
+    }
+
+    /// Tally and flow-ingest one frame dissected by the caller (`None`
+    /// means the dissector rejected it). The serial path wraps this with
+    /// [`Engine::ingest_frame`]; the sharded dispatcher parses each frame
+    /// once on the steering thread and feeds shard workers here directly.
+    pub(crate) fn ingest_dissected(&mut self, p: FrameRef<'_>, pkt: Option<&Packet<'_>>) {
         if self.first {
             self.first = false;
             self.base_us = p.ts.micros();
@@ -661,7 +684,11 @@ impl<S: BuildHasher> Engine<S> {
             self.max_ts = p.ts;
         }
         let handler = &mut self.handler;
-        let Ok(pkt) = Packet::parse(p.frame) else {
+        // Every frame counts toward the authoritative wire-byte total —
+        // including undissectable ones and samples the per-second bins
+        // reject — so cumulative byte accounting never undercounts.
+        handler.out.wire_bytes += p.orig_len as u64;
+        let Some(pkt) = pkt else {
             // Undissectable frame: count it rather than silently narrowing
             // the trace — the analyses' denominators stay honest.
             handler.out.health.malformed_frames += 1;
@@ -698,7 +725,7 @@ impl<S: BuildHasher> Engine<S> {
             .metrics
             .frame_parse
             .add(self.pt.lap(), 1, p.frame.len() as u64);
-        self.table.ingest(&pkt, p.ts, handler);
+        self.table.ingest(pkt, p.ts, handler);
         handler
             .out
             .metrics
@@ -861,8 +888,13 @@ where
     let end_abs = Timestamp::from_micros(engine.base_us().saturating_add(meta.duration.micros()))
         .max(engine.max_ts());
     engine.finish_at(end_abs);
+    let ingest_wall = total.elapsed_ns();
     let fstats = *engine.flow_stats();
     let mut out = engine.into_analysis();
+    // The ingest phase's elapsed wall (frame loop through table finish):
+    // the scaling curve's per-shard-count metric. Events/bytes stay zero so
+    // the entry is constant under `events_signature`.
+    out.metrics.shard_ingest.add(ingest_wall, 0, 0);
     out.health.clock_regressions = fstats.clock_regressions;
     out.health.evicted_conns = fstats.evicted_conns;
     out.metrics.peak_open_conns = fstats.peak_open_conns;
@@ -1207,6 +1239,32 @@ mod tests {
             "TCP traffic with handshakes must contain pure ACKs ({data} vs {total})"
         );
         assert!(data > 0);
+    }
+
+    #[test]
+    fn wire_bytes_authoritative_under_wild_timestamps_and_damage() {
+        // The per-second load bins reject out-of-window samples (tallied in
+        // health.load_samples_out_of_range) and malformed frames never
+        // reach the binning at all — so summing the bins undercounts.
+        // `wire_bytes` must still equal the full on-the-wire total.
+        let mut trace = generated(0, 3);
+        if let Some(p) = trace.packets.last_mut() {
+            // Wild timestamp: 50k seconds past the window end.
+            p.ts = Timestamp::from_micros(p.ts.micros() + 50_000_000_000);
+        }
+        let graft_ts = trace.packets[20].ts;
+        trace
+            .packets
+            .insert(20, ent_pcap::TimedPacket::new(graft_ts, vec![0xFF; 9]));
+        let a = analyze_trace(&trace, &PipelineConfig::default());
+        let total: u64 = trace.packets.iter().map(|p| p.orig_len as u64).sum();
+        assert_eq!(a.wire_bytes, total);
+        assert!(a.health.load_samples_out_of_range >= 1);
+        assert_eq!(a.health.malformed_frames, 1);
+        assert!(
+            a.bytes_per_second.iter().sum::<u64>() < total,
+            "binned bytes must undercount here; wire_bytes is the truth"
+        );
     }
 
     #[test]

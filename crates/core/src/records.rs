@@ -336,6 +336,12 @@ pub struct TraceAnalysis {
     pub ipx_packets: u64,
     /// Other non-IP packets.
     pub other_l3_packets: u64,
+    /// Authoritative wire-byte total: every frame's original (pre-snaplen)
+    /// length summed, *including* frames the dissector rejected. The
+    /// per-second series [`Self::bytes_per_second`] only bins samples that
+    /// land inside the window and so can undercount; cumulative byte
+    /// accounting (the monitor's totals) must read this counter instead.
+    pub wire_bytes: u64,
     /// Finished connections.
     pub conns: Vec<ConnRecord>,
     /// HTTP transactions.
@@ -344,7 +350,8 @@ pub struct TraceAnalysis {
     pub dns: Vec<DnsRecord>,
     /// NetBIOS-NS transactions.
     pub nbns: Vec<NbnsRecord>,
-    /// CIFS per-connection summaries (keyed by conn record index).
+    /// CIFS per-connection activity summaries (standalone records, one per
+    /// CIFS connection; not indexed against [`Self::conns`]).
     pub cifs: Vec<CifsConnRecord>,
     /// DCE/RPC calls.
     pub rpc: Vec<RpcRecord>,

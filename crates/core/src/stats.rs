@@ -25,13 +25,21 @@ impl Ecdf {
         self.sorted.is_empty()
     }
 
-    /// The q-quantile (0 ≤ q ≤ 1) by nearest-rank; None when empty.
+    /// The q-quantile (0 ≤ q ≤ 1) by the nearest-rank convention: the
+    /// smallest sample whose cumulative fraction is ≥ q, i.e. rank
+    /// `ceil(q·n)` (1-based). `q = 0.0` maps exactly to the minimum and
+    /// `q = 1.0` exactly to the maximum; no interpolation is performed, so
+    /// every returned value is an observed sample. (The previous
+    /// `round((n-1)·q)` scheme biased small-n quantiles — at n ≤ 10 it
+    /// collapsed q = 0.95 onto the max.) None when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.sorted.is_empty() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
-        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        let n = self.sorted.len();
+        let rank = (q * n as f64).ceil() as usize;
+        let idx = rank.max(1).min(n) - 1;
         self.sorted.get(idx).copied()
     }
 
@@ -183,6 +191,56 @@ mod tests {
         assert_eq!(s.max, 100.0);
         assert!((s.mean - 50.5).abs() < 1e-9);
         assert!((s.median - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn small_n_nearest_rank_not_biased() {
+        // n = 2: the old round((n-1)·q) scheme mapped q = 0.5 to the max;
+        // nearest-rank says one of two samples already covers half the mass.
+        let e = Ecdf::new(vec![1.0, 2.0]);
+        assert_eq!(e.median(), Some(1.0));
+        // n = 4, q = 0.25: exactly one sample covers a quarter of the mass.
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.quantile(0.25), Some(1.0));
+        assert_eq!(e.quantile(0.75), Some(3.0));
+    }
+
+    #[test]
+    fn quantile_nearest_rank_property() {
+        // Seeded property sweep: for every sampled vector and probability,
+        // the quantile must (a) be an observed sample, (b) cover at least
+        // fraction q of the mass, (c) be the *smallest* such sample, and
+        // (d) pin q=0/q=1 to min/max exactly.
+        let mut state = 0x2005_1234_u64;
+        let mut next = move || {
+            // xorshift64* — deterministic, dependency-free.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in 1usize..=40 {
+            let samples: Vec<f64> = (0..n).map(|_| (next() % 1000) as f64).collect();
+            let e = Ecdf::new(samples.clone());
+            let (min, max) = e.range().unwrap();
+            assert_eq!(e.quantile(0.0), Some(min));
+            assert_eq!(e.quantile(1.0), Some(max));
+            let mut prev = f64::NEG_INFINITY;
+            for step in 0..=20 {
+                let q = step as f64 / 20.0;
+                let v = e.quantile(q).unwrap();
+                assert!(samples.contains(&v), "quantile not an observed sample");
+                assert!(e.fraction_le(v) >= q, "q={q} n={n}: mass below {v} too small");
+                // Minimality: any strictly smaller sample covers < q.
+                let below = samples.iter().filter(|&&s| s < v).count();
+                assert!(
+                    (below as f64) / (n as f64) < q || q == 0.0,
+                    "q={q} n={n}: {v} is not the smallest sample covering q"
+                );
+                assert!(v >= prev, "quantile not monotone in q");
+                prev = v;
+            }
+        }
     }
 
     #[test]

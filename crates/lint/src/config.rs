@@ -73,7 +73,12 @@ impl Default for LintConfig {
             arith_crates: v(&["wire", "pcap", "proto"]),
             hot_fn_markers: v(&["parse", "read", "next", "decode", "feed", "recover", "resync", "merge", "ingest"]),
             lenish_markers: v(&["len", "off", "size", "total", "ihl", "cap", "snap", "pos", "idx", "count"]),
-            hot_map_files: v(&["crates/flow/src/table.rs", "crates/core/src/pipeline.rs"]),
+            hot_map_files: v(&[
+                "crates/flow/src/table.rs",
+                "crates/core/src/pipeline.rs",
+                "crates/flow/src/shard.rs",
+                "crates/core/src/shard.rs",
+            ]),
             hot_alloc_files: v(&["crates/gen/src/synth.rs", "crates/wire/src/build.rs"]),
             determinism_crates: v(&["flow", "proto", "core"]),
             sink_fn_markers: v(&["report", "render", "signature", "finalize", "finish", "emit", "summar"]),

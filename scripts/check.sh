@@ -55,6 +55,20 @@ cargo run --release -q -p ent-cli -- study \
 cargo run --release -q -p ent-cli -- bench-compare \
     BENCH_pipeline.json "$BENCH_TMP/BENCH_gate.json"
 
+echo "==> shard scaling gate (1/2/4/8-shard curve vs committed BENCH_scaling.json)"
+# Runs the full D0-D4 study at the gate config once per shard count
+# (0 = serial, then 1/2/4/8) and emits the ent-bench-scaling/1 curve.
+# obs-check enforces the determinism half: events_signature, packet,
+# and trace counts must be identical at every shard count. bench-compare
+# against the committed curve then pins cross-run determinism and - only
+# on machines with >= 4 cores and no ENT_BENCH_WAIVER - the speedup
+# floor (4-shard ingest wall must beat 1-shard by the recorded floor).
+cargo run --release -q -p ent-cli -- scaling \
+    --out "$BENCH_TMP/BENCH_scaling.json"
+cargo run --release -q -p ent-cli -- obs-check "$BENCH_TMP/BENCH_scaling.json"
+cargo run --release -q -p ent-cli -- bench-compare \
+    BENCH_scaling.json "$BENCH_TMP/BENCH_scaling.json"
+
 echo "==> monitor smoke (epoch reports + kill/resume equivalence + obs gate)"
 # Resident-monitor contract (DESIGN §9) on a small capture: a run killed at
 # an epoch boundary and resumed from its checkpoint must print the exact

@@ -16,10 +16,19 @@
 // Test assertions may abort.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use ent_flow::{ConnSummary, ConnTable, FlowHandler, TableConfig};
+use ent_flow::{
+    shard_of_key, shard_of_packet, shard_of_pair, ConnSummary, ConnTable, Endpoint, FlowHandler,
+    FlowKey, Proto, TableConfig,
+};
 use ent_wire::{build, ethernet::MacAddr, ipv4::Addr, Packet, Timestamp};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// Serializes the counting windows: the harness runs tests on parallel
+/// threads, and `COUNTING`/`ALLOCS` are process-global, so an unrelated
+/// test allocating mid-window would produce a spurious count.
+static GATE: Mutex<()> = Mutex::new(());
 
 /// Compile-time proof that `ConnSummary` stays `Copy` (the property that
 /// makes clone-free finalize possible; see `crates/flow/src/summary.rs`).
@@ -86,11 +95,54 @@ fn finish_alloc_count(n: u16) -> (u64, u64) {
         let pkt = Packet::parse(&frame).expect("generated frame parses");
         table.ingest(&pkt, Timestamp::from_micros(u64::from(i)), &mut sink);
     }
+    let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
     ALLOCS.store(0, Relaxed);
     COUNTING.store(true, Relaxed);
     table.finish(Timestamp::from_secs(10), &mut sink);
     COUNTING.store(false, Relaxed);
-    (ALLOCS.load(Relaxed), sink.closed)
+    let allocs = ALLOCS.load(Relaxed);
+    drop(guard);
+    (allocs, sink.closed)
+}
+
+/// Shard steering sits on the per-packet dispatch path of the sharded
+/// pipeline, so it must never touch the heap: hashing a host pair is pure
+/// register work. A reintroduced allocation (e.g. a keyed hasher that
+/// boxes state) would cost O(packets) allocations per trace.
+#[test]
+fn shard_steering_makes_zero_allocations() {
+    let frame = build::udp_frame(
+        &build::UdpFrameSpec {
+            src_mac: MacAddr::from_host_id(3),
+            dst_mac: MacAddr::from_host_id(4),
+            src_ip: Addr::new(10, 0, 3, 7),
+            dst_ip: Addr::new(10, 0, 4, 11),
+            src_port: 40_000,
+            dst_port: 53,
+            ttl: 64,
+        },
+        b"steer",
+    );
+    let pkt = Packet::parse(&frame).expect("generated frame parses");
+    let key = FlowKey {
+        proto: Proto::Udp,
+        orig: Endpoint::new(Addr::new(10, 0, 3, 7), 40_000),
+        resp: Endpoint::new(Addr::new(10, 0, 4, 11), 53),
+    };
+    let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    ALLOCS.store(0, Relaxed);
+    COUNTING.store(true, Relaxed);
+    let mut acc = 0usize;
+    for n in [1usize, 2, 4, 8] {
+        acc += shard_of_pair(Addr::new(10, 0, 3, 7), Addr::new(10, 0, 4, 11), n);
+        acc += shard_of_key(&key, n);
+        acc += shard_of_packet(&pkt, n);
+    }
+    COUNTING.store(false, Relaxed);
+    let allocs = ALLOCS.load(Relaxed);
+    drop(guard);
+    assert!(acc < 3 * (1 + 2 + 4 + 8), "steering out of range");
+    assert_eq!(allocs, 0, "shard steering allocated on the dispatch path");
 }
 
 #[test]
