@@ -13,8 +13,13 @@
 //!   multi-shard scaling curve (`BENCH_scaling.json`): the determinism
 //!   gate (identical events signature at every shard count) plus the
 //!   ingest-wall speedup curve.
-//! * `obs-check` — validate a bench export (pipeline, monitor or scaling
-//!   schema).
+//! * `packs`     — run the labeled scenario packs (base mix plus
+//!   adversarial and modern-variant actors), score scanner removal
+//!   against the ground-truth labels (precision/recall/F1), measure
+//!   per-pack trace complexity (header-symbol entropy), and export the
+//!   `ent-bench-packs/1` scoring document (`BENCH_packs.json`).
+//! * `obs-check` — validate a bench export (pipeline, monitor, scaling
+//!   or packs schema).
 //! * `bench-compare` — gate a candidate bench export against a committed
 //!   baseline (exact event/byte equality, one-sided wall tolerance; for
 //!   scaling documents, entry-for-entry determinism plus the speedup
@@ -24,10 +29,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use ent_core::metrics::{
-    bench_json, compare_bench_json, monitor_bench_json, scaling_bench_json, validate_bench_json,
-    BenchContext, MonitorBenchContext, ScalingContext, ScalingEntry,
+    bench_json, compare_bench_json, monitor_bench_json, packs_bench_json, scaling_bench_json,
+    validate_bench_json, BenchContext, MonitorBenchContext, PackBenchEntry, PacksBenchContext,
+    ScalingContext, ScalingEntry,
 };
 use ent_core::run::{run_datasets, StudyConfig};
+use ent_core::{run_pack, PackStudyConfig};
 use ent_core::study::build_report;
 use ent_core::{
     capture_meta, drive_capture, Checkpoint, Monitor, MonitorConfig, PipelineConfig,
@@ -56,6 +63,7 @@ fn usage() -> ExitCode {
         "usage:
   entreport study [--scale S] [--seed N] [--threads N] [--shards N] [--datasets D0,D3] [--only 'table 9'] [--csv-dir DIR] [--keep-scanners] [--bench-json FILE.json]
   entreport scaling [--scale S] [--seed N] [--threads N] [--shard-counts 0,1,2,4,8] [--floor 1.6] [--datasets D0,D3] [--out FILE.json]
+  entreport packs [--scale S] [--seed N] [--threads N] [--shards N] [--packs base,sweep] [--precision-floor 0.9] [--recall-floor 0.9] [--out FILE.json]
   entreport generate --dataset D0 --subnet 3 [--pass 1] [--scale S] [--seed N] --out FILE.pcap
   entreport analyze FILE.pcap [--subnet N] [--name D0]
   entreport monitor FILE.pcap [--epoch-secs 300] [--checkpoint FILE.ckpt] [--max-conns N] [--max-pending N] [--stop-after-epochs N] [--name NAME] [--keep-scanners] [--bench-json FILE.json]
@@ -107,6 +115,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "study" => cmd_study(&args),
         "scaling" => cmd_scaling(&args),
+        "packs" => cmd_packs(&args),
         "generate" => cmd_generate(&args),
         "analyze" => cmd_analyze(&args),
         "monitor" => cmd_monitor(&args),
@@ -376,6 +385,143 @@ fn cmd_scaling(args: &Args) -> ExitCode {
         Some(path) => {
             or_die(std::fs::write(path, &doc), "write scaling json");
             eprintln!("scaling curve written to {path}");
+        }
+        None => print!("{doc}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Default precision floor for the pack scoring gate: of the connections
+/// scanner removal flags, at least this share must belong to a labeled
+/// scan source (attack actors built to *evade* the heuristic — floods,
+/// brute force, exfiltration — must not be misflagged as scanners).
+const PACK_PRECISION_FLOOR: f64 = 0.9;
+
+/// Default recall floor for the pack scoring gate: at least this share of
+/// a pack's labeled scan-source connections must be flagged.
+const PACK_RECALL_FLOOR: f64 = 0.9;
+
+/// Run every scenario pack (or a `--packs` subset; `base` is always
+/// included — it is the scoring anchor), score scanner removal against
+/// the generator's ground-truth labels, and export the scored document as
+/// `ent-bench-packs/1`. The built-in self-check is the scoring gate:
+/// precision/recall floors per pack, plus per-pack header entropy that
+/// must be distinguishable from the base mix. Defaults are the gate
+/// configuration: scale 0.01, seed 2005, 1 worker thread, serial shards.
+fn cmd_packs(args: &Args) -> ExitCode {
+    let mut gen = gen_config(args);
+    if !args.flags.contains_key("seed") {
+        gen.seed = 2005; // the pack gate's seed, matching `scaling`
+    }
+    let threads: usize = args
+        .flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let shards: usize = args
+        .flags
+        .get("shards")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let precision_floor: f64 = args
+        .flags
+        .get("precision-floor")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PACK_PRECISION_FLOOR);
+    let recall_floor: f64 = args
+        .flags
+        .get("recall-floor")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PACK_RECALL_FLOOR);
+    let wanted: Option<Vec<String>> = args
+        .flags
+        .get("packs")
+        .map(|s| s.split(',').map(|x| x.trim().to_string()).collect());
+    let names: Vec<&str> = ent_gen::PACK_NAMES
+        .iter()
+        .copied()
+        .filter(|n| {
+            *n == "base"
+                || wanted
+                    .as_ref()
+                    .map(|w| w.iter().any(|x| x == n))
+                    .unwrap_or(true)
+        })
+        .collect();
+    let config = PackStudyConfig {
+        gen,
+        pipeline: PipelineConfig {
+            shards,
+            ..Default::default()
+        },
+        threads,
+    };
+    eprintln!(
+        "scenario packs: scale={} seed={} threads={threads} shards={shards} packs={names:?}",
+        gen.scale, gen.seed
+    );
+    println!(
+        "{:<10} {:>7} {:>9} {:>8} {:>8} {:>5} {:>5} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "pack", "traces", "packets", "attack", "sources", "tp", "fp", "fn", "prec",
+        "recall", "f1", "H(sym)", "H(pair)"
+    );
+    let mut entries = Vec::new();
+    for name in names {
+        let Some(pack) = ent_gen::packs::pack(name) else {
+            eprintln!("entreport: unknown pack {name:?} (want one of {:?})", ent_gen::PACK_NAMES);
+            return ExitCode::from(2);
+        };
+        let report = run_pack(&pack, &config);
+        println!(
+            "{:<10} {:>7} {:>9} {:>8} {:>8} {:>5} {:>5} {:>5} {:>7.4} {:>7.4} {:>7.4} {:>9.4} {:>9.4}",
+            report.name,
+            report.traces,
+            report.packets,
+            report.attack_packets,
+            report.scan_sources,
+            report.score.true_pos,
+            report.score.false_pos,
+            report.score.false_neg,
+            report.score.precision(),
+            report.score.recall(),
+            report.score.f1(),
+            report.entropy_nontemporal,
+            report.entropy_temporal,
+        );
+        entries.push(PackBenchEntry {
+            name: report.name.clone(),
+            traces: report.traces,
+            packets: report.packets,
+            attack_packets: report.attack_packets,
+            scan_sources: report.scan_sources,
+            flagged: report.flagged,
+            true_pos: report.score.true_pos,
+            false_pos: report.score.false_pos,
+            false_neg: report.score.false_neg,
+            precision: report.score.precision(),
+            recall: report.score.recall(),
+            f1: report.score.f1(),
+            entropy_nontemporal: report.entropy_nontemporal,
+            entropy_temporal: report.entropy_temporal,
+        });
+    }
+    let ctx = PacksBenchContext {
+        scale: gen.scale,
+        seed: gen.seed,
+        threads,
+        shards,
+        precision_floor,
+        recall_floor,
+        packs: entries,
+    };
+    let doc = packs_bench_json(&ctx);
+    // The self-check is the scoring gate: it fails if any pack misses a
+    // floor or an adversarial pack is indistinguishable from base.
+    or_die(validate_bench_json(&doc), "pack scoring self-check");
+    match args.flags.get("out") {
+        Some(path) => {
+            or_die(std::fs::write(path, &doc), "write packs json");
+            eprintln!("pack scores written to {path}");
         }
         None => print!("{doc}"),
     }

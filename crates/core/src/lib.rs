@@ -43,6 +43,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod metrics;
 pub mod monitor;
+pub mod packs;
 pub mod pipeline;
 pub mod records;
 pub mod report;
@@ -61,6 +62,7 @@ pub use monitor::{
     MonitorTotals,
 };
 pub use metrics::{PipelineMetrics, StageStat, StageTimer};
+pub use packs::{run_all_packs, run_pack, Complexity, PackReport, PackScore, PackStudyConfig};
 pub use pipeline::{analyze_capture, analyze_trace, PipelineConfig};
 pub use records::{IngestHealth, TraceAnalysis};
 pub use run::{run_dataset, run_datasets, run_study, DatasetAnalysis, StudyConfig};

@@ -760,6 +760,108 @@ pub fn scaling_bench_json(ctx: &ScalingContext) -> String {
     out
 }
 
+/// Schema identifier for labeled scenario-pack documents
+/// (`entreport packs`). One labeled generation + analysis run per pack;
+/// the document is the scanner-removal scoring gate (precision/recall
+/// floors) and the trace-complexity record (per-pack packet-header
+/// entropy after Avin et al.).
+pub const PACKS_SCHEMA: &str = "ent-bench-packs/1";
+
+/// One scored scenario pack in an `ent-bench-packs/1` document.
+#[derive(Debug, Clone, Default)]
+pub struct PackBenchEntry {
+    /// Pack name (`"base"`, `"sweep"`, ...).
+    pub name: String,
+    /// Traces generated and analyzed for this pack.
+    pub traces: u64,
+    /// Packets analyzed.
+    pub packets: u64,
+    /// Packets carrying a should-be-flagged attack label.
+    pub attack_packets: u64,
+    /// Distinct ground-truth scan source addresses.
+    pub scan_sources: u64,
+    /// Connections the scanner-removal stage flagged.
+    pub flagged: u64,
+    /// Flagged connections whose originator is a labeled scan source.
+    pub true_pos: u64,
+    /// Flagged connections whose originator is not a labeled scan source.
+    pub false_pos: u64,
+    /// Kept connections whose originator is a labeled scan source.
+    pub false_neg: u64,
+    /// `tp / (tp + fp)`; vacuously 1 when nothing was flagged.
+    pub precision: f64,
+    /// `tp / (tp + fn)`; vacuously 1 when there was nothing to find.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Non-temporal (first-order) header-symbol entropy, bits.
+    pub entropy_nontemporal: f64,
+    /// Temporal (conditional pair) header-symbol entropy, bits.
+    pub entropy_temporal: f64,
+}
+
+/// Run parameters for the scenario-pack export.
+#[derive(Debug, Clone, Default)]
+pub struct PacksBenchContext {
+    /// Generator scale of the runs.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Worker threads per pack run.
+    pub threads: usize,
+    /// Intra-trace shard count (0 = serial single-table path).
+    pub shards: usize,
+    /// Minimum acceptable precision for any pack that flagged anything.
+    pub precision_floor: f64,
+    /// Minimum acceptable recall for any pack with labeled scan sources.
+    pub recall_floor: f64,
+    /// One entry per pack, in run order (`"base"` must be present).
+    pub packs: Vec<PackBenchEntry>,
+}
+
+/// Serialize a scenario-pack study as an `ent-bench-packs/1` document.
+pub fn packs_bench_json(ctx: &PacksBenchContext) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{PACKS_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"scale\": {},\n", ctx.scale));
+    out.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    out.push_str(&format!("  \"threads\": {},\n", ctx.threads));
+    out.push_str(&format!("  \"shards\": {},\n", ctx.shards));
+    out.push_str(&format!(
+        "  \"precision_floor\": {},\n",
+        ctx.precision_floor
+    ));
+    out.push_str(&format!("  \"recall_floor\": {},\n", ctx.recall_floor));
+    out.push_str("  \"packs\": [\n");
+    for (i, p) in ctx.packs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"traces\": {}, \"packets\": {}, \
+             \"attack_packets\": {}, \"scan_sources\": {}, \"flagged\": {}, \
+             \"true_pos\": {}, \"false_pos\": {}, \"false_neg\": {}, \
+             \"precision\": {:.6}, \"recall\": {:.6}, \"f1\": {:.6}, \
+             \"entropy_nontemporal\": {:.9}, \"entropy_temporal\": {:.9}}}",
+            p.name,
+            p.traces,
+            p.packets,
+            p.attack_packets,
+            p.scan_sources,
+            p.flagged,
+            p.true_pos,
+            p.false_pos,
+            p.false_neg,
+            p.precision,
+            p.recall,
+            p.f1,
+            p.entropy_nontemporal,
+            p.entropy_temporal,
+        ));
+        out.push_str(if i + 1 < ctx.packs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Minimal JSON reader for schema validation (`entreport obs-check`) and
 // cross-run comparison. Hand-rolled because the workspace builds offline
@@ -1015,10 +1117,14 @@ fn bench_schema(doc: &JsonValue) -> Result<&str, String> {
         .get("schema")
         .and_then(|v| v.as_str())
         .ok_or("missing \"schema\"")?;
-    if schema != BENCH_SCHEMA && schema != MONITOR_SCHEMA && schema != SCALING_SCHEMA {
+    if schema != BENCH_SCHEMA
+        && schema != MONITOR_SCHEMA
+        && schema != SCALING_SCHEMA
+        && schema != PACKS_SCHEMA
+    {
         return Err(format!(
-            "schema mismatch: got {schema:?}, want {BENCH_SCHEMA:?}, {MONITOR_SCHEMA:?} \
-             or {SCALING_SCHEMA:?}"
+            "schema mismatch: got {schema:?}, want {BENCH_SCHEMA:?}, {MONITOR_SCHEMA:?}, \
+             {SCALING_SCHEMA:?} or {PACKS_SCHEMA:?}"
         ));
     }
     Ok(schema)
@@ -1069,6 +1175,12 @@ fn check_mandatory_stages(
 /// * `ent-bench-scaling/1` (`entreport scaling`): per-shard-count entries
 ///   that must all agree on packets, traces and the events signature —
 ///   shape validation doubles as the sharding determinism gate.
+/// * `ent-bench-packs/1` (`entreport packs`): per-pack scored entries; a
+///   `"base"` entry must be present, every pack with labeled scan sources
+///   must reach `recall_floor`, every pack that flagged anything must
+///   reach `precision_floor`, and every adversarial pack's header entropy
+///   must be distinguishable from the base mix — the validation doubles
+///   as the scanner-removal quality gate.
 pub fn validate_bench_json(text: &str) -> Result<BenchSummary, BenchJsonError> {
     validate_bench_json_inner(text).map_err(BenchJsonError::new)
 }
@@ -1083,6 +1195,9 @@ fn validate_bench_json_inner(text: &str) -> Result<BenchSummary, String> {
     };
     if bench_schema(&doc)? == SCALING_SCHEMA {
         return validate_scaling_inner(&doc);
+    }
+    if bench_schema(&doc)? == PACKS_SCHEMA {
+        return validate_packs_inner(&doc);
     }
     if bench_schema(&doc)? == MONITOR_SCHEMA {
         for key in MONITOR_NUMERIC_KEYS {
@@ -1212,6 +1327,124 @@ fn validate_scaling_inner(doc: &JsonValue) -> Result<BenchSummary, String> {
     Ok(summary)
 }
 
+/// Numeric fields every scenario-pack entry must carry.
+const PACK_ENTRY_KEYS: [&str; 13] = [
+    "traces",
+    "packets",
+    "attack_packets",
+    "scan_sources",
+    "flagged",
+    "true_pos",
+    "false_pos",
+    "false_neg",
+    "precision",
+    "recall",
+    "f1",
+    "entropy_nontemporal",
+    "entropy_temporal",
+];
+
+/// Entropies closer than this (bits, on both axes) count as
+/// indistinguishable when checking that an adversarial pack actually
+/// shifted the base mix's header-symbol complexity.
+const PACK_ENTROPY_DISTINCT_EPS: f64 = 1e-9;
+
+/// Validate an `ent-bench-packs/1` document. Beyond shape, this is the
+/// scoring gate: a `"base"` entry must exist, recall and precision floors
+/// are enforced per entry, and every non-base pack's entropy pair must
+/// differ from base — a pack whose complexity matches the base mix
+/// injected nothing measurable.
+fn validate_packs_inner(doc: &JsonValue) -> Result<BenchSummary, String> {
+    for key in ["scale", "seed", "threads", "shards", "precision_floor", "recall_floor"] {
+        if doc.get(key).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("missing numeric field {key:?}"));
+        }
+    }
+    let precision_floor = doc
+        .get("precision_floor")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(f64::NAN);
+    let recall_floor = doc
+        .get("recall_floor")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(f64::NAN);
+    let packs = match doc.get("packs") {
+        Some(JsonValue::Array(items)) if !items.is_empty() => items,
+        _ => return Err("missing non-empty \"packs\" array".into()),
+    };
+    let mut summary = BenchSummary::default();
+    let mut seen_names: Vec<String> = Vec::new();
+    let mut base_entropy: Option<(f64, f64)> = None;
+    // Two passes so "base" need not be the first entry: find it, then
+    // check every other entry's entropy against it.
+    for p in packs {
+        if p.get("name").and_then(|v| v.as_str()) == Some("base") {
+            base_entropy = Some((
+                p.get("entropy_nontemporal")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(f64::NAN),
+                p.get("entropy_temporal")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(f64::NAN),
+            ));
+        }
+    }
+    let Some((base_nt, base_t)) = base_entropy else {
+        return Err("no \"base\" pack entry — the unperturbed mix is the scoring anchor".into());
+    };
+    for p in packs {
+        let name = p
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("pack entry missing string field \"name\"")?
+            .to_string();
+        if seen_names.contains(&name) {
+            return Err(format!("duplicate pack entry for {name:?}"));
+        }
+        for key in PACK_ENTRY_KEYS {
+            if p.get(key).and_then(|v| v.as_f64()).is_none() {
+                return Err(format!("pack {name:?} missing numeric field {key:?}"));
+            }
+        }
+        let num = |key: &str| p.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+        let packets = num("packets") as u64;
+        if packets == 0 {
+            return Err(format!("pack {name:?} analyzed zero packets"));
+        }
+        let scan_sources = num("scan_sources") as u64;
+        let flagged = num("flagged") as u64;
+        let recall = num("recall");
+        let precision = num("precision");
+        if scan_sources > 0 && recall < recall_floor {
+            return Err(format!(
+                "pack {name:?} recall {recall:.4} below floor {recall_floor} \
+                 ({scan_sources} labeled scan sources went undercaught)"
+            ));
+        }
+        if flagged > 0 && precision < precision_floor {
+            return Err(format!(
+                "pack {name:?} precision {precision:.4} below floor {precision_floor} \
+                 (scanner removal is flagging benign traffic)"
+            ));
+        }
+        let (nt, t) = (num("entropy_nontemporal"), num("entropy_temporal"));
+        if name != "base"
+            && (nt - base_nt).abs() <= PACK_ENTROPY_DISTINCT_EPS
+            && (t - base_t).abs() <= PACK_ENTROPY_DISTINCT_EPS
+        {
+            return Err(format!(
+                "pack {name:?} entropy ({nt:.9}, {t:.9}) is indistinguishable from base \
+                 — the pack injected nothing measurable"
+            ));
+        }
+        summary.packets += packets;
+        summary.traces += num("traces") as u64;
+        summary.stages.push((format!("pack={name}"), num("f1"), packets));
+        seen_names.push(name);
+    }
+    Ok(summary)
+}
+
 /// Compare two scaling-curve documents: exact entry-for-entry determinism
 /// (signature, packets, traces, peak) against the baseline, plus the
 /// candidate-internal speedup floor — elapsed ingest wall at 1 shard over
@@ -1326,6 +1559,102 @@ fn compare_scaling_inner(
     }
 }
 
+/// Absolute tolerance for cross-document comparison of derived f64 fields
+/// in pack documents (rates and entropies). Counts are integers and
+/// compared exactly; the ratios and `log2` sums they derive into can
+/// drift in the last few ulps across libm builds, and the emitter rounds
+/// to 6–9 decimals — so near-exact, not bitwise.
+const PACK_RATE_TOLERANCE: f64 = 1e-6;
+
+/// Compare two scenario-pack documents: same pack roster, exact
+/// per-pack integer counts (packets, truth totals, confusion matrix) and
+/// near-exact rates/entropies. Pack runs carry no wall-time gate — the
+/// document is a correctness record, so `check_wall` does not apply.
+fn compare_packs_inner(b: &JsonValue, c: &JsonValue) -> Result<String, String> {
+    let num = |doc: &JsonValue, key: &str| {
+        doc.get(key).and_then(|v| v.as_f64()).unwrap_or(f64::NAN)
+    };
+    for key in ["scale", "seed", "threads", "shards", "precision_floor", "recall_floor"] {
+        if num(b, key) != num(c, key) {
+            return Err(format!(
+                "runs are not comparable: {key:?} differs (baseline {}, candidate {})",
+                num(b, key),
+                num(c, key)
+            ));
+        }
+    }
+    fn entries(doc: &JsonValue) -> Result<Vec<&JsonValue>, String> {
+        match doc.get("packs") {
+            Some(JsonValue::Array(items)) => Ok(items.iter().collect()),
+            _ => Err("missing \"packs\" array".into()),
+        }
+    }
+    let bp = entries(b).map_err(|e| format!("baseline: {e}"))?;
+    let cp = entries(c).map_err(|e| format!("candidate: {e}"))?;
+    fn name_of(e: &JsonValue) -> &str {
+        e.get("name").and_then(|v| v.as_str()).unwrap_or("")
+    }
+    if bp.iter().map(|e| name_of(e)).collect::<Vec<_>>()
+        != cp.iter().map(|e| name_of(e)).collect::<Vec<_>>()
+    {
+        return Err("runs are not comparable: pack rosters differ".into());
+    }
+    let mut failures: Vec<String> = Vec::new();
+    let mut report = format!(
+        "{:<12} {:>9} {:>6} {:>6} {:>6} {:>8} {:>8}  determinism\n",
+        "pack", "packets", "tp", "fp", "fn", "prec", "recall"
+    );
+    for (bent, cent) in bp.iter().zip(&cp) {
+        let name = name_of(bent);
+        let mut ok = true;
+        for key in [
+            "traces",
+            "packets",
+            "attack_packets",
+            "scan_sources",
+            "flagged",
+            "true_pos",
+            "false_pos",
+            "false_neg",
+        ] {
+            if num(bent, key) != num(cent, key) {
+                failures.push(format!(
+                    "pack {name}: {key} drifted (baseline {}, candidate {})",
+                    num(bent, key),
+                    num(cent, key)
+                ));
+                ok = false;
+            }
+        }
+        for key in ["precision", "recall", "f1", "entropy_nontemporal", "entropy_temporal"] {
+            let (bv, cv) = (num(bent, key), num(cent, key));
+            // NaN (a missing field slipping past validation) must fail too.
+            let drifted = (bv - cv).abs() > PACK_RATE_TOLERANCE || (bv - cv).is_nan();
+            if drifted {
+                failures.push(format!(
+                    "pack {name}: {key} drifted (baseline {bv}, candidate {cv})"
+                ));
+                ok = false;
+            }
+        }
+        report.push_str(&format!(
+            "{name:<12} {:>9} {:>6} {:>6} {:>6} {:>8.4} {:>8.4}  {}\n",
+            num(cent, "packets"),
+            num(cent, "true_pos"),
+            num(cent, "false_pos"),
+            num(cent, "false_neg"),
+            num(cent, "precision"),
+            num(cent, "recall"),
+            if ok { "ok" } else { "DRIFTED" },
+        ));
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
 /// Wall-time share (of the summed mandatory-stage wall) below which a
 /// stage's wall comparison is skipped by [`compare_bench_json`]: sub-share
 /// stages on a sub-second run are dominated by scheduler noise, and a
@@ -1339,7 +1668,9 @@ pub const WALL_SHARE_FLOOR: f64 = 0.05;
 /// `epoch_secs`/`max_conns`/`max_pending` and the bounded-state outcome
 /// counters (`epochs`, `checkpoints`, `peak_open_conns`, `evicted_conns`,
 /// `pending_dropped`, `checkpoint_recoveries`) — the steady-state memory
-/// gate.
+/// gate. Scaling documents dispatch to the shard-determinism gate, pack
+/// documents to the scoring-determinism gate (exact confusion-matrix
+/// counts, near-exact rates and entropies, no wall half).
 ///
 /// The gate contract has two halves:
 ///
@@ -1387,6 +1718,9 @@ fn compare_bench_json_inner(
     }
     if b_schema == SCALING_SCHEMA {
         return compare_scaling_inner(&b, &c, check_wall);
+    }
+    if b_schema == PACKS_SCHEMA {
+        return compare_packs_inner(&b, &c);
     }
     // Monitor documents compare on state budgets and degradation
     // counters; pipeline documents on study parameters and totals.
@@ -1909,6 +2243,163 @@ mod tests {
         let err = compare_bench_json(&base, &scaling_bench_json(&fewer), 0.25, true)
             .expect_err("shard list mismatch");
         assert!(err.message().contains("shard-count lists"), "{err}");
+    }
+
+    fn packs_ctx() -> PacksBenchContext {
+        let entry = |name: &str, scan_sources: u64, tp: u64, fp: u64, fnn: u64, nt: f64, t: f64| {
+            let (precision, recall) = (
+                if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 },
+                if tp + fnn == 0 { 1.0 } else { tp as f64 / (tp + fnn) as f64 },
+            );
+            PackBenchEntry {
+                name: name.into(),
+                traces: 2,
+                packets: 5_000,
+                attack_packets: if scan_sources > 0 { 130 } else { 0 },
+                scan_sources,
+                flagged: tp + fp,
+                true_pos: tp,
+                false_pos: fp,
+                false_neg: fnn,
+                precision,
+                recall,
+                f1: 2.0 * precision * recall / (precision + recall),
+                entropy_nontemporal: nt,
+                entropy_temporal: t,
+            }
+        };
+        PacksBenchContext {
+            scale: 0.01,
+            seed: 2005,
+            threads: 1,
+            shards: 0,
+            precision_floor: 0.9,
+            recall_floor: 0.9,
+            packs: vec![
+                entry("base", 4, 8, 0, 0, 9.1, 3.2),
+                entry("sweep", 6, 12, 0, 1, 9.4, 3.5),
+                entry("synflood", 4, 8, 0, 0, 9.2, 3.1),
+            ],
+        }
+    }
+
+    #[test]
+    fn packs_json_roundtrips_and_gates_scoring() {
+        let ctx = packs_ctx();
+        let text = packs_bench_json(&ctx);
+        let summary = validate_bench_json(&text).expect("valid packs doc");
+        assert_eq!(summary.packets, 15_000);
+        assert_eq!(summary.traces, 6);
+        assert_eq!(summary.stages.len(), 3);
+        // Every emitted key parses back numerically (pins the key names
+        // and the confusion-matrix/entropy field layout).
+        let doc = json_parse(&text).expect("well-formed JSON");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some(PACKS_SCHEMA));
+        for key in ["scale", "seed", "threads", "shards", "precision_floor", "recall_floor"] {
+            assert!(doc.get(key).and_then(JsonValue::as_f64).is_some(), "{key}");
+        }
+        let Some(JsonValue::Array(packs)) = doc.get("packs") else {
+            panic!("packs array missing");
+        };
+        let sweep = packs
+            .iter()
+            .find(|p| p.get("name").and_then(|v| v.as_str()) == Some("sweep"))
+            .expect("sweep entry");
+        let num = |key: &str| sweep.get(key).and_then(JsonValue::as_f64).expect("pack key");
+        assert_eq!(num("traces"), 2.0);
+        assert_eq!(num("packets"), 5_000.0);
+        assert_eq!(num("attack_packets"), 130.0);
+        assert_eq!(num("scan_sources"), 6.0);
+        assert_eq!(num("flagged"), 12.0);
+        assert_eq!(num("true_pos"), 12.0);
+        assert_eq!(num("false_pos"), 0.0);
+        assert_eq!(num("false_neg"), 1.0);
+        assert_eq!(num("precision"), 1.0);
+        assert!((num("recall") - 12.0 / 13.0).abs() < 1e-6);
+        assert!(num("f1") > 0.9 && num("f1") < 1.0);
+        assert!((num("entropy_nontemporal") - 9.4).abs() < 1e-9);
+        assert!((num("entropy_temporal") - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packs_validation_enforces_floors_base_and_entropy_separation() {
+        // Recall below the floor on a pack with labeled scan sources.
+        let mut low = packs_ctx();
+        low.packs[1].recall = 0.5;
+        let err = validate_bench_json(&packs_bench_json(&low)).expect_err("recall floor");
+        assert!(err.message().contains("below floor"), "{err}");
+        // Precision below the floor on a pack that flagged connections.
+        let mut fp = packs_ctx();
+        fp.packs[2].precision = 0.2;
+        let err = validate_bench_json(&packs_bench_json(&fp)).expect_err("precision floor");
+        assert!(err.message().contains("flagging benign"), "{err}");
+        // A pack whose entropy pair equals base injected nothing.
+        let mut flat = packs_ctx();
+        flat.packs[2].entropy_nontemporal = flat.packs[0].entropy_nontemporal;
+        flat.packs[2].entropy_temporal = flat.packs[0].entropy_temporal;
+        let err = validate_bench_json(&packs_bench_json(&flat)).expect_err("entropy overlap");
+        assert!(err.message().contains("indistinguishable"), "{err}");
+        // No base entry, no anchor.
+        let mut unanchored = packs_ctx();
+        unanchored.packs.remove(0);
+        let err = validate_bench_json(&packs_bench_json(&unanchored)).expect_err("no base");
+        assert!(err.message().contains("\"base\""), "{err}");
+        // Duplicate pack names are rejected.
+        let mut dup = packs_ctx();
+        dup.packs[2].name = "sweep".into();
+        dup.packs[2].entropy_nontemporal = 9.4;
+        dup.packs[2].entropy_temporal = 3.5;
+        let err = validate_bench_json(&packs_bench_json(&dup)).expect_err("dup names");
+        assert!(err.message().contains("duplicate"), "{err}");
+        // Vacuous packs (nothing labeled, nothing flagged) pass floors.
+        let mut quiet = packs_ctx();
+        quiet.packs[2].scan_sources = 0;
+        quiet.packs[2].flagged = 0;
+        quiet.packs[2].true_pos = 0;
+        quiet.packs[2].false_pos = 0;
+        quiet.packs[2].false_neg = 0;
+        quiet.packs[2].precision = 0.0;
+        quiet.packs[2].recall = 0.0;
+        quiet.packs[2].f1 = 0.0;
+        validate_bench_json(&packs_bench_json(&quiet)).expect("vacuous pack passes");
+    }
+
+    #[test]
+    fn packs_compare_gates_counts_exactly_and_rates_nearly() {
+        let base = packs_bench_json(&packs_ctx());
+        let report = compare_bench_json(&base, &base, 0.25, true).expect("identical passes");
+        assert!(report.contains("sweep"), "{report}");
+        assert!(report.contains("ok"), "{report}");
+        // A one-count confusion-matrix drift is a hard failure.
+        let mut drift = packs_ctx();
+        drift.packs[1].true_pos += 1;
+        drift.packs[1].false_neg -= 1;
+        let err = compare_bench_json(&base, &packs_bench_json(&drift), 0.25, true)
+            .expect_err("count drift");
+        assert!(err.message().contains("true_pos drifted"), "{err}");
+        // Entropy drift beyond the libm tolerance fails...
+        let mut edrift = packs_ctx();
+        edrift.packs[2].entropy_temporal += 1e-3;
+        let err = compare_bench_json(&base, &packs_bench_json(&edrift), 0.25, true)
+            .expect_err("entropy drift");
+        assert!(err.message().contains("entropy_temporal drifted"), "{err}");
+        // ...but a last-ulp wobble within the tolerance does not.
+        let mut wobble = packs_ctx();
+        wobble.packs[2].entropy_temporal += 1e-10;
+        compare_bench_json(&base, &packs_bench_json(&wobble), 0.25, true)
+            .expect("sub-tolerance wobble passes");
+        // Different rosters are not comparable at all.
+        let mut fewer = packs_ctx();
+        fewer.packs.pop();
+        let err = compare_bench_json(&base, &packs_bench_json(&fewer), 0.25, true)
+            .expect_err("roster mismatch");
+        assert!(err.message().contains("rosters differ"), "{err}");
+        // Different floors are a different gate configuration.
+        let mut floored = packs_ctx();
+        floored.recall_floor = 0.5;
+        let err = compare_bench_json(&base, &packs_bench_json(&floored), 0.25, true)
+            .expect_err("floor mismatch");
+        assert!(err.message().contains("recall_floor"), "{err}");
     }
 
     #[test]

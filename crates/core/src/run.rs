@@ -77,14 +77,8 @@ pub fn run_datasets(specs: &[DatasetSpec], config: &StudyConfig) -> Vec<DatasetA
             }
         }
     }
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(work.len().max(1))
-    } else {
-        config.threads
-    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = effective_threads(config.threads, config.pipeline.shards, cores, work.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let bins: Vec<Mutex<Vec<(usize, TraceAnalysis)>>> =
         specs.iter().map(|_| Mutex::new(Vec::new())).collect();
@@ -159,6 +153,22 @@ pub fn run_datasets(specs: &[DatasetSpec], config: &StudyConfig) -> Vec<DatasetA
         .collect()
 }
 
+/// Compose trace-level worker threads with intra-trace shard fan-out.
+///
+/// Every worker thread runs its own shard pool, so the run's total
+/// parallelism is `threads × shards`; letting both knobs multiply past
+/// the core count only adds contention. The rule: cap the *thread* side
+/// so `threads × max(shards, 1) ≤ cores` (never below 1 thread), then
+/// cap at the number of work items. An explicit `requested` count is
+/// honored up to that cap; `requested == 0` means "use the cap".
+/// Thread count never affects results — only wall time — so capping is
+/// always safe.
+pub fn effective_threads(requested: usize, shards: usize, cores: usize, work_items: usize) -> usize {
+    let budget = (cores.max(1) / shards.max(1)).max(1);
+    let want = if requested == 0 { budget } else { requested.min(budget) };
+    want.min(work_items.max(1))
+}
+
 /// Generate and analyze one dataset, trace-parallel.
 pub fn run_dataset(spec: &DatasetSpec, config: &StudyConfig) -> DatasetAnalysis {
     run_datasets(std::slice::from_ref(spec), config)
@@ -198,6 +208,27 @@ mod tests {
         let mut b = specs[1];
         b.monitored = (0..2).into();
         vec![a, b]
+    }
+
+    #[test]
+    fn effective_threads_caps_threads_times_shards_at_cores() {
+        // Auto (requested 0): divide the core budget by the shard count.
+        assert_eq!(effective_threads(0, 0, 8, 100), 8);
+        assert_eq!(effective_threads(0, 1, 8, 100), 8);
+        assert_eq!(effective_threads(0, 4, 8, 100), 2);
+        assert_eq!(effective_threads(0, 8, 8, 100), 1);
+        // Explicit requests are honored up to the budget, never above.
+        assert_eq!(effective_threads(4, 4, 16, 100), 4);
+        assert_eq!(effective_threads(8, 4, 16, 100), 4);
+        assert_eq!(effective_threads(2, 4, 16, 100), 2);
+        // Never below one thread, even oversharded.
+        assert_eq!(effective_threads(1, 64, 4, 100), 1);
+        assert_eq!(effective_threads(0, 64, 4, 100), 1);
+        // Never more threads than work items.
+        assert_eq!(effective_threads(0, 0, 16, 3), 3);
+        assert_eq!(effective_threads(8, 0, 16, 3), 3);
+        // Degenerate inputs stay sane.
+        assert_eq!(effective_threads(0, 0, 0, 0), 1);
     }
 
     #[test]

@@ -11,15 +11,27 @@
 
 use super::TraceCtx;
 use crate::distr::coin;
+use crate::packs::label;
 use crate::synth::{Outcome, Peer, TcpSessionSpec};
 use ent_wire::ipv4;
 use rand::RngExt;
 
 /// Generate scanner traffic for one trace.
+///
+/// Records are stamped with ground-truth labels as they are emitted:
+/// the two sweep generators produce traffic the removal heuristic
+/// *should* catch ([`label::SCAN`]), while background radiation is
+/// attack-shaped traffic it should *not* ([`label::RADIATION`]) — the
+/// scenario-pack scorer uses the distinction for precision/recall.
+/// Labels ride on arena records, never in frame bytes, so stamping
+/// them changes neither emitted bytes nor RNG draw order.
 pub fn generate(ctx: &mut TraceCtx<'_>) {
+    ctx.out.set_label(label::SCAN);
     internal_scanners(ctx);
     external_icmp_scanners(ctx);
+    ctx.out.set_label(label::RADIATION);
     background_radiation(ctx);
+    ctx.out.set_label(label::BENIGN);
 }
 
 /// Internet background radiation (2004-05 was the Sasser/Slammer era):

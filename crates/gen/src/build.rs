@@ -148,6 +148,30 @@ pub fn generate_trace_into(
     config: &GenConfig,
     arena: &mut ent_pcap::PacketArena,
 ) -> (TraceMeta, GenTiming) {
+    generate_trace_into_with(site, wan, spec, subnet, pass, config, arena, |_| {})
+}
+
+/// [`generate_trace_into`] with an extra-actor hook: `actors` runs after
+/// the base application generators but before the sort/tap stages, so
+/// scenario packs (`crate::packs`) can append adversarial or variant
+/// sessions that interleave naturally in time. The base generators see
+/// an RNG stream untouched by the hook (actors draw only *after* all
+/// base draws), so for a no-op hook the trace is byte-identical to
+/// [`generate_trace_into`] — the golden-fingerprint suite pins this.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_trace_into_with<F>(
+    site: &Site,
+    wan: &WanPool,
+    spec: &DatasetSpec,
+    subnet: u16,
+    pass: u8,
+    config: &GenConfig,
+    arena: &mut ent_pcap::PacketArena,
+    actors: F,
+) -> (TraceMeta, GenTiming)
+where
+    F: FnOnce(&mut TraceCtx<'_>),
+{
     let seed = spec
         .seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -164,6 +188,7 @@ pub fn generate_trace_into(
     let staged = std::mem::replace(arena, ent_pcap::PacketArena::unbounded());
     let mut ctx = TraceCtx::with_arena(rng, site, wan, spec, subnet, config.scale, staged);
     apps::generate_all(&mut ctx);
+    actors(&mut ctx);
     // Sessions can overrun the monitoring window; the arena already
     // clipped those at admission, but they still count as emitted work.
     timing.synth_packets = ctx.out.logical_len();

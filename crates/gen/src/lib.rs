@@ -36,8 +36,10 @@ pub mod build;
 pub mod dataset;
 pub mod distr;
 pub mod network;
+pub mod packs;
 pub mod synth;
 
 pub use build::{generate_dataset, generate_trace, GenConfig, GeneratedDataset};
 pub use dataset::{DatasetSpec, ALL_DATASETS};
 pub use network::{Role, Site, WanPool};
+pub use packs::{ScenarioPack, PACK_NAMES};

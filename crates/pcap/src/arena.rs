@@ -33,13 +33,18 @@ pub enum Clip {
 
 /// One staged packet: timestamp plus the frame's span in the byte buffer.
 /// `cap` is the captured length — equal to `len` until
-/// [`PacketArena::apply_tap`] clamps it to the snaplen.
+/// [`PacketArena::apply_tap`] clamps it to the snaplen. `label` is the
+/// ground-truth tag active at commit time (see
+/// [`PacketArena::set_label`]); it rides with the record through
+/// [`PacketArena::sort_records`] and [`PacketArena::apply_tap`] but
+/// never enters the frame bytes.
 #[derive(Debug, Clone, Copy)]
 struct Rec {
     ts: Timestamp,
     off: u64,
     len: u32,
     cap: u32,
+    label: u32,
 }
 
 /// Arena of trace packets: one contiguous byte buffer plus per-packet
@@ -58,6 +63,8 @@ pub struct PacketArena {
     ghost_packets: u64,
     /// Wire bytes of those tallied out-of-window packets.
     ghost_bytes: u64,
+    /// Ground-truth label stamped onto subsequently committed records.
+    cur_label: u32,
 }
 
 impl PacketArena {
@@ -71,6 +78,7 @@ impl PacketArena {
             wire_bytes: 0,
             ghost_packets: 0,
             ghost_bytes: 0,
+            cur_label: 0,
         }
     }
 
@@ -83,6 +91,20 @@ impl PacketArena {
     /// [`PacketArena::clear`] keeps the old limit).
     pub fn set_limit(&mut self, limit: Timestamp) {
         self.limit = limit;
+    }
+
+    /// Set the ground-truth label stamped onto every record committed
+    /// from now on. Label `0` (the default) means unlabeled/benign;
+    /// scenario packs use nonzero tags for attack-class traffic. The
+    /// label lives on the record, not in the frame bytes, so setting it
+    /// never changes emitted bytes or RNG draw order.
+    pub fn set_label(&mut self, label: u32) {
+        self.cur_label = label;
+    }
+
+    /// The ground-truth label currently being stamped onto commits.
+    pub fn current_label(&self) -> u32 {
+        self.cur_label
     }
 
     /// Should a packet at `ts` be built at all? `false` means skip frame
@@ -119,6 +141,7 @@ impl PacketArena {
             off,
             len: frame_bytes as u32,
             cap: frame_bytes as u32,
+            label: self.cur_label,
         });
     }
 
@@ -204,6 +227,29 @@ impl PacketArena {
         })
     }
 
+    /// Like [`PacketArena::captured_frames`] but with each record's
+    /// ground-truth label appended:
+    /// `(timestamp, captured frame bytes, original wire length, label)`.
+    pub fn labeled_frames(&self) -> impl Iterator<Item = (Timestamp, &[u8], u32, u32)> + '_ {
+        self.recs.iter().filter_map(|r| {
+            let start = r.off as usize;
+            self.buf
+                .get(start..start.saturating_add(r.cap as usize))
+                .map(|frame| (r.ts, frame, r.len, r.label))
+        })
+    }
+
+    /// Histogram of record labels in ascending label order. The counts
+    /// sum to [`PacketArena::len`]; conservation through sort/tap is
+    /// what the scenario-pack property tests pin.
+    pub fn label_counts(&self) -> Vec<(u32, u64)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for r in &self.recs {
+            *counts.entry(r.label).or_insert(0u64) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
     /// Materialize the captured packets (post-[`PacketArena::apply_tap`])
     /// as owned [`TimedPacket`]s, one bounded copy per packet.
     pub fn captured_packets(&self) -> Vec<TimedPacket> {
@@ -252,6 +298,7 @@ impl PacketArena {
         self.wire_bytes = 0;
         self.ghost_packets = 0;
         self.ghost_bytes = 0;
+        self.cur_label = 0;
     }
 }
 
@@ -338,6 +385,51 @@ mod tests {
         let pkts = a.captured_packets();
         assert_eq!(pkts.len(), 8);
         assert!(pkts.iter().all(|p| p.frame.len() == 68 && p.orig_len == 100));
+    }
+
+    #[test]
+    fn labels_stamp_at_commit_and_reset_on_clear() {
+        let mut a = PacketArena::unbounded();
+        a.push_frame(ts(1), Clip::Counted, &[1; 4]);
+        a.set_label(7);
+        assert_eq!(a.current_label(), 7);
+        a.push_frame(ts(2), Clip::Counted, &[2; 4]);
+        a.frame_buf().extend_from_slice(&[3; 4]);
+        a.commit(ts(3));
+        a.set_label(0);
+        a.push_frame(ts(4), Clip::Counted, &[4; 4]);
+        let labels: Vec<u32> = a.labeled_frames().map(|(_, _, _, l)| l).collect();
+        assert_eq!(labels, vec![0, 7, 7, 0]);
+        assert_eq!(a.label_counts(), vec![(0, 2), (7, 2)]);
+        a.set_label(9);
+        a.clear();
+        a.push_frame(ts(1), Clip::Counted, &[5; 4]);
+        assert_eq!(a.label_counts(), vec![(0, 1)], "clear resets the label");
+    }
+
+    #[test]
+    fn labels_ride_through_sort_and_tap() {
+        let mut a = PacketArena::unbounded();
+        // Frame byte i encodes the record's label so identity survives
+        // reordering: record i carries label (i % 3).
+        for i in 0..30u8 {
+            a.set_label(u32::from(i % 3));
+            // Descending timestamps force a full reorder.
+            a.push_frame(ts(1_000 - u64::from(i)), Clip::Counted, &[i; 90]);
+        }
+        a.sort_records();
+        for (_, frame, _, label) in a.labeled_frames() {
+            assert_eq!(label, u32::from(frame[0] % 3), "label moved with its record");
+        }
+        assert_eq!(a.label_counts(), vec![(0, 10), (1, 10), (2, 10)]);
+        let mut tap = Tap::new(68).with_drop_period(5);
+        a.apply_tap(&mut tap);
+        assert_eq!(a.len(), 24);
+        let total: u64 = a.label_counts().iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 24, "no orphaned or duplicated labels after tap");
+        for (_, frame, _, label) in a.labeled_frames() {
+            assert_eq!(label, u32::from(frame[0] % 3), "snaplen clamp keeps labels");
+        }
     }
 
     #[test]

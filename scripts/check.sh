@@ -94,4 +94,19 @@ cargo run --release -q -p ent-cli -- obs-check "$BENCH_TMP/BENCH_monitor.json"
 cargo run --release -q -p ent-cli -- bench-compare \
     "$BENCH_TMP/BENCH_monitor.json" "$BENCH_TMP/BENCH_monitor_resumed.json"
 
+echo "==> scenario pack gate (labeled packs + scored scanner removal vs committed BENCH_packs.json)"
+# Runs every scenario pack at the gate config (scale 0.01, seed 2005,
+# serial) and scores scanner removal against ground-truth labels.
+# obs-check enforces the scoring half: precision/recall floors on packs
+# with scan activity, a mandatory base entry, and per-pack entropy
+# separation from base (every adversarial or modern-variant pack must be
+# distinguishable by trace complexity). bench-compare against the
+# committed document then pins the exact confusion matrix, per-pack
+# packet counts and (to 1e-6) the entropy pair across runs.
+cargo run --release -q -p ent-cli -- packs \
+    --out "$BENCH_TMP/BENCH_packs.json" > /dev/null
+cargo run --release -q -p ent-cli -- obs-check "$BENCH_TMP/BENCH_packs.json"
+cargo run --release -q -p ent-cli -- bench-compare \
+    BENCH_packs.json "$BENCH_TMP/BENCH_packs.json"
+
 echo "All checks passed."

@@ -111,6 +111,53 @@ pub fn generator_fingerprints(scale: f64, seed: u64) -> Vec<(String, u64, usize)
         .collect()
 }
 
+/// Order-, content- and label-sensitive digest of one generated pack
+/// arena: every record's timestamp, original wire length, ground-truth
+/// label and captured bytes. A byte change *or* a label move changes the
+/// digest, so the pack goldens pin the actor output and the label
+/// plumbing together.
+pub fn labeled_arena_fingerprint(arena: &ent_pcap::PacketArena) -> u64 {
+    let mut h = FP_SEED;
+    h = mix(h, arena.len() as u64);
+    for (ts, frame, orig_len, label) in arena.labeled_frames() {
+        h = mix(h, ts.micros());
+        h = mix(h, orig_len as u64);
+        h = mix(h, label as u64);
+        h = mix(h, frame.len() as u64);
+        h = mix_bytes(h, frame);
+    }
+    h
+}
+
+/// Per-pack generator digests for one `(scale, seed)`: for each scenario
+/// pack, the fold of every trace slot's [`labeled_arena_fingerprint`] in
+/// deterministic slot order, plus the trace count. The pack analogue of
+/// [`generator_fingerprints`].
+pub fn pack_fingerprints(scale: f64, seed: u64) -> Vec<(String, u64, usize)> {
+    let config = GenConfig {
+        scale,
+        seed,
+        hosts_per_subnet: None,
+    };
+    ent_gen::packs::all_packs()
+        .iter()
+        .map(|pack| {
+            let (site, wan) = ent_gen::build::build_site(&pack.spec, &config);
+            let mut h = FP_SEED;
+            let mut traces = 0usize;
+            let mut arena = ent_pcap::PacketArena::unbounded();
+            ent_gen::packs::for_each_pack_slot(pack, |subnet, pass| {
+                ent_gen::packs::generate_pack_trace_into(
+                    pack, &site, &wan, subnet, pass, &config, &mut arena,
+                );
+                h = mix(h, labeled_arena_fingerprint(&arena));
+                traces += 1;
+            });
+            (pack.name.to_string(), h, traces)
+        })
+        .collect()
+}
+
 /// Run the trimmed D0–D4 study at `scale` with an explicit thread count,
 /// connection-table hasher selection, and intra-trace shard count
 /// (0 = serial path). The differential equivalence suite calls this with
