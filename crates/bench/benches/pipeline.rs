@@ -115,6 +115,24 @@ fn bench_full_analysis(c: &mut Criterion) {
             )
         })
     });
+    // The fused parse+ingest study path: zero-copy frame views fed to
+    // analyze_packets, where the Engine dissects each frame once and
+    // feeds the connection table in the same pass with stride-sampled
+    // stage clocks (no per-packet Instant reads). The delta against
+    // `connection_tracking` is what the full analyzer + instrumentation
+    // stack costs on top of bare flow tracking; this is the loop the
+    // BENCH gate's throughput floor rides on.
+    g.bench_function("analyze_trace_fused", |b| {
+        b.iter(|| {
+            let frames = trace.packets.iter().map(|p| (p.ts, &*p.frame, p.orig_len));
+            black_box(ent_core::pipeline::analyze_packets(
+                &trace.meta,
+                frames,
+                &PipelineConfig::default(),
+                trace.packets.len(),
+            ))
+        })
+    });
     g.finish();
 }
 

@@ -143,22 +143,30 @@ fn gen_config(args: &Args) -> GenConfig {
 }
 
 fn cmd_study(args: &Args) -> ExitCode {
+    let threads: usize = args
+        .flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    // An explicit --shards (including `--shards 0`, the serial escape
+    // hatch) always wins; only when the flag is absent does the run
+    // auto-shard the cores a pinned --threads leaves idle. Shard count is
+    // a bench-comparability key, so gate scripts pass --shards 0.
+    let shards = match args.flags.get("shards").and_then(|s| s.parse().ok()) {
+        Some(n) => n,
+        None => ent_core::auto_shards(
+            threads,
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ),
+    };
     let config = StudyConfig {
         gen: gen_config(args),
         pipeline: PipelineConfig {
             keep_scanners: args.switches.contains("keep-scanners"),
-            shards: args
-                .flags
-                .get("shards")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0),
+            shards,
             ..Default::default()
         },
-        threads: args
-            .flags
-            .get("threads")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0),
+        threads,
     };
     let wanted: Option<Vec<String>> = args
         .flags

@@ -65,5 +65,5 @@ pub use metrics::{PipelineMetrics, StageStat, StageTimer};
 pub use packs::{run_all_packs, run_pack, Complexity, PackReport, PackScore, PackStudyConfig};
 pub use pipeline::{analyze_capture, analyze_trace, PipelineConfig};
 pub use records::{IngestHealth, TraceAnalysis};
-pub use run::{run_dataset, run_datasets, run_study, DatasetAnalysis, StudyConfig};
+pub use run::{auto_shards, run_dataset, run_datasets, run_study, DatasetAnalysis, StudyConfig};
 pub use study::{build_report, StudyReport};

@@ -622,6 +622,13 @@ where
 /// through and finishes once; the monitor rotates it at epoch boundaries,
 /// swapping a fresh [`TraceAnalysis`] in while the table, analyzer slab
 /// and learned dynamic ports keep their allocations.
+/// Sampling stride for the fused parse+ingest pass: one packet in
+/// `LAP_STRIDE` runs with per-stage clock reads, the rest run clock-free.
+/// Two `Instant::now` calls per packet (~70 ns) used to rival the stage
+/// work itself at multi-M pkts/s; sampling keeps the per-stage wall split
+/// honest at 1/64 of that cost.
+const LAP_STRIDE: u64 = 64;
+
 pub(crate) struct Engine<S: BuildHasher> {
     table: ConnTable<S>,
     handler: Handler,
@@ -634,6 +641,13 @@ pub(crate) struct Engine<S: BuildHasher> {
     base_sec: u64,
     max_ts: Timestamp,
     pt: StageTimer,
+    // Fused parse+ingest timing state: packet phase index, un-attributed
+    // clock-free wall, and the clocked parse/ingest laps from sampled
+    // packets (the attribution ratio). All window-scoped except pkt_idx.
+    pkt_idx: u64,
+    fused_ns: u64,
+    parse_sample_ns: u64,
+    ingest_sample_ns: u64,
 }
 
 impl<S: BuildHasher> Engine<S> {
@@ -661,6 +675,10 @@ impl<S: BuildHasher> Engine<S> {
             base_sec: 0,
             max_ts: Timestamp::ZERO,
             pt: StageTimer::start(),
+            pkt_idx: 0,
+            fused_ns: 0,
+            parse_sample_ns: 0,
+            ingest_sample_ns: 0,
         }
     }
 
@@ -683,6 +701,16 @@ impl<S: BuildHasher> Engine<S> {
             self.base_sec = self.base_us / 1_000_000;
             self.max_ts = p.ts;
         }
+        // Fused fast path: event/byte stats are exact on every packet, but
+        // only one packet in LAP_STRIDE reads the clock (the first packet
+        // of every window is a sample, so no epoch reports a zero wall).
+        // Clock-free spans accumulate in fused_ns and get split between
+        // frame_parse and flow_ingest at flush time in the sampled ratio.
+        let sampled = self.pkt_idx.is_multiple_of(LAP_STRIDE);
+        self.pkt_idx += 1;
+        if sampled {
+            self.fused_ns += self.pt.lap();
+        }
         let handler = &mut self.handler;
         // Every frame counts toward the authoritative wire-byte total —
         // including undissectable ones and samples the per-second bins
@@ -692,11 +720,10 @@ impl<S: BuildHasher> Engine<S> {
             // Undissectable frame: count it rather than silently narrowing
             // the trace — the analyses' denominators stay honest.
             handler.out.health.malformed_frames += 1;
-            handler
-                .out
-                .metrics
-                .frame_parse
-                .add(self.pt.lap(), 1, p.frame.len() as u64);
+            handler.out.metrics.frame_parse.add(0, 1, p.frame.len() as u64);
+            if sampled {
+                self.parse_sample_ns += self.pt.lap();
+            }
             return;
         };
         handler.out.packets += 1;
@@ -717,26 +744,45 @@ impl<S: BuildHasher> Engine<S> {
         if p.ts > self.max_ts {
             self.max_ts = p.ts;
         }
-        // One lap boundary per stage, two clock reads per packet: layer
-        // tallying and load binning are charged to frame_parse, everything
-        // from here to the next lap to flow_ingest.
-        handler
-            .out
-            .metrics
-            .frame_parse
-            .add(self.pt.lap(), 1, p.frame.len() as u64);
-        self.table.ingest(pkt, p.ts, handler);
-        handler
-            .out
-            .metrics
-            .flow_ingest
-            .add(self.pt.lap(), 1, p.orig_len as u64);
+        handler.out.metrics.frame_parse.add(0, 1, p.frame.len() as u64);
+        if sampled {
+            self.parse_sample_ns += self.pt.lap();
+        }
+        self.table.ingest(pkt, p.ts, &mut self.handler);
+        self.handler.out.metrics.flow_ingest.add(0, 1, p.orig_len as u64);
+        if sampled {
+            self.ingest_sample_ns += self.pt.lap();
+        }
+    }
+
+    /// Attribute the fused pass's wall time to the current window's
+    /// frame_parse/flow_ingest stages: sampled laps are charged directly,
+    /// and the clock-free remainder is split in the sampled parse:ingest
+    /// ratio (an even split when no sample landed in the window, which
+    /// only happens for packet-free windows). Must run before a window is
+    /// swapped out so every epoch report carries its own wall time.
+    fn flush_fused_laps(&mut self) {
+        self.fused_ns += self.pt.lap();
+        let ps = self.parse_sample_ns;
+        let is = self.ingest_sample_ns;
+        let parse_share = if ps + is > 0 {
+            ((self.fused_ns as u128 * ps as u128) / (ps + is) as u128) as u64
+        } else {
+            self.fused_ns / 2
+        };
+        let m = &mut self.handler.out.metrics;
+        m.frame_parse.add(ps + parse_share, 0, 0);
+        m.flow_ingest.add(is + (self.fused_ns - parse_share), 0, 0);
+        self.fused_ns = 0;
+        self.parse_sample_ns = 0;
+        self.ingest_sample_ns = 0;
+        self.pkt_idx = 0;
     }
 
     /// Close out still-open connections at `end_ts` (finish() clamps open
     /// conns back to this point). The batch terminal step.
     pub(crate) fn finish_at(&mut self, end_ts: Timestamp) {
-        self.pt.lap();
+        self.flush_fused_laps();
         self.table.finish(end_ts, &mut self.handler);
         self.handler.out.metrics.flow_ingest.add(self.pt.lap(), 0, 0);
     }
@@ -747,7 +793,7 @@ impl<S: BuildHasher> Engine<S> {
     /// finished window. Lifetime counters (table stats, dynamic ports,
     /// the stream clock watermark) survive the rotation.
     pub(crate) fn rotate(&mut self, end_ts: Timestamp, next: TraceAnalysis) -> TraceAnalysis {
-        self.pt.lap();
+        self.flush_fused_laps();
         self.table.rotate(end_ts, &mut self.handler);
         self.handler.out.metrics.flow_ingest.add(self.pt.lap(), 0, 0);
         self.handler.reset_epoch();

@@ -169,6 +169,30 @@ pub fn effective_threads(requested: usize, shards: usize, cores: usize, work_ite
     want.min(work_items.max(1))
 }
 
+/// Pick a shard count for a run where the user fixed `--threads` but said
+/// nothing about shards: spend the cores the thread cap leaves idle on
+/// intra-trace fan-out. `requested_threads == 0` (auto threads) returns 0
+/// — trace-level workers already soak every core, and stacking shard
+/// pools under them only adds contention. Otherwise the leftover budget
+/// is `cores / threads`; two or more idle cores per worker buy that many
+/// shards (capped at 8, the top of the scaling gate's measured curve),
+/// fewer mean serial ingest is the right call. Callers that take an
+/// explicit shard request (`--shards N`, including `--shards 0` as the
+/// serial escape hatch) must bypass this entirely — shard count is a
+/// bench-comparability key, so an implicit default must never override an
+/// explicit one.
+pub fn auto_shards(requested_threads: usize, cores: usize) -> usize {
+    if requested_threads == 0 {
+        return 0;
+    }
+    let leftover = cores.max(1) / requested_threads.max(1);
+    if leftover >= 2 {
+        leftover.min(8)
+    } else {
+        0
+    }
+}
+
 /// Generate and analyze one dataset, trace-parallel.
 pub fn run_dataset(spec: &DatasetSpec, config: &StudyConfig) -> DatasetAnalysis {
     run_datasets(std::slice::from_ref(spec), config)
@@ -229,6 +253,23 @@ mod tests {
         assert_eq!(effective_threads(8, 0, 16, 3), 3);
         // Degenerate inputs stay sane.
         assert_eq!(effective_threads(0, 0, 0, 0), 1);
+    }
+
+    #[test]
+    fn auto_shards_spends_leftover_cores_only() {
+        // Auto threads already soak the machine: no implicit shards.
+        assert_eq!(auto_shards(0, 16), 0);
+        // Pinned threads with idle cores: shard the leftover, capped at 8.
+        assert_eq!(auto_shards(1, 8), 8);
+        assert_eq!(auto_shards(1, 16), 8);
+        assert_eq!(auto_shards(2, 8), 4);
+        assert_eq!(auto_shards(4, 8), 2);
+        // Fewer than two idle cores per worker: serial ingest.
+        assert_eq!(auto_shards(1, 1), 0);
+        assert_eq!(auto_shards(8, 8), 0);
+        assert_eq!(auto_shards(6, 8), 0);
+        // Degenerate inputs stay sane.
+        assert_eq!(auto_shards(3, 0), 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, LogNormal};
 use crate::network::Role;
-use crate::synth::{Close, Exchange, TcpSessionSpec};
+use crate::synth::{Close, Exchange, Payload, TcpSessionSpec};
 use rand::RngExt;
 
 /// Generate all backup traffic for one trace.
@@ -40,10 +40,10 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
             // Veritas control: chatty, tiny.
             let server = ctx.peer_of(&srv, 13_720);
             let msgs = ctx.rng.random_range(2..8);
-            let mut exchanges = Vec::new();
+            let mut exchanges = Vec::with_capacity(2 * msgs as usize);
             for _ in 0..msgs {
-                exchanges.push(Exchange::client(vec![0x56; 60], 50_000));
-                exchanges.push(Exchange::server(vec![0x56; 40], 20_000));
+                exchanges.push(Exchange::client(Payload::fill(0x56, 60), 50_000));
+                exchanges.push(Exchange::server(Payload::fill(0x56, 40), 20_000));
             }
             let spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, exchanges);
             ctx.tcp(&spec);
@@ -57,7 +57,7 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
                 client,
                 server,
                 rtt,
-                vec![Exchange::client(vec![0xBB; bytes], 10_000)],
+                Vec::from([Exchange::client(Payload::fill(0xBB, bytes), 10_000)]),
             );
             // The flaky path of §6: at the D4 backup vantage one Veritas
             // connection crosses a flaky NIC and retransmits ~5%.
@@ -77,19 +77,19 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
             } else {
                 ctx.rng.random_range(2_000..60_000)
             };
-            let mut exchanges = vec![Exchange::client(vec![0xDA; 400], 0)];
+            let mut exchanges = Vec::from([Exchange::client(Payload::fill(0xDA, 400), 0)]);
             // Interleave chunks in both directions (fingerprint exchange).
             let mut u = up;
             let mut d = down;
             while u > 0 || d > 0 {
                 if u > 0 {
                     let c = u.min(2_000_000);
-                    exchanges.push(Exchange::client(vec![0xDA; c], 5_000));
+                    exchanges.push(Exchange::client(Payload::fill(0xDA, c), 5_000));
                     u -= c;
                 }
                 if d > 0 {
                     let c = d.min(1_000_000);
-                    exchanges.push(Exchange::server(vec![0xAD; c], 5_000));
+                    exchanges.push(Exchange::server(Payload::fill(0xAD, c), 5_000));
                     d -= c;
                 }
             }
@@ -106,11 +106,11 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
                 client,
                 server,
                 rtt,
-                vec![
-                    Exchange::client(vec![0xC0; 200], 0),
-                    Exchange::server(vec![0xC0; 150], 30_000),
-                    Exchange::client(vec![0xC0; bytes], 50_000),
-                ],
+                Vec::from([
+                    Exchange::client(Payload::fill(0xC0, 200), 0),
+                    Exchange::server(Payload::fill(0xC0, 150), 30_000),
+                    Exchange::client(Payload::fill(0xC0, bytes), 50_000),
+                ]),
             );
             ctx.tcp(&spec);
         }

@@ -10,7 +10,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, LogNormal, Pareto};
 use crate::network::Role;
-use crate::synth::{Close, Exchange, TcpSessionSpec};
+use crate::synth::{Close, Exchange, Payload, TcpSessionSpec};
 use rand::RngExt;
 
 /// Generate bulk + interactive traffic for one trace.
@@ -37,16 +37,16 @@ fn bulk(ctx: &mut TraceCtx<'_>) {
         let start = ctx.early_start(0.6);
         // Control dialogue.
         let client = ctx.peer_eph(&client_host);
-        let mut exchanges = vec![
-            Exchange::server(b"220 FTP server ready\r\n".to_vec(), 0),
-            Exchange::client(b"USER operator\r\n".to_vec(), 80_000),
-            Exchange::server(b"331 password\r\n".to_vec(), 5_000),
-            Exchange::client(b"PASS ******\r\n".to_vec(), 60_000),
-            Exchange::server(b"230 logged in\r\n".to_vec(), 8_000),
-            Exchange::client(b"RETR dataset.tar\r\n".to_vec(), 150_000),
-            Exchange::server(b"150 opening data connection\r\n".to_vec(), 5_000),
-        ];
-        exchanges.push(Exchange::server(b"226 transfer complete\r\n".to_vec(), 400_000));
+        let mut exchanges = Vec::from([
+            Exchange::server(Payload::from_static(b"220 FTP server ready\r\n"), 0),
+            Exchange::client(Payload::from_static(b"USER operator\r\n"), 80_000),
+            Exchange::server(Payload::from_static(b"331 password\r\n"), 5_000),
+            Exchange::client(Payload::from_static(b"PASS ******\r\n"), 60_000),
+            Exchange::server(Payload::from_static(b"230 logged in\r\n"), 8_000),
+            Exchange::client(Payload::from_static(b"RETR dataset.tar\r\n"), 150_000),
+            Exchange::server(Payload::from_static(b"150 opening data connection\r\n"), 5_000),
+        ]);
+        exchanges.push(Exchange::server(Payload::from_static(b"226 transfer complete\r\n"), 400_000));
         let ctrl = TcpSessionSpec::success(start, client, server, rtt, exchanges);
         ctx.tcp(&ctrl);
         // Data connection: server-side source port 20 (active mode).
@@ -65,7 +65,7 @@ fn bulk(ctx: &mut TraceCtx<'_>) {
             data_client,
             data_server,
             rtt,
-            vec![Exchange::server(vec![0xF7; bytes], 0)],
+            Vec::from([Exchange::server(Payload::fill(0xF7, bytes), 0)]),
         );
         ctx.tcp(&data);
     }
@@ -93,28 +93,28 @@ fn interactive(ctx: &mut TraceCtx<'_>) {
             let h = ctx.remote_internal();
             (ctx.peer_of(&h, port), ctx.rtt_internal())
         };
-        let mut exchanges = Vec::new();
+        let mut exchanges = Vec::with_capacity(8);
         if is_ssh {
-            exchanges.push(Exchange::client(b"SSH-2.0-OpenSSH_3.9\r\n".to_vec(), 0));
-            exchanges.push(Exchange::server(b"SSH-2.0-OpenSSH_3.8.1p1\r\n".to_vec(), 2_000));
+            exchanges.push(Exchange::client(Payload::from_static(b"SSH-2.0-OpenSSH_3.9\r\n"), 0));
+            exchanges.push(Exchange::server(Payload::from_static(b"SSH-2.0-OpenSSH_3.8.1p1\r\n"), 2_000));
             // Key exchange blobs.
-            exchanges.push(Exchange::client(vec![0x14; 600], 5_000));
-            exchanges.push(Exchange::server(vec![0x14; 760], 5_000));
+            exchanges.push(Exchange::client(Payload::fill(0x14, 600), 5_000));
+            exchanges.push(Exchange::server(Payload::fill(0x14, 760), 5_000));
         }
         if is_ssh && coin(&mut ctx.rng, 0.12) {
             // scp-style bulk copy inside SSH.
             let full = LogNormal::from_median(8e6, 1.3).sample_clamped(&mut ctx.rng, 1e5, 100e6);
             let bytes = ctx.heavy_size(full);
-            exchanges.push(Exchange::client(vec![0x00; bytes], 100_000));
+            exchanges.push(Exchange::client(Payload::fill(0x00, bytes), 100_000));
         } else {
             // Keystroke/echo dialogue: many tiny packets over minutes.
             let keys = ctx.rng.random_range(40..400usize);
             for _ in 0..keys {
                 let gap = LogNormal::from_median(400_000.0, 1.0)
                     .sample_clamped(&mut ctx.rng, 20_000.0, 5_000_000.0) as u64;
-                exchanges.push(Exchange::client(vec![0x01; ctx.rng.random_range(1..48)], gap));
+                exchanges.push(Exchange::client(Payload::fill(0x01, ctx.rng.random_range(1..48)), gap));
                 exchanges.push(Exchange::server(
-                    vec![0x02; ctx.rng.random_range(1..512)],
+                    Payload::fill(0x02, ctx.rng.random_range(1..512)),
                     2_000,
                 ));
             }

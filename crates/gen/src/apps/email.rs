@@ -15,7 +15,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, LogNormal, Pareto};
 use crate::network::Role;
-use crate::synth::{Close, Exchange, Outcome, Peer, TcpSessionSpec};
+use crate::synth::{Close, Exchange, Outcome, Payload, Peer, TcpSessionSpec};
 use ent_proto::{imap, smtp, ssl};
 use rand::RngExt;
 
@@ -46,7 +46,7 @@ fn smtp_session(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, rtt: u64, vo
     let (client_chunks, server_chunks) = smtp::encode_session(body, rcpts);
     // Interleave: server banner first, then command/response pairs. Server
     // processing time gives internal connections their ~0.3 s floor.
-    let mut exchanges = Vec::new();
+    let mut exchanges = Vec::with_capacity(1 + 2 * client_chunks.len());
     let think = || ctx_think(rtt);
     exchanges.push(Exchange::server(server_chunks[0].clone(), 0));
     for (i, c) in client_chunks.iter().enumerate() {
@@ -88,7 +88,7 @@ fn smtp_traffic(ctx: &mut TraceCtx<'_>) {
             let client = ctx.wan_peer(cport);
             let rtt = ctx.rtt_wan();
             if coin(&mut ctx.rng, 0.16) {
-                let mut spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, vec![]);
+                let mut spec = TcpSessionSpec::bare(ctx.start(), client, server, rtt);
                 spec.outcome = if coin(&mut ctx.rng, 0.6) {
                     Outcome::Rejected
                 } else {
@@ -123,7 +123,7 @@ fn smtp_traffic(ctx: &mut TraceCtx<'_>) {
             let server = ctx.peer_of(&srv, 25);
             let rtt = ctx.rtt_internal();
             if coin(&mut ctx.rng, 0.03) {
-                let mut spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, vec![]);
+                let mut spec = TcpSessionSpec::bare(ctx.start(), client, server, rtt);
                 spec.outcome = Outcome::Rejected;
                 ctx.tcp(&spec);
             } else {
@@ -178,17 +178,17 @@ fn imap_traffic(ctx: &mut TraceCtx<'_>) {
         let fetch_bytes =
             (LogNormal::from_median(24_000.0, 1.8).sample_clamped(&mut ctx.rng, 600.0, 40e6)
                 * volume) as usize;
-        let mut exchanges = Vec::new();
+        let mut exchanges = Vec::with_capacity(8 + 2 * polls as usize);
         if ctx.spec.imap_cleartext {
-            exchanges.push(Exchange::server(b"* OK IMAP4rev1 ready\r\n".to_vec(), 0));
+            exchanges.push(Exchange::server(Payload::from_static(b"* OK IMAP4rev1 ready\r\n"), 0));
             exchanges.push(Exchange::client(imap::encode_client_session(0, 0), 20_000));
-            exchanges.push(Exchange::server(b"a001 OK done\r\n".to_vec(), 20_000));
+            exchanges.push(Exchange::server(Payload::from_static(b"a001 OK done\r\n"), 20_000));
             for _ in 0..polls {
-                exchanges.push(Exchange::client(b"a009 NOOP\r\n".to_vec(), poll_gap));
-                exchanges.push(Exchange::server(b"a009 OK NOOP\r\n".to_vec(), 5_000));
+                exchanges.push(Exchange::client(Payload::from_static(b"a009 NOOP\r\n"), poll_gap));
+                exchanges.push(Exchange::server(Payload::from_static(b"a009 OK NOOP\r\n"), 5_000));
             }
-            exchanges.push(Exchange::client(b"a010 FETCH 1 (RFC822)\r\n".to_vec(), 30_000));
-            exchanges.push(Exchange::server(vec![b'M'; fetch_bytes], 30_000));
+            exchanges.push(Exchange::client(Payload::from_static(b"a010 FETCH 1 (RFC822)\r\n"), 30_000));
+            exchanges.push(Exchange::server(Payload::fill(b'M', fetch_bytes), 30_000));
         } else {
             let (ch, sf, ccc, scc) = ssl::encode_handshake();
             exchanges.push(Exchange::client(ch, 0));
@@ -210,7 +210,11 @@ fn imap_traffic(ctx: &mut TraceCtx<'_>) {
             while remaining > 0 {
                 let chunk = remaining.min(16_000);
                 exchanges.push(Exchange::server(
-                    ssl::encode_record(ssl::RecordType::ApplicationData, &vec![0u8; chunk]),
+                    Payload::head_fill(
+                        ssl::record_head(ssl::RecordType::ApplicationData, chunk),
+                        0u8,
+                        chunk,
+                    ),
                     0,
                 ));
                 remaining -= chunk;
@@ -242,7 +246,8 @@ fn other_email(ctx: &mut TraceCtx<'_>) {
         let exchanges = if port == 995 {
             // POP over SSL: real TLS handshake then ciphertext records.
             let (ch, sf, ccc, scc) = ssl::encode_handshake();
-            vec![
+            let resp_len = ctx.rng.random_range(200..8_000);
+            Vec::from([
                 Exchange::client(ch, 0),
                 Exchange::server(sf, 2_000),
                 Exchange::client(ccc, 1_000),
@@ -252,17 +257,18 @@ fn other_email(ctx: &mut TraceCtx<'_>) {
                     5_000,
                 ),
                 Exchange::server(
-                    ssl::encode_record(
-                        ssl::RecordType::ApplicationData,
-                        &vec![0u8; ctx.rng.random_range(200..8_000)],
+                    Payload::head_fill(
+                        ssl::record_head(ssl::RecordType::ApplicationData, resp_len),
+                        0u8,
+                        resp_len,
                     ),
                     5_000,
                 ),
-            ]
+            ])
         } else {
-            let req = vec![b'q'; ctx.rng.random_range(20..200)];
-            let resp = vec![b'r'; ctx.rng.random_range(100..8_000)];
-            vec![Exchange::client(req, 0), Exchange::server(resp, 10_000)]
+            let req = Payload::fill(b'q', ctx.rng.random_range(20..200));
+            let resp = Payload::fill(b'r', ctx.rng.random_range(100..8_000));
+            Vec::from([Exchange::client(req, 0), Exchange::server(resp, 10_000)])
         };
         let spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, exchanges);
         ctx.tcp(&spec);

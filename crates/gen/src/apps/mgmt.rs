@@ -10,7 +10,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, weighted_choice};
 use crate::network::Role;
-use crate::synth::{Exchange, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
+use crate::synth::{Exchange, Payload, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
 use ent_wire::ethernet::MacAddr;
 use ent_wire::ipv4;
 use rand::RngExt;
@@ -28,17 +28,10 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
 }
 
 fn udp_pair(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, req: usize, resp: usize, rtt: u64) {
-    let mut messages = vec![UdpMessage {
-        from_client: true,
-        payload: vec![0x4D; req],
-        gap_us: 0,
-    }];
+    let mut messages = Vec::with_capacity(2);
+    messages.push(UdpMessage::client(Payload::fill(0x4D, req), 0));
     if resp > 0 {
-        messages.push(UdpMessage {
-            from_client: false,
-            payload: vec![0x4D; resp],
-            gap_us: 0,
-        });
+        messages.push(UdpMessage::server(Payload::fill(0x4D, resp), 0));
     }
     let spec = UdpFlowSpec {
         start: ctx.start(),
@@ -104,11 +97,7 @@ fn netmgnt(ctx: &mut TraceCtx<'_>) {
                     client,
                     server,
                     half_rtt_us: 0,
-                    messages: vec![UdpMessage {
-                        from_client: true,
-                        payload: vec![0x63; 300],
-                        gap_us: 0,
-                    }],
+                    messages: Vec::from([UdpMessage::client(Payload::fill(0x63, 300), 0)]),
                     multicast_mac: Some(MacAddr::BROADCAST),
                 };
                 ctx.udp(&spec);
@@ -135,10 +124,11 @@ fn netmgnt(ctx: &mut TraceCtx<'_>) {
                 // periodic-announcement stability observation).
                 let announcements = ctx.rng.random_range(2..5);
                 let messages = (0..announcements)
-                    .map(|i| UdpMessage {
-                        from_client: true,
-                        payload: vec![0x20; ctx.rng.random_range(180..420)],
-                        gap_us: if i == 0 { 0 } else { ctx.rng.random_range(240_000_000..400_000_000) },
+                    .map(|i| {
+                        UdpMessage::client(
+                            Payload::fill(0x20, ctx.rng.random_range(180..420)),
+                            if i == 0 { 0 } else { ctx.rng.random_range(240_000_000..400_000_000) },
+                        )
                     })
                     .collect();
                 let spec = UdpFlowSpec {
@@ -168,10 +158,10 @@ fn netmgnt(ctx: &mut TraceCtx<'_>) {
                     client,
                     server,
                     rtt,
-                    vec![
-                        Exchange::client(b"40000, 25\r\n".to_vec(), 0),
-                        Exchange::server(b"40000, 25 : USERID : UNIX : user\r\n".to_vec(), 5_000),
-                    ],
+                    Vec::from([
+                        Exchange::client(Payload::from_static(b"40000, 25\r\n"), 0),
+                        Exchange::server(Payload::from_static(b"40000, 25 : USERID : UNIX : user\r\n"), 5_000),
+                    ]),
                 );
                 ctx.tcp(&spec);
             }
@@ -212,10 +202,10 @@ fn misc(ctx: &mut TraceCtx<'_>) {
         let server = ctx.peer_of(&server_host, port);
         let rtt = ctx.rtt_internal();
         let reqs = ctx.rng.random_range(1..8);
-        let mut exchanges = Vec::new();
+        let mut exchanges = Vec::with_capacity(2 * reqs as usize + 1);
         for _ in 0..reqs {
             exchanges.push(Exchange::client(
-                vec![0x51; ctx.rng.random_range(40..400)],
+                Payload::fill(0x51, ctx.rng.random_range(40..400)),
                 ctx.rng.random_range(5_000..200_000),
             ));
             let resp = if port == 515 || port == 631 {
@@ -223,12 +213,12 @@ fn misc(ctx: &mut TraceCtx<'_>) {
             } else {
                 ctx.rng.random_range(200..6_000)
             };
-            exchanges.push(Exchange::server(vec![0x52; resp], 4_000));
+            exchanges.push(Exchange::server(Payload::fill(0x52, resp), 4_000));
         }
         if port == 515 {
             // The print job payload itself.
             exchanges.push(Exchange::client(
-                vec![0x1B; ctx.rng.random_range(20_000..400_000)],
+                Payload::fill(0x1B, ctx.rng.random_range(20_000..400_000)),
                 20_000,
             ));
         }
@@ -252,10 +242,10 @@ fn other(ctx: &mut TraceCtx<'_>) {
             client,
             server,
             rtt,
-            vec![
-                Exchange::client(vec![0x58; ctx.rng.random_range(20..2_000)], 0),
-                Exchange::server(vec![0x59; ctx.rng.random_range(20..8_000)], 10_000),
-            ],
+            Vec::from([
+                Exchange::client(Payload::fill(0x58, ctx.rng.random_range(20..2_000)), 0),
+                Exchange::server(Payload::fill(0x59, ctx.rng.random_range(20..8_000)), 10_000),
+            ]),
         );
         ctx.tcp(&spec);
     }
@@ -308,6 +298,8 @@ fn icmp_echo(ctx: &mut TraceCtx<'_>) {
 
 /// IGMP, PIM, ESP, GRE and the unidentified protocol 224 (§3).
 fn minor_transports(ctx: &mut TraceCtx<'_>) {
+    // Zero payloads for the minor transports, sliced to length.
+    static ZEROS: [u8; 200] = [0u8; 200];
     let n = ctx.count(120.0);
     for _ in 0..n {
         let proto = weighted_choice(
@@ -331,7 +323,7 @@ fn minor_transports(ctx: &mut TraceCtx<'_>) {
                 s.addr
             },
             proto,
-            &vec![0u8; len],
+            &ZEROS[..len],
         );
         let t = ctx.start();
         ctx.push_frame(t, &frame);

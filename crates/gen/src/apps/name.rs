@@ -18,7 +18,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, weighted_choice, Zipf};
 use crate::network::Role;
-use crate::synth::{Peer, UdpFlowSpec, UdpMessage};
+use crate::synth::{Payload, Peer, UdpFlowSpec, UdpMessage};
 use ent_proto::dns::{self, QType, RCode};
 use ent_proto::netbios::{self, NameType, NsOpcode};
 use ent_wire::ethernet::MacAddr;
@@ -71,41 +71,25 @@ fn dns_name(ctx: &mut TraceCtx<'_>, qtype: QType) -> String {
 }
 
 fn dns_flow(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, rtt: u64, queries: usize) {
-    let mut messages = Vec::new();
+    let mut messages = Vec::with_capacity(4 * queries);
     for q in 0..queries {
         let id = ctx.rng.random::<u16>();
         let qtype = sample_qtype(ctx);
         let rcode = sample_rcode(ctx);
         let name = dns_name(ctx, qtype);
         let gap = if q == 0 { 0 } else { ctx.rng.random_range(1_000..40_000) };
-        messages.push(UdpMessage {
-            from_client: true,
-            payload: dns::encode_query(id, &name, qtype),
-            gap_us: gap,
-        });
+        messages.push(UdpMessage::client(dns::encode_query(id, &name, qtype), gap));
         let answers = if rcode == RCode::NoError {
             ctx.rng.random_range(1..3)
         } else {
             0
         };
-        messages.push(UdpMessage {
-            from_client: false,
-            payload: dns::encode_response(id, &name, qtype, rcode, answers),
-            gap_us: 0,
-        });
+        messages.push(UdpMessage::server(dns::encode_response(id, &name, qtype, rcode, answers), 0));
         // Parallel AAAA alongside A (the paper's surprising AAAA share).
         if qtype == QType::A && coin(&mut ctx.rng, 0.28) {
             let id6 = ctx.rng.random::<u16>();
-            messages.push(UdpMessage {
-                from_client: true,
-                payload: dns::encode_query(id6, &name, QType::Aaaa),
-                gap_us: 0,
-            });
-            messages.push(UdpMessage {
-                from_client: false,
-                payload: dns::encode_response(id6, &name, QType::Aaaa, rcode, 0),
-                gap_us: 0,
-            });
+            messages.push(UdpMessage::client(dns::encode_query(id6, &name, QType::Aaaa), 0));
+            messages.push(UdpMessage::server(dns::encode_response(id6, &name, QType::Aaaa, rcode, 0), 0));
         }
     }
     let spec = UdpFlowSpec {
@@ -199,18 +183,10 @@ fn nbns_traffic(ctx: &mut TraceCtx<'_>) {
         let id = ctx.rng.random::<u16>();
         let rcode = if stale { 3 } else { 0 };
         let rtt = ctx.rtt_internal();
-        let messages = vec![
-            UdpMessage {
-                from_client: true,
-                payload: netbios::encode_ns_request(id, opcode, &name, ntype),
-                gap_us: 0,
-            },
-            UdpMessage {
-                from_client: false,
-                payload: netbios::encode_ns_response(id, opcode, &name, ntype, rcode),
-                gap_us: 0,
-            },
-        ];
+        let messages = Vec::from([
+            UdpMessage::client(netbios::encode_ns_request(id, opcode, &name, ntype), 0),
+            UdpMessage::server(netbios::encode_ns_response(id, opcode, &name, ntype, rcode), 0),
+        ]);
         let spec = UdpFlowSpec {
             start: ctx.start(),
             client,
@@ -236,17 +212,13 @@ fn srvloc_traffic(ctx: &mut TraceCtx<'_>) {
             ttl: 8,
         };
         // Multicast service request (one flow per event).
-        let payload = vec![2u8; ctx.rng.random_range(60..140)];
+        let payload = Payload::fill(2u8, ctx.rng.random_range(60..140));
         let spec = UdpFlowSpec {
             start: ctx.start(),
             client: sender,
             server: group,
             half_rtt_us: 0,
-            messages: vec![UdpMessage {
-                from_client: true,
-                payload,
-                gap_us: 0,
-            }],
+            messages: Vec::from([UdpMessage::client(payload, 0)]),
             multicast_mac: Some(SRVLOC_MAC),
         };
         ctx.udp(&spec);
@@ -268,11 +240,7 @@ fn srvloc_traffic(ctx: &mut TraceCtx<'_>) {
                     client: da,
                     server: peer,
                     half_rtt_us: 200,
-                    messages: vec![UdpMessage {
-                        from_client: true,
-                        payload: vec![2u8; 80],
-                        gap_us: 0,
-                    }],
+                    messages: Vec::from([UdpMessage::client(Payload::fill(2u8, 80), 0)]),
                     multicast_mac: None,
                 };
                 ctx.udp(&spec);

@@ -18,7 +18,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, weighted_choice, LogNormal};
 use crate::network::Role;
-use crate::synth::{Close, Exchange, Keepalives, Outcome, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
+use crate::synth::{Close, Exchange, Keepalives, Outcome, Payload, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
 use ent_proto::ncp::{self, NcpOp};
 use ent_proto::nfs::NfsOp;
 use ent_proto::sunrpc;
@@ -87,8 +87,8 @@ fn nfs_pair(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, budget_bytes: f6
     let mut xid = ctx.rng.random::<u32>();
     let start = ctx.early_start(0.5);
     let mut spent = 0f64;
-    let mut udp_messages: Vec<UdpMessage> = Vec::new();
-    let mut tcp_exchanges: Vec<Exchange> = Vec::new();
+    let mut udp_messages: Vec<UdpMessage> = Vec::default();
+    let mut tcp_exchanges: Vec<Exchange> = Vec::default();
     // Cap request count so tiny budgets still make 1 request and huge
     // heavy-hitter budgets generate their tens of thousands.
     let mut requests = 0u32;
@@ -106,26 +106,32 @@ fn nfs_pair(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, budget_bytes: f6
             _ => (80, if ok { 110 } else { 4 }),
         };
         let status = if ok { 0 } else { 2 }; // NFS3ERR_NOENT
-        let call = sunrpc::encode_call(xid, sunrpc::PROG_NFS, 3, op.to_proc(), req_arg);
-        let reply = sunrpc::encode_reply(xid, status, reply_res);
+        // Head-only encodings: the constant argument/result filler stays
+        // symbolic so the frame writers emit it as an O(1)-checksum run.
+        let call_head = sunrpc::call_head(xid, sunrpc::PROG_NFS, 3, op.to_proc());
+        let reply_head = sunrpc::reply_head(xid, status);
         xid = xid.wrapping_add(1);
         let gap = ctx.rng.random_range(800..9_000u64);
-        spent += (call.len() + reply.len()) as f64;
+        spent += (call_head.len() + req_arg + reply_head.len() + reply_res) as f64;
         requests += 1;
         if over_udp {
-            udp_messages.push(UdpMessage {
-                from_client: true,
-                payload: call,
-                gap_us: gap,
-            });
-            udp_messages.push(UdpMessage {
-                from_client: false,
-                payload: reply,
-                gap_us: 0,
-            });
+            udp_messages.push(UdpMessage::client(
+                Payload::head_fill(call_head, sunrpc::CALL_FILL, req_arg),
+                gap,
+            ));
+            udp_messages.push(UdpMessage::server(
+                Payload::head_fill(reply_head, sunrpc::REPLY_FILL, reply_res),
+                0,
+            ));
         } else {
-            tcp_exchanges.push(Exchange::client(sunrpc::mark_record(&call), gap));
-            tcp_exchanges.push(Exchange::server(sunrpc::mark_record(&reply), 300));
+            tcp_exchanges.push(Exchange::client(
+                Payload::head_fill(sunrpc::mark_record_head(&call_head, req_arg), sunrpc::CALL_FILL, req_arg),
+                gap,
+            ));
+            tcp_exchanges.push(Exchange::server(
+                Payload::head_fill(sunrpc::mark_record_head(&reply_head, reply_res), sunrpc::REPLY_FILL, reply_res),
+                300,
+            ));
         }
     }
     if over_udp {
@@ -236,14 +242,14 @@ fn ncp_traffic(ctx: &mut TraceCtx<'_>) {
         let rtt = ctx.rtt_internal();
         // Connection failure: 2-12%.
         if coin(&mut ctx.rng, 0.06) {
-            let mut spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, vec![]);
+            let mut spec = TcpSessionSpec::bare(ctx.start(), client, server, rtt);
             spec.outcome = Outcome::Rejected;
             ctx.tcp(&spec);
             continue;
         }
         // 40-80% keep-alive-only connections.
         if coin(&mut ctx.rng, 0.6) {
-            let mut spec = TcpSessionSpec::success(ctx.early_start(0.3), client, server, rtt, vec![]);
+            let mut spec = TcpSessionSpec::bare(ctx.early_start(0.3), client, server, rtt);
             spec.keepalives = Some(Keepalives {
                 interval_us: 300_000_000, // 5-minute probes
                 count: ctx.rng.random_range(2..10),
@@ -263,7 +269,7 @@ fn ncp_traffic(ctx: &mut TraceCtx<'_>) {
         } else {
             (LogNormal::from_median(40.0, 1.6).sample_clamped(&mut ctx.rng, 1.0, 4_000.0)) as u32
         };
-        let mut exchanges = Vec::new();
+        let mut exchanges = Vec::with_capacity(2 * requests as usize);
         let mut seq = 0u8;
         for _ in 0..requests {
             let op = weighted_choice(&mut ctx.rng, &mix);
@@ -283,9 +289,16 @@ fn ncp_traffic(ctx: &mut TraceCtx<'_>) {
                 _ => (20, if ok { 60 } else { 0 }),
             };
             let gap = ctx.rng.random_range(800..9_000u64);
-            exchanges.push(Exchange::client(ncp::encode_request(seq, op, req_extra), gap));
+            exchanges.push(Exchange::client(
+                Payload::head_fill(ncp::request_head(seq, op, req_extra), ncp::REQUEST_FILL, req_extra),
+                gap,
+            ));
             exchanges.push(Exchange::server(
-                ncp::encode_reply(seq, if ok { 0 } else { 0x9C }, reply_extra),
+                Payload::head_fill(
+                    ncp::reply_head(seq, if ok { 0 } else { 0x9C }, reply_extra),
+                    ncp::REPLY_FILL,
+                    reply_extra,
+                ),
                 300,
             ));
             seq = seq.wrapping_add(1);
@@ -380,12 +393,12 @@ mod tests {
         for _ in 0..3 {
             nfs_traffic(&mut c);
         }
-        let mut ops: std::collections::HashMap<String, usize> = Default::default();
+        let mut ops: std::collections::HashMap<&'static str, usize> = Default::default();
         for p in &c.out.to_packets() {
             let pkt = Packet::parse(&p.frame).unwrap();
             if pkt.udp().map(|(_, d, _)| d == 2049) == Some(true) {
                 if let Some(sunrpc::Message::Call(call)) = sunrpc::parse_message(pkt.payload()) {
-                    *ops.entry(format!("{:?}", NfsOp::from_proc(call.proc))).or_default() += 1;
+                    *ops.entry(NfsOp::from_proc(call.proc).label()).or_default() += 1;
                 }
             }
         }

@@ -62,6 +62,9 @@ fn arp_frame(ctx: &mut TraceCtx<'_>) -> Vec<u8> {
     ethernet::emit(dst, src, EtherType::Arp, &pkt.emit())
 }
 
+/// Shared zero filler for the small non-IP payloads.
+static ZEROS: [u8; 256] = [0u8; 256];
+
 fn ipx_frame(ctx: &mut TraceCtx<'_>) -> Vec<u8> {
     let h = ctx.local_client();
     // SAP/RIP broadcast chatter; half Ethernet-II framed, half raw 802.3.
@@ -84,7 +87,7 @@ fn ipx_frame(ctx: &mut TraceCtx<'_>) -> Vec<u8> {
             node: [0xFF; 6],
             socket,
         },
-        &vec![0u8; payload_len],
+        &ZEROS[..payload_len],
     );
     if ctx.rng.random::<f64>() < 0.5 {
         ethernet::emit(MacAddr::BROADCAST, h.mac, EtherType::Ipx, &pkt)
@@ -111,7 +114,7 @@ fn other_frame(ctx: &mut TraceCtx<'_>) -> Vec<u8> {
         ],
     );
     let len = ctx.rng.random_range(46..200usize);
-    ethernet::emit(MacAddr::BROADCAST, h.mac, ethertype, &vec![0u8; len])
+    ethernet::emit(MacAddr::BROADCAST, h.mac, ethertype, &ZEROS[..len])
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 use super::TraceCtx;
 use crate::distr::coin;
 use crate::packs::label;
-use crate::synth::{Outcome, Peer, TcpSessionSpec};
+use crate::synth::{Outcome, Payload, Peer, TcpSessionSpec, UdpMessage};
 use ent_wire::ipv4;
 use rand::RngExt;
 
@@ -70,11 +70,10 @@ fn background_radiation(ctx: &mut TraceCtx<'_>) {
                 client: src,
                 server: dst,
                 half_rtt_us: 0,
-                messages: vec![crate::synth::UdpMessage {
-                    from_client: true,
-                    payload: vec![0x90; ctx.rng.random_range(60..404)],
-                    gap_us: 0,
-                }],
+                messages: Vec::from([UdpMessage::client(
+                    Payload::fill(0x90, ctx.rng.random_range(60..404)),
+                    0,
+                )]),
                 multicast_mac: None,
             };
             ctx.udp(&spec);
@@ -82,7 +81,7 @@ fn background_radiation(ctx: &mut TraceCtx<'_>) {
             // TCP probes at Windows service ports.
             let port = [445u16, 135, 139, 1_025].get(ctx.rng.random_range(0..4usize)).copied().unwrap_or(445);
             let dst = Peer { addr: target, mac: dst_mac, port, ttl: 48 };
-            let mut spec = TcpSessionSpec::success(start, src, dst, 40_000, vec![]);
+            let mut spec = TcpSessionSpec::bare(start, src, dst, 40_000);
             // Only populated addresses can actively reject.
             spec.outcome = if octet < 60 && coin(&mut ctx.rng, 0.3) {
                 Outcome::Rejected
@@ -130,7 +129,7 @@ fn internal_scanners(ctx: &mut TraceCtx<'_>) {
                 port,
                 ttl: 63,
             };
-            let mut spec = TcpSessionSpec::success(t, client, server, 400, vec![]);
+            let mut spec = TcpSessionSpec::bare(t, client, server, 400);
             // Scanners mostly hit closed ports; sometimes they engage
             // services that otherwise sit idle (the paper's skew caveat).
             let r: f64 = ctx.rng.random();
@@ -139,10 +138,10 @@ fn internal_scanners(ctx: &mut TraceCtx<'_>) {
             } else if r < 0.85 {
                 spec.outcome = Outcome::Unanswered;
             } else {
-                spec.exchanges = vec![crate::synth::Exchange::server(
-                    b"220 banner\r\n".to_vec(),
+                spec.exchanges = Vec::from([crate::synth::Exchange::server(
+                    Payload::from_static(b"220 banner\r\n"),
                     2_000,
-                )];
+                )]);
             }
             ctx.tcp(&spec);
             t += ctx.rng.random_range(2_000..40_000);

@@ -7,7 +7,7 @@
 use super::TraceCtx;
 use crate::distr::coin;
 use crate::network::Role;
-use crate::synth::{Exchange, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
+use crate::synth::{Exchange, Payload, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
 use ent_wire::ethernet::MacAddr;
 use ent_wire::ipv4;
 use rand::RngExt;
@@ -43,14 +43,14 @@ fn unicast(ctx: &mut TraceCtx<'_>) {
             client,
             server,
             rtt,
-            vec![
-                Exchange::client(b"DESCRIBE rtsp://server/stream RTSP/1.0\r\nCSeq: 1\r\n\r\n".to_vec(), 0),
-                Exchange::server(vec![b's'; 800], 20_000),
-                Exchange::client(b"SETUP rtsp://server/stream RTSP/1.0\r\nCSeq: 2\r\n\r\n".to_vec(), 30_000),
-                Exchange::server(vec![b's'; 300], 10_000),
-                Exchange::client(b"PLAY rtsp://server/stream RTSP/1.0\r\nCSeq: 3\r\n\r\n".to_vec(), 20_000),
-                Exchange::server(vec![b's'; 200], 10_000),
-            ],
+            Vec::from([
+                Exchange::client(Payload::from_static(b"DESCRIBE rtsp://server/stream RTSP/1.0\r\nCSeq: 1\r\n\r\n"), 0),
+                Exchange::server(Payload::fill(b's', 800), 20_000),
+                Exchange::client(Payload::from_static(b"SETUP rtsp://server/stream RTSP/1.0\r\nCSeq: 2\r\n\r\n"), 30_000),
+                Exchange::server(Payload::fill(b's', 300), 10_000),
+                Exchange::client(Payload::from_static(b"PLAY rtsp://server/stream RTSP/1.0\r\nCSeq: 3\r\n\r\n"), 20_000),
+                Exchange::server(Payload::fill(b's', 200), 10_000),
+            ]),
         );
         ctx.tcp(&ctl);
         // RTP-over-UDP media, server → client.
@@ -62,11 +62,7 @@ fn unicast(ctx: &mut TraceCtx<'_>) {
         let mut media_client = client;
         media_client.port = ctx.eph();
         let messages: Vec<UdpMessage> = (0..n_pkts)
-            .map(|_| UdpMessage {
-                from_client: false,
-                payload: vec![0x80; 350],
-                gap_us: 1_000_000 / pps,
-            })
+            .map(|_| UdpMessage::server(Payload::fill(0x80, 350), 1_000_000 / pps))
             .collect();
         let spec = UdpFlowSpec {
             start: start + 500_000,
@@ -105,11 +101,7 @@ pub fn multicast_background(ctx: &mut TraceCtx<'_>) {
         let n = total_pkts / streams as u64;
         let gap = (ctx.duration_us / n.max(1)).max(1);
         let messages: Vec<UdpMessage> = (0..n)
-            .map(|_| UdpMessage {
-                from_client: true,
-                payload: vec![0x80; 1_316],
-                gap_us: gap,
-            })
+            .map(|_| UdpMessage::client(Payload::fill(0x80, 1_316), gap))
             .collect();
         let spec = UdpFlowSpec {
             start: ent_wire::Timestamp::from_micros(ctx.rng.random_range(0..gap.max(2))),

@@ -19,7 +19,7 @@
 use super::TraceCtx;
 use crate::distr::{coin, weighted_choice, LogNormal};
 use crate::network::Role;
-use crate::synth::{Close, Exchange, Outcome, Peer, TcpSessionSpec};
+use crate::synth::{Close, Exchange, Outcome, Payload, Peer, TcpSessionSpec};
 use ent_proto::http;
 use ent_proto::ssl;
 use ent_wire::Timestamp;
@@ -35,7 +35,7 @@ pub fn generate(ctx: &mut TraceCtx<'_>) {
     let pool_size = (n / 10).clamp(3, 40);
     let browsers: Vec<crate::network::Host> =
         (0..pool_size).map(|_| ctx.local_wan_client()).collect();
-    let mut wan_servers: Vec<Peer> = Vec::new();
+    let mut wan_servers: Vec<Peer> = Vec::with_capacity(8);
     for _ in 0..n {
         let wan = coin(&mut ctx.rng, ctx.spec.web_wan_frac);
         let client = browsers[ctx.rng.random_range(0..browsers.len())];
@@ -70,6 +70,15 @@ fn sample_content(ctx: &mut TraceCtx<'_>) -> &'static str {
             ("video/mpeg", 1.0),
             ("audio/mpeg", 1.0),
         ],
+    )
+}
+
+/// A response with a body: template head plus a symbolic filler run.
+fn response_payload(status: u16, content_type: &str, body_len: usize) -> Payload {
+    Payload::head_fill(
+        http::encode_response_head(status, content_type, body_len),
+        http::RESPONSE_FILL,
+        body_len,
     )
 }
 
@@ -112,7 +121,7 @@ fn browser_connection(
         pair_hash % 100 < 14
     };
     if fail {
-        let mut spec = TcpSessionSpec::success(ctx.start(), client, server, rtt, vec![]);
+        let mut spec = TcpSessionSpec::bare(ctx.start(), client, server, rtt);
         spec.outcome = if coin(&mut ctx.rng, 0.75) {
             Outcome::Rejected // "terminated with TCP RSTs by the servers"
         } else {
@@ -129,36 +138,48 @@ fn browser_connection(
         2 + ctx.rng.random_range(0..13usize)
     };
     let cond_p = if wan { 0.16 } else { 0.42 };
-    let mut exchanges = Vec::new();
+    let mut exchanges = Vec::with_capacity(2 * transactions);
     for i in 0..transactions {
         let conditional = coin(&mut ctx.rng, cond_p);
         let method = if coin(&mut ctx.rng, 0.03) { "POST" } else { "GET" };
-        let uri = format!("/page{}/obj{}.html", ctx.rng.random_range(0..500u32), i);
-        let body: Vec<u8> = if method == "POST" {
-            vec![b'p'; ctx.rng.random_range(64..2_048)]
+        let page = u64::from(ctx.rng.random_range(0..500u32));
+        let body_len = if method == "POST" {
+            ctx.rng.random_range(64..2_048)
         } else {
-            Vec::new()
+            0
         };
-        let req = http::encode_request(method, &uri, "www.server.example", "Mozilla/5.0 (X11; U)", conditional, &body);
+        let req = Payload::head_fill(
+            http::encode_request_head(
+                method,
+                &["/page", "/obj", ".html"],
+                &[page, i as u64],
+                "www.server.example",
+                "Mozilla/5.0 (X11; U)",
+                conditional,
+                body_len,
+            ),
+            b'p',
+            body_len,
+        );
         exchanges.push(Exchange::client(req, if i == 0 { 0 } else { ctx.rng.random_range(10_000..400_000) }));
         // Response: conditional GETs usually yield 304 (the byte saving).
         let resp = if conditional {
             if coin(&mut ctx.rng, 0.85) {
-                http::encode_response(304, "", 0)
+                Payload::from(http::encode_response_head(304, "", 0))
             } else {
                 // Revalidation missed: the refreshed object is a typical
                 // page asset, not a bulk download — this is what keeps
                 // conditional requests at only 1-9% of data bytes.
                 let content = sample_content(ctx);
                 let len = body_for_content(ctx, content).min(90_000);
-                http::encode_response(200, content, len)
+                response_payload(200, content, len)
             }
         } else if coin(&mut ctx.rng, 0.06) {
-            http::encode_response(404, "text/html", 220)
+            response_payload(404, "text/html", 220)
         } else {
             let content = sample_content(ctx);
             let len = body_for_content(ctx, content);
-            http::encode_response(200, content, len)
+            response_payload(200, content, len)
         };
         exchanges.push(Exchange::server(resp, ctx.rng.random_range(2_000..60_000)));
     }
@@ -208,12 +229,20 @@ fn automated_clients(ctx: &mut TraceCtx<'_>) {
     for _ in 0..n {
         let client = ctx.peer_eph(&scanner_host);
         let server = ctx.peer_of(&web, 80);
-        let uri = format!("/cgi-bin/test{}.cgi", ctx.rng.random_range(0..10_000u32));
-        let req = http::encode_request("GET", &uri, "target", "VulnScan/3.1 (security-scanner)", false, &[]);
+        let probe = u64::from(ctx.rng.random_range(0..10_000u32));
+        let req = http::encode_request_head(
+            "GET",
+            &["/cgi-bin/test", ".cgi"],
+            &[probe],
+            "target",
+            "VulnScan/3.1 (security-scanner)",
+            false,
+            0,
+        );
         let resp = if coin(&mut ctx.rng, 0.7) {
-            http::encode_response(404, "text/html", 180)
+            response_payload(404, "text/html", 180)
         } else {
-            http::encode_response(200, "text/html", 900)
+            response_payload(200, "text/html", 900)
         };
         let rtt = ctx.rtt_internal();
         let spec = TcpSessionSpec::success(
@@ -221,7 +250,7 @@ fn automated_clients(ctx: &mut TraceCtx<'_>) {
             client,
             server,
             rtt,
-            vec![Exchange::client(req, 0), Exchange::server(resp, 1_500)],
+            Vec::from([Exchange::client(req, 0), Exchange::server(resp, 1_500)]),
         );
         ctx.tcp(&spec);
     }
@@ -239,17 +268,17 @@ fn automated_clients(ctx: &mut TraceCtx<'_>) {
         for _ in 0..n {
             let client = ctx.peer_eph(&bot_host);
             let server = ctx.peer_of(&web, 80);
-            let uri = format!("/docs/{}.html", ctx.rng.random_range(0..100_000u32));
-            let req = http::encode_request("GET", &uri, "crawl", ua, false, &[]);
+            let doc = u64::from(ctx.rng.random_range(0..100_000u32));
+            let req = http::encode_request_head("GET", &["/docs/", ".html"], &[doc], "crawl", ua, false, 0);
             let len = size.sample_clamped(&mut ctx.rng, 2_000.0, 20e6) as usize;
-            let resp = http::encode_response(200, "application/octet-stream", len);
+            let resp = response_payload(200, "application/octet-stream", len);
             let rtt = ctx.rtt_internal();
             let spec = TcpSessionSpec::success(
                 ctx.start(),
                 client,
                 server,
                 rtt,
-                vec![Exchange::client(req, 0), Exchange::server(resp, 3_000)],
+                Vec::from([Exchange::client(req, 0), Exchange::server(resp, 3_000)]),
             );
             ctx.tcp(&spec);
         }
@@ -260,16 +289,20 @@ fn automated_clients(ctx: &mut TraceCtx<'_>) {
         let client_host = ctx.local_client();
         let client = ctx.peer_eph(&client_host);
         let server = ctx.peer_of(&web, 80);
-        let body = vec![b'i'; ctx.rng.random_range(256..4_096)];
-        let req = http::encode_request("POST", "/ifolder/sync", "ifolder", "iFolderClient/2.0", false, &body);
-        let resp = http::encode_response(200, "application/octet-stream", 32_780);
+        let body_len = ctx.rng.random_range(256..4_096);
+        let req = Payload::head_fill(
+            http::encode_request_head("POST", &["/ifolder/sync"], &[], "ifolder", "iFolderClient/2.0", false, body_len),
+            b'i',
+            body_len,
+        );
+        let resp = response_payload(200, "application/octet-stream", 32_780);
         let rtt = ctx.rtt_internal();
         let spec = TcpSessionSpec::success(
             ctx.start(),
             client,
             server,
             rtt,
-            vec![Exchange::client(req, 0), Exchange::server(resp, 2_000)],
+            Vec::from([Exchange::client(req, 0), Exchange::server(resp, 2_000)]),
         );
         ctx.tcp(&spec);
     }
@@ -309,15 +342,19 @@ fn https_traffic(ctx: &mut TraceCtx<'_>) {
 
 fn tls_session(ctx: &mut TraceCtx<'_>, client: Peer, server: Peer, rtt: u64, app_records: u32) {
     let (ch, sf, ccc, scc) = ssl::encode_handshake();
-    let mut exchanges = vec![
+    let mut exchanges = Vec::from([
         Exchange::client(ch, 0),
         Exchange::server(sf, 1_000),
         Exchange::client(ccc, 500),
         Exchange::server(scc, 500),
-    ];
+    ]);
     for i in 0..app_records {
         let len = ctx.rng.random_range(100..2_000);
-        let rec = ssl::encode_record(ssl::RecordType::ApplicationData, &vec![0u8; len]);
+        let rec = Payload::head_fill(
+            ssl::record_head(ssl::RecordType::ApplicationData, len),
+            0u8,
+            len,
+        );
         if i % 2 == 0 {
             exchanges.push(Exchange::client(rec, 1_000));
         } else {
@@ -400,7 +437,7 @@ mod tests {
                 let text = String::from_utf8_lossy(payload);
                 for line in text.lines() {
                     if let Some(ua) = line.strip_prefix("User-Agent: ") {
-                        kinds.insert(format!("{:?}", http::ClientKind::from_user_agent(ua)));
+                        kinds.insert(http::ClientKind::from_user_agent(ua).as_str());
                     }
                 }
             }

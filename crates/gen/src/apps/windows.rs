@@ -19,7 +19,7 @@ use super::TraceCtx;
 use crate::dataset::RpcProfile;
 use crate::distr::{coin, weighted_choice, LogNormal};
 use crate::network::Role;
-use crate::synth::{Close, Exchange, Outcome, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
+use crate::synth::{Close, Exchange, Outcome, Payload, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage};
 use ent_proto::cifs::{self, SmbCommand};
 use ent_proto::dcerpc::{self, interfaces};
 use ent_proto::netbios::{self, SsnType};
@@ -90,7 +90,7 @@ fn rpc_pipe_dialogue(ctx: &mut TraceCtx<'_>, exchanges: &mut Vec<Exchange>) {
                     } else {
                         ctx.rng.random_range(1..20)
                     };
-                    let mut calls = vec![(1u16, 120usize, 80usize), (17, 100, 40)];
+                    let mut calls = Vec::from([(1u16, 120usize, 80usize), (17, 100, 40)]);
                     for _ in 0..pages * 4 {
                         calls.push((19, 4_096, 16)); // WritePrinter
                     }
@@ -164,6 +164,7 @@ fn file_sharing_dialogue(ctx: &mut TraceCtx<'_>, exchanges: &mut Vec<Exchange>) 
 
 /// LANMAN management pipe traffic.
 fn lanman_dialogue(ctx: &mut TraceCtx<'_>, exchanges: &mut Vec<Exchange>) {
+    static ZEROS: [u8; 2_500] = [0u8; 2_500];
     let n = ctx.rng.random_range(1..3);
     for _ in 0..n {
         exchanges.push(Exchange::client(
@@ -171,7 +172,7 @@ fn lanman_dialogue(ctx: &mut TraceCtx<'_>, exchanges: &mut Vec<Exchange>) {
             2_000,
         ));
         exchanges.push(Exchange::server(
-            framed(cifs::encode_trans("\\PIPE\\LANMAN", true, &vec![0u8; ctx.rng.random_range(300..2_500)])),
+            framed(cifs::encode_trans("\\PIPE\\LANMAN", true, &ZEROS[..ctx.rng.random_range(300..2_500)])),
             1_500,
         ));
     }
@@ -200,7 +201,7 @@ fn cifs_session(ctx: &mut TraceCtx<'_>) {
     let use_139 = !server_445 || coin(&mut ctx.rng, 0.4);
 
     // Build the SMB dialogue.
-    let mut exchanges = Vec::new();
+    let mut exchanges = Vec::with_capacity(16);
     let mut ssn_ok = true;
     if use_139 {
         // NetBIOS-SSN application handshake (fails ~4% of the time).
@@ -253,12 +254,12 @@ fn cifs_session(ctx: &mut TraceCtx<'_>) {
             // 445 wins; the 139 connection is opened then dropped.
             let spec445 = TcpSessionSpec::success(start, client445, server445, rtt, exchanges);
             ctx.tcp(&spec445);
-            let mut spec139 = TcpSessionSpec::success(start + 150, client139, server139, rtt, vec![]);
+            let mut spec139 = TcpSessionSpec::bare(start + 150, client139, server139, rtt);
             spec139.close = Close::Rst;
             ctx.tcp(&spec139);
         } else {
             // Server rejects 445; dialogue proceeds on 139.
-            let mut spec445 = TcpSessionSpec::success(start, client445, server445, rtt, vec![]);
+            let mut spec445 = TcpSessionSpec::bare(start, client445, server445, rtt);
             spec445.outcome = if coin(&mut ctx.rng, 0.8) {
                 Outcome::Rejected
             } else {
@@ -310,7 +311,7 @@ fn epmapper_then_dcerpc(ctx: &mut TraceCtx<'_>) {
         client,
         epm_server,
         rtt,
-        vec![
+        Vec::from([
             Exchange::client(dcerpc::encode_bind(interfaces::EPMAPPER), 0),
             Exchange::server(dcerpc::encode_bind_ack(), 800),
             Exchange::client(dcerpc::encode_request(3, 80), 500),
@@ -318,16 +319,16 @@ fn epmapper_then_dcerpc(ctx: &mut TraceCtx<'_>) {
                 dcerpc::encode_epm_response(iface, server_host.addr, mapped_port),
                 800,
             ),
-        ],
+        ]),
     );
     ctx.tcp(&epm);
     // The mapped-port DCE/RPC conversation.
     let client2 = ctx.peer_eph(&client_host);
     let svc_server = ctx.peer_of(&server_host, mapped_port);
-    let mut exchanges = vec![
+    let mut exchanges = Vec::from([
         Exchange::client(dcerpc::encode_bind(iface), 0),
         Exchange::server(dcerpc::encode_bind_ack(), 800),
-    ];
+    ]);
     for _ in 0..calls {
         exchanges.push(Exchange::client(dcerpc::encode_request(opnum, req_len), 1_000));
         exchanges.push(Exchange::server(dcerpc::encode_response(resp_len), 800));
@@ -353,11 +354,7 @@ fn netbios_dgm(ctx: &mut TraceCtx<'_>) {
         client: sender,
         server: bcast,
         half_rtt_us: 0,
-        messages: vec![UdpMessage {
-            from_client: true,
-            payload: vec![0x11; size],
-            gap_us: 0,
-        }],
+        messages: Vec::from([UdpMessage::client(Payload::fill(0x11, size), 0)]),
         multicast_mac: Some(ent_wire::ethernet::MacAddr::BROADCAST),
     };
     ctx.udp(&spec);

@@ -77,32 +77,139 @@ pub enum Close {
     None,
 }
 
+/// One application payload: literal head bytes followed by a run of a
+/// single fill byte (`head ∥ [fill; fill_len]`).
+///
+/// Most of the corpus's payload volume is a short protocol head (status
+/// line, RPC header, record header) followed by a constant filler. Keeping
+/// the filler symbolic lets [`emit_tcp`]/[`emit_udp`] hand the frame
+/// builders a [`build::SplitPayload`], which checksums the run in O(1) and
+/// writes it with one memset — the template-slot fast path of DESIGN §8c.
+/// Fully-literal payloads use the head alone (`fill_len == 0`).
+#[derive(Debug, Clone)]
+pub struct Payload {
+    /// Literal leading bytes (static protocol constants borrow; per-session
+    /// heads with variable slots own their buffer).
+    pub head: std::borrow::Cow<'static, [u8]>,
+    /// Byte value repeated after the head.
+    pub fill: u8,
+    /// Number of fill bytes.
+    pub fill_len: usize,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub const EMPTY: Payload = Payload {
+        head: std::borrow::Cow::Borrowed(&[]),
+        fill: 0,
+        fill_len: 0,
+    };
+
+    /// A payload borrowing a static literal (no allocation).
+    pub fn from_static(head: &'static [u8]) -> Payload {
+        Payload {
+            head: std::borrow::Cow::Borrowed(head),
+            fill: 0,
+            fill_len: 0,
+        }
+    }
+
+    /// A pure fill run (no literal head).
+    pub fn fill(fill: u8, fill_len: usize) -> Payload {
+        Payload {
+            head: std::borrow::Cow::Borrowed(&[]),
+            fill,
+            fill_len,
+        }
+    }
+
+    /// A literal head followed by a fill run.
+    pub fn head_fill(head: impl Into<std::borrow::Cow<'static, [u8]>>, fill: u8, fill_len: usize) -> Payload {
+        Payload {
+            head: head.into(),
+            fill,
+            fill_len,
+        }
+    }
+
+    /// Logical payload length.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.fill_len
+    }
+
+    /// True when the payload has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The logical byte range `[start, end)` as a borrowed split payload
+    /// (used for MSS segmentation; `end` must not exceed `len()`).
+    pub fn part(&self, start: usize, end: usize) -> build::SplitPayload<'_> {
+        let hl = self.head.len();
+        let fill_start = start.max(hl);
+        build::SplitPayload {
+            head: &self.head[start.min(hl)..end.min(hl)],
+            fill: self.fill,
+            fill_len: end.saturating_sub(fill_start),
+        }
+    }
+
+    /// The whole payload as a borrowed split payload.
+    pub fn split(&self) -> build::SplitPayload<'_> {
+        self.part(0, self.len())
+    }
+
+    /// Materialize the logical bytes (tests and cold paths only).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len());
+        v.extend_from_slice(&self.head);
+        v.resize(self.len(), self.fill);
+        v
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(head: Vec<u8>) -> Payload {
+        Payload {
+            head: std::borrow::Cow::Owned(head),
+            fill: 0,
+            fill_len: 0,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Payload {
+    fn from(head: &'static [u8]) -> Payload {
+        Payload::from_static(head)
+    }
+}
+
 /// One application-level send.
 #[derive(Debug, Clone)]
 pub struct Exchange {
     /// Sent by the client (originator)?
     pub from_client: bool,
     /// Payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: Payload,
     /// Think/processing time before this send, microseconds.
     pub gap_us: u64,
 }
 
 impl Exchange {
     /// Client-side send after `gap_us`.
-    pub fn client(payload: Vec<u8>, gap_us: u64) -> Exchange {
+    pub fn client(payload: impl Into<Payload>, gap_us: u64) -> Exchange {
         Exchange {
             from_client: true,
-            payload,
+            payload: payload.into(),
             gap_us,
         }
     }
 
     /// Server-side send after `gap_us`.
-    pub fn server(payload: Vec<u8>, gap_us: u64) -> Exchange {
+    pub fn server(payload: impl Into<Payload>, gap_us: u64) -> Exchange {
         Exchange {
             from_client: false,
-            payload,
+            payload: payload.into(),
             gap_us,
         }
     }
@@ -162,6 +269,12 @@ impl TcpSessionSpec {
             retx_rate: 0.0,
         }
     }
+
+    /// A successful session with no application dialogue (connection-only
+    /// attempts: failures, probes, handshake-then-close).
+    pub fn bare(start: Timestamp, client: Peer, server: Peer, rtt_us: u64) -> TcpSessionSpec {
+        TcpSessionSpec::success(start, client, server, rtt_us, Vec::default())
+    }
 }
 
 /// Precompute the frame template for one direction of a TCP session.
@@ -198,12 +311,24 @@ struct TcpSim<'a, R: Rng + ?Sized> {
 
 impl<R: Rng + ?Sized> TcpSim<'_, R> {
     fn frame(&mut self, ts: Timestamp, from_client: bool, flags: tcp::Flags, seq: u32, ack: u32, payload: &[u8]) {
+        self.frame_split(ts, from_client, flags, seq, ack, build::SplitPayload::contiguous(payload));
+    }
+
+    fn frame_split(
+        &mut self,
+        ts: Timestamp,
+        from_client: bool,
+        flags: tcp::Flags,
+        seq: u32,
+        ack: u32,
+        payload: build::SplitPayload<'_>,
+    ) {
         let wire = (build::TCP_HDR_LEN + payload.len()) as u64;
         if !self.out.admit(ts, self.clip, wire) {
             return;
         }
         let tmpl = if from_client { &self.c_tmpl } else { &self.s_tmpl };
-        build::tcp_frame_into(tmpl, seq, ack, flags, payload, self.out.frame_buf());
+        build::tcp_frame_split_into(tmpl, seq, ack, flags, payload, self.out.frame_buf());
         self.out.commit(ts);
     }
 
@@ -315,9 +440,10 @@ impl<R: Rng + ?Sized> TcpSim<'_, R> {
 
     /// Send `payload` in MSS segments from one side; returns the time the
     /// last segment was sent.
-    fn send_data(&mut self, mut t: Timestamp, from_client: bool, payload: &[u8], half: u64) -> Timestamp {
+    fn send_data(&mut self, mut t: Timestamp, from_client: bool, payload: &Payload, half: u64) -> Timestamp {
         let rto = (4 * half).max(200_000);
-        let mut chunks = payload.chunks(MSS).peekable();
+        let total = payload.len();
+        let mut off = 0usize;
         let mut since_ack = 0;
         // Slow-start pacing: the sender stalls for a round trip after each
         // congestion window's worth of segments; the window doubles from 4
@@ -325,14 +451,17 @@ impl<R: Rng + ?Sized> TcpSim<'_, R> {
         // RTT (the paper's Figure 5 mechanism).
         let mut cwnd: u32 = 4;
         let mut in_window: u32 = 0;
-        while let Some(chunk) = chunks.next() {
+        while off < total {
+            let end = (off + MSS).min(total);
+            let chunk = payload.part(off, end);
+            let chunk_len = (end - off) as u32;
             if in_window >= cwnd {
                 t += 2 * half;
                 cwnd = (cwnd * 2).min(64);
                 in_window = 0;
             }
             in_window += 1;
-            let last = chunks.peek().is_none();
+            let last = end == total;
             let (seq, ack) = if from_client {
                 (self.c_seq, self.c_acked)
             } else {
@@ -342,15 +471,15 @@ impl<R: Rng + ?Sized> TcpSim<'_, R> {
             if last {
                 flags = flags | tcp::Flags::PSH;
             }
-            self.frame(t, from_client, flags, seq, ack, chunk);
+            self.frame_split(t, from_client, flags, seq, ack, chunk);
             if coin(self.rng, self.spec.retx_rate) {
                 // Timeout retransmission of the same segment.
-                self.frame(t + rto, from_client, flags, seq, ack, chunk);
+                self.frame_split(t + rto, from_client, flags, seq, ack, chunk);
             }
             if from_client {
-                self.c_seq = self.c_seq.wrapping_add(chunk.len() as u32);
+                self.c_seq = self.c_seq.wrapping_add(chunk_len);
             } else {
-                self.s_seq = self.s_seq.wrapping_add(chunk.len() as u32);
+                self.s_seq = self.s_seq.wrapping_add(chunk_len);
             }
             since_ack += 1;
             if since_ack == 2 || last {
@@ -368,7 +497,8 @@ impl<R: Rng + ?Sized> TcpSim<'_, R> {
                 }
                 since_ack = 0;
             }
-            t += (chunk.len() as u64 * NS_PER_BYTE) / 1_000 + 5;
+            t += (chunk_len as u64 * NS_PER_BYTE) / 1_000 + 5;
+            off = end;
         }
         t
     }
@@ -415,9 +545,29 @@ pub struct UdpMessage {
     /// Sent by the originator?
     pub from_client: bool,
     /// Datagram payload.
-    pub payload: Vec<u8>,
+    pub payload: Payload,
     /// Gap before this message, microseconds.
     pub gap_us: u64,
+}
+
+impl UdpMessage {
+    /// Client-side message after `gap_us`.
+    pub fn client(payload: impl Into<Payload>, gap_us: u64) -> UdpMessage {
+        UdpMessage {
+            from_client: true,
+            payload: payload.into(),
+            gap_us,
+        }
+    }
+
+    /// Server-side message after `gap_us`.
+    pub fn server(payload: impl Into<Payload>, gap_us: u64) -> UdpMessage {
+        UdpMessage {
+            from_client: false,
+            payload: payload.into(),
+            gap_us,
+        }
+    }
 }
 
 /// Specification of a UDP exchange.
@@ -467,7 +617,7 @@ pub fn emit_udp(spec: &UdpFlowSpec, out: &mut PacketArena, clip: Clip) {
             (&s_tmpl, t + spec.half_rtt_us)
         };
         if out.admit(ts, clip, (build::UDP_HDR_LEN + m.payload.len()) as u64) {
-            build::udp_frame_into(tmpl, &m.payload, out.frame_buf());
+            build::udp_frame_split_into(tmpl, m.payload.split(), out.frame_buf());
             out.commit(ts);
         }
     }
@@ -698,16 +848,8 @@ mod tests {
             server: s,
             half_rtt_us: 200,
             messages: vec![
-                UdpMessage {
-                    from_client: true,
-                    payload: vec![0u8; 30],
-                    gap_us: 0,
-                },
-                UdpMessage {
-                    from_client: false,
-                    payload: vec![0u8; 90],
-                    gap_us: 0,
-                },
+                UdpMessage::client(vec![0u8; 30], 0),
+                UdpMessage::server(vec![0u8; 90], 0),
             ],
             multicast_mac: None,
         };
@@ -730,6 +872,57 @@ mod tests {
         let pkts = synth_icmp_echo(Timestamp::ZERO, c, s, 500, 78, 2, false);
         let sums = track(&pkts);
         assert!(!sums[0].icmp_answered);
+    }
+
+    #[test]
+    fn split_payload_session_matches_materialized() {
+        // A head+fill payload must synthesize the exact frames of the same
+        // logical bytes materialized into one Vec — timestamps, RNG draws
+        // (retransmission coins) and wire bytes all identical.
+        let (c, s) = peers();
+        let odd_head = Payload::head_fill(b"HTTP/1.1 200 OK\r\n\r\nxyz".to_vec(), b'x', 40_001);
+        let pure_fill = Payload::fill(0x4E, 3 * MSS + 7);
+        for p in [odd_head, pure_fill] {
+            let mut split_spec = TcpSessionSpec::success(
+                Timestamp::ZERO,
+                c,
+                s,
+                400,
+                vec![Exchange::client(vec![1u8; 301], 0), Exchange::server(p.clone(), 500)],
+            );
+            split_spec.retx_rate = 0.2;
+            let mut mat_spec = split_spec.clone();
+            mat_spec.exchanges[1].payload = p.to_bytes().into();
+            let a = synth_tcp(&split_spec, &mut StdRng::seed_from_u64(9));
+            let b = synth_tcp(&mat_spec, &mut StdRng::seed_from_u64(9));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.ts, y.ts);
+                assert_eq!(x.frame, y.frame);
+            }
+        }
+
+        let mut su = UdpFlowSpec {
+            start: Timestamp::from_millis(10),
+            client: c,
+            server: s,
+            half_rtt_us: 200,
+            messages: vec![
+                UdpMessage::client(Payload::head_fill(b"req".to_vec(), 0x6E, 57), 0),
+                UdpMessage::server(Payload::fill(0x52, 900), 0),
+            ],
+            multicast_mac: None,
+        };
+        let a = synth_udp(&su);
+        for m in &mut su.messages {
+            m.payload = m.payload.to_bytes().into();
+        }
+        let b = synth_udp(&su);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ts, y.ts);
+            assert_eq!(x.frame, y.frame);
+        }
     }
 
     #[test]

@@ -674,8 +674,10 @@ mod tests {
         let cfg = LintConfig::default();
         // Same patterns in a non-listed gen module stay quiet (gen is not
         // an arith crate either, so e002 has no other reason to look).
+        // The app generators are all listed now, so the example is the
+        // site-modeling layer, which runs per trace rather than per packet.
         let f = SourceFile::new(
-            "crates/gen/src/apps/web.rs".into(),
+            "crates/gen/src/network.rs".into(),
             "gen".into(),
             false,
             b"fn emit() -> Vec<u8> {\n    Vec::new()\n}\n".to_vec(),

@@ -79,7 +79,22 @@ impl Default for LintConfig {
                 "crates/flow/src/shard.rs",
                 "crates/core/src/shard.rs",
             ]),
-            hot_alloc_files: v(&["crates/gen/src/synth.rs", "crates/wire/src/build.rs"]),
+            hot_alloc_files: v(&[
+                "crates/gen/src/synth.rs",
+                "crates/wire/src/build.rs",
+                "crates/gen/src/apps/mod.rs",
+                "crates/gen/src/apps/backup.rs",
+                "crates/gen/src/apps/bulk_interactive.rs",
+                "crates/gen/src/apps/email.rs",
+                "crates/gen/src/apps/mgmt.rs",
+                "crates/gen/src/apps/name.rs",
+                "crates/gen/src/apps/netfile.rs",
+                "crates/gen/src/apps/nonip.rs",
+                "crates/gen/src/apps/scanner.rs",
+                "crates/gen/src/apps/streaming.rs",
+                "crates/gen/src/apps/web.rs",
+                "crates/gen/src/apps/windows.rs",
+            ]),
             determinism_crates: v(&["flow", "proto", "core"]),
             sink_fn_markers: v(&["report", "render", "signature", "finalize", "finish", "emit", "summar"]),
             order_insensitive_markers: v(&[

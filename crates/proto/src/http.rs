@@ -31,24 +31,55 @@ pub enum ClientKind {
     OtherAutomated,
 }
 
+/// Case-insensitive substring search; `needle` must already be lowercase.
+/// Runs on the raw bytes so classifying a User-Agent never allocates —
+/// this sits on the analyzer's per-request path.
+fn contains_ignore_case(haystack: &str, needle: &str) -> bool {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() || h.len() < n.len() {
+        return n.is_empty();
+    }
+    h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
+}
+
 impl ClientKind {
     /// Classify a User-Agent header value.
     pub fn from_user_agent(ua: &str) -> ClientKind {
-        let l = ua.to_ascii_lowercase();
-        if l.contains("vulnscan") || l.contains("security-scanner") || l.contains("nessus") {
+        if contains_ignore_case(ua, "vulnscan")
+            || contains_ignore_case(ua, "security-scanner")
+            || contains_ignore_case(ua, "nessus")
+        {
             ClientKind::Scanner
-        } else if l.contains("googlebot-1") {
+        } else if contains_ignore_case(ua, "googlebot-1") {
             ClientKind::GoogleBot1
-        } else if l.contains("googlebot") {
+        } else if contains_ignore_case(ua, "googlebot") {
             ClientKind::GoogleBot2
-        } else if l.contains("ifolder") {
+        } else if contains_ignore_case(ua, "ifolder") {
             ClientKind::IFolder
-        } else if l.contains("netmeeting") {
+        } else if contains_ignore_case(ua, "netmeeting") {
             ClientKind::NetMeeting
-        } else if l.contains("bot") || l.contains("crawler") || l.contains("spider") {
+        } else if contains_ignore_case(ua, "bot")
+            || contains_ignore_case(ua, "crawler")
+            || contains_ignore_case(ua, "spider")
+        {
             ClientKind::OtherAutomated
         } else {
             ClientKind::Browser
+        }
+    }
+
+    /// The variant name, identical to its `Debug` rendering but without
+    /// formatting machinery or an allocation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClientKind::Browser => "Browser",
+            ClientKind::Scanner => "Scanner",
+            ClientKind::GoogleBot1 => "GoogleBot1",
+            ClientKind::GoogleBot2 => "GoogleBot2",
+            ClientKind::IFolder => "IFolder",
+            ClientKind::NetMeeting => "NetMeeting",
+            ClientKind::OtherAutomated => "OtherAutomated",
         }
     }
 
@@ -405,6 +436,69 @@ impl HttpAnalyzer {
 // Encoders (used by the trace generator)
 // ---------------------------------------------------------------------------
 
+/// Filler byte [`encode_response`] uses for response bodies.
+pub const RESPONSE_FILL: u8 = b'x';
+
+/// Write `v` as ASCII decimal digits (no formatting machinery).
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        // In-bounds by construction: u64 has at most 20 decimal digits,
+        // so i stays in 0..20. ent-lint: allow(E001)
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // ent-lint: allow(E001)
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Build an HTTP request head whose URI is assembled from literal
+/// `uri_parts` interleaved with decimal `uri_slots` (part 0, slot 0,
+/// part 1, slot 1, ...; trailing parts without a slot are appended as-is).
+/// Byte-identical to [`encode_request`] with the equivalent formatted URI
+/// and a `body_len`-byte body, but with the body left off: callers append
+/// it (or keep it symbolic as a fill run).
+pub fn encode_request_head(
+    method: &str,
+    uri_parts: &[&str],
+    uri_slots: &[u64],
+    host: &str,
+    user_agent: &str,
+    conditional: bool,
+    body_len: usize,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + host.len() + user_agent.len());
+    out.extend_from_slice(method.as_bytes());
+    out.push(b' ');
+    for (i, part) in uri_parts.iter().enumerate() {
+        out.extend_from_slice(part.as_bytes());
+        if let Some(&slot) = uri_slots.get(i) {
+            push_u64(&mut out, slot);
+        }
+    }
+    out.extend_from_slice(b" HTTP/1.1\r\nHost: ");
+    out.extend_from_slice(host.as_bytes());
+    out.extend_from_slice(b"\r\nUser-Agent: ");
+    out.extend_from_slice(user_agent.as_bytes());
+    out.extend_from_slice(b"\r\n");
+    if conditional {
+        out.extend_from_slice(b"If-Modified-Since: Mon, 04 Oct 2004 07:00:00 GMT\r\n");
+    }
+    if body_len > 0 {
+        out.extend_from_slice(b"Content-Length: ");
+        push_u64(&mut out, body_len as u64);
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
 /// Build an HTTP request head (+ optional body).
 pub fn encode_request(
     method: &str,
@@ -414,21 +508,17 @@ pub fn encode_request(
     conditional: bool,
     body: &[u8],
 ) -> Vec<u8> {
-    let mut s = format!("{method} {uri} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: {user_agent}\r\n");
-    if conditional {
-        s.push_str("If-Modified-Since: Mon, 04 Oct 2004 07:00:00 GMT\r\n");
-    }
-    if !body.is_empty() {
-        s.push_str(&format!("Content-Length: {}\r\n", body.len()));
-    }
-    s.push_str("\r\n");
-    let mut out = s.into_bytes();
+    let mut out =
+        encode_request_head(method, &[uri], &[], host, user_agent, conditional, body.len());
     out.extend_from_slice(body);
     out
 }
 
-/// Build an HTTP response head + body of `body_len` filler bytes.
-pub fn encode_response(status: u16, content_type: &str, body_len: usize) -> Vec<u8> {
+/// Build an HTTP response head for a `body_len`-byte body: byte-identical
+/// to [`encode_response`] minus the [`RESPONSE_FILL`] filler, which stays
+/// symbolic until frame emission. Bodyless statuses (304/204) carry no
+/// Content-* headers and no filler.
+pub fn encode_response_head(status: u16, content_type: &str, body_len: usize) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         206 => "Partial Content",
@@ -436,15 +526,33 @@ pub fn encode_response(status: u16, content_type: &str, body_len: usize) -> Vec<
         404 => "Not Found",
         _ => "Response",
     };
-    let mut s = format!("HTTP/1.1 {status} {reason}\r\nServer: Apache/1.3\r\n");
+    let mut out = Vec::with_capacity(96 + content_type.len());
+    out.extend_from_slice(b"HTTP/1.1 ");
+    push_u64(&mut out, u64::from(status));
+    out.push(b' ');
+    out.extend_from_slice(reason.as_bytes());
+    out.extend_from_slice(b"\r\nServer: Apache/1.3\r\n");
     if status != 304 && status != 204 {
-        s.push_str(&format!("Content-Type: {content_type}\r\n"));
-        s.push_str(&format!("Content-Length: {body_len}\r\n"));
+        out.extend_from_slice(b"Content-Type: ");
+        out.extend_from_slice(content_type.as_bytes());
+        out.extend_from_slice(b"\r\nContent-Length: ");
+        push_u64(&mut out, body_len as u64);
+        out.extend_from_slice(b"\r\n");
     }
-    s.push_str("\r\n");
-    let mut out = s.into_bytes();
-    if status != 304 && status != 204 {
-        out.extend(std::iter::repeat_n(b'x', body_len));
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// True when `status` carries a response body (and thus filler bytes).
+pub fn response_has_body(status: u16) -> bool {
+    status != 304 && status != 204
+}
+
+/// Build an HTTP response head + body of `body_len` filler bytes.
+pub fn encode_response(status: u16, content_type: &str, body_len: usize) -> Vec<u8> {
+    let mut out = encode_response_head(status, content_type, body_len);
+    if response_has_body(status) {
+        out.extend(std::iter::repeat_n(RESPONSE_FILL, body_len));
     }
     out
 }
@@ -463,6 +571,60 @@ mod tests {
         }
         a.finish();
         a.take_transactions()
+    }
+
+    #[test]
+    fn head_variants_match_formatted_encoders() {
+        // Request: slot-assembled URI and symbolic body must reproduce the
+        // formatted encoder byte-for-byte.
+        for (body_len, conditional) in [(0usize, false), (0, true), (1, false), (512, true)] {
+            let body: Vec<u8> = std::iter::repeat_n(b'p', body_len).collect();
+            let uri = format!("/page{}/obj{}.html", 417, 9);
+            let full = encode_request("POST", &uri, "h.example", "Mozilla/5.0", conditional, &body);
+            let mut split = encode_request_head(
+                "POST",
+                &["/page", "/obj", ".html"],
+                &[417, 9],
+                "h.example",
+                "Mozilla/5.0",
+                conditional,
+                body_len,
+            );
+            split.extend_from_slice(&body);
+            assert_eq!(split, full);
+        }
+        // Response: head + RESPONSE_FILL run reproduces the encoder, and
+        // bodyless statuses stay filler-free.
+        for (status, ct, len) in [
+            (200u16, "text/html", 0usize),
+            (200, "application/zip", 38_000),
+            (206, "image/gif", 7),
+            (304, "", 0),
+            (404, "text/html", 220),
+            (555, "text/plain", 12),
+        ] {
+            let full = encode_response(status, ct, len);
+            let mut split = encode_response_head(status, ct, len);
+            if response_has_body(status) {
+                split.extend(std::iter::repeat_n(RESPONSE_FILL, len));
+            }
+            assert_eq!(split, full, "status {status}");
+        }
+    }
+
+    #[test]
+    fn client_kind_as_str_matches_debug() {
+        for k in [
+            ClientKind::Browser,
+            ClientKind::Scanner,
+            ClientKind::GoogleBot1,
+            ClientKind::GoogleBot2,
+            ClientKind::IFolder,
+            ClientKind::NetMeeting,
+            ClientKind::OtherAutomated,
+        ] {
+            assert_eq!(k.as_str(), format!("{k:?}"));
+        }
     }
 
     #[test]

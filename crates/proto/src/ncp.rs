@@ -141,6 +141,43 @@ pub fn encode_reply(seq: u8, completion: u8, extra: usize) -> Vec<u8> {
     frame(&pkt)
 }
 
+/// Filler byte [`encode_request`] uses for the extra bytes.
+pub const REQUEST_FILL: u8 = 0x6E;
+/// Filler byte [`encode_reply`] uses for the extra bytes.
+pub const REPLY_FILL: u8 = 0x6F;
+
+/// The framed head of [`encode_request`] without the filler: the frame
+/// length already counts `extra`, so appending `extra` [`REQUEST_FILL`]
+/// bytes reproduces `encode_request` exactly.
+pub fn request_head(seq: u8, op: NcpOp, extra: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(15);
+    buf.extend_from_slice(&SIGNATURE.to_be_bytes());
+    buf.extend_from_slice(&((8 + 7 + extra) as u32).to_be_bytes());
+    buf.extend_from_slice(&REQUEST_TYPE.to_be_bytes());
+    buf.push(seq);
+    buf.push(1); // connection low
+    buf.push(0); // task
+    buf.push(0); // connection high
+    buf.push(op.to_function());
+    buf
+}
+
+/// The framed head of [`encode_reply`] without the filler (see
+/// [`request_head`] for the contract).
+pub fn reply_head(seq: u8, completion: u8, extra: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16);
+    buf.extend_from_slice(&SIGNATURE.to_be_bytes());
+    buf.extend_from_slice(&((8 + 8 + extra) as u32).to_be_bytes());
+    buf.extend_from_slice(&REPLY_TYPE.to_be_bytes());
+    buf.push(seq);
+    buf.push(1);
+    buf.push(0);
+    buf.push(0);
+    buf.push(completion);
+    buf.push(0); // connection status
+    buf
+}
+
 fn frame(pkt: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(8 + pkt.len());
     buf.extend_from_slice(&SIGNATURE.to_be_bytes());
@@ -244,6 +281,20 @@ impl NcpAnalyzer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn head_variants_match_filled_encoders() {
+        for extra in [0usize, 1, 7, 1_024] {
+            let full = encode_request(5, NcpOp::Read, extra);
+            let mut split = request_head(5, NcpOp::Read, extra);
+            split.extend(std::iter::repeat_n(REQUEST_FILL, extra));
+            assert_eq!(split, full);
+            let full = encode_reply(5, 0x9C, extra);
+            let mut split = reply_head(5, 0x9C, extra);
+            split.extend(std::iter::repeat_n(REPLY_FILL, extra));
+            assert_eq!(split, full);
+        }
+    }
 
     #[test]
     fn read_request_reply() {

@@ -143,6 +143,25 @@ pub fn encode_record(rtype: RecordType, payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// The 5 header bytes of a TLS record carrying `payload_len` body bytes:
+/// appending the payload reproduces [`encode_record`] exactly, so filler
+/// bodies can stay symbolic (head + fill run) until frame emission.
+pub fn record_head(rtype: RecordType, payload_len: usize) -> Vec<u8> {
+    let t = match rtype {
+        RecordType::ChangeCipherSpec => 20,
+        RecordType::Alert => 21,
+        RecordType::Handshake => 22,
+        RecordType::ApplicationData => 23,
+        RecordType::Other(x) => x,
+    };
+    let mut out = Vec::with_capacity(5);
+    out.push(t);
+    out.push(3);
+    out.push(1);
+    out.extend_from_slice(&(payload_len as u16).to_be_bytes());
+    out
+}
+
 /// Encode a minimal handshake flight: (client hello, server flight,
 /// client ccs+finished, server ccs+finished).
 pub fn encode_handshake() -> (Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>) {
@@ -190,6 +209,16 @@ mod tests {
         let mut t = TlsTracker::new();
         t.feed(true, &ch);
         assert!(!t.handshake_complete());
+    }
+
+    #[test]
+    fn record_head_matches_filled_encoder() {
+        for len in [0usize, 1, 64, 16_000] {
+            let full = encode_record(RecordType::ApplicationData, &vec![0u8; len]);
+            let mut split = record_head(RecordType::ApplicationData, len);
+            split.extend(std::iter::repeat_n(0u8, len));
+            assert_eq!(split, full);
+        }
     }
 
     #[test]

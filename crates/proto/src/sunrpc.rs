@@ -141,6 +141,32 @@ pub fn encode_reply(xid: u32, status_word: u32, result_len: usize) -> Vec<u8> {
     buf
 }
 
+/// Filler byte [`encode_call`] uses for argument bytes.
+pub const CALL_FILL: u8 = 0x4E;
+/// Filler byte [`encode_reply`] uses for result bytes.
+pub const REPLY_FILL: u8 = 0x52;
+
+/// The 40 header bytes of [`encode_call`] without the argument filler:
+/// appending `arg_len` [`CALL_FILL`] bytes reproduces `encode_call` exactly.
+pub fn call_head(xid: u32, prog: u32, vers: u32, proc: u32) -> Vec<u8> {
+    encode_call(xid, prog, vers, proc, 0)
+}
+
+/// The 28 header bytes of [`encode_reply`] without the result filler.
+pub fn reply_head(xid: u32, status_word: u32) -> Vec<u8> {
+    encode_reply(xid, status_word, 0)
+}
+
+/// Record-marked head of the message `head ∥ [fill; fill_len]`: the marker
+/// covers the full logical length, so `mark_record_head(&m, 0)` equals
+/// [`mark_record`] and the fill stays at the tail for split emission.
+pub fn mark_record_head(head: &[u8], fill_len: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + head.len());
+    buf.extend_from_slice(&(0x8000_0000u32 | (head.len() + fill_len) as u32).to_be_bytes());
+    buf.extend_from_slice(head);
+    buf
+}
+
 /// Wrap a message with TCP record marking (single final fragment).
 pub fn mark_record(msg: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(4 + msg.len());
@@ -171,6 +197,24 @@ pub fn next_record(buf: &[u8]) -> Option<(&[u8], usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn head_variants_match_filled_encoders() {
+        for (arg, res) in [(0usize, 0usize), (1, 2), (64, 8_192)] {
+            let full = encode_call(7, PROG_NFS, 3, 6, arg);
+            let mut split = call_head(7, PROG_NFS, 3, 6);
+            split.extend(std::iter::repeat_n(CALL_FILL, arg));
+            assert_eq!(split, full);
+            let full = encode_reply(7, 2, res);
+            let mut split = reply_head(7, 2);
+            split.extend(std::iter::repeat_n(REPLY_FILL, res));
+            assert_eq!(split, full);
+            let marked = mark_record(&encode_call(9, PROG_NFS, 3, 6, arg));
+            let mut split = mark_record_head(&call_head(9, PROG_NFS, 3, 6), arg);
+            split.extend(std::iter::repeat_n(CALL_FILL, arg));
+            assert_eq!(split, marked);
+        }
+    }
 
     #[test]
     fn call_roundtrip() {

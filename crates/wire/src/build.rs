@@ -266,6 +266,81 @@ pub fn tcp_frame_into(
     payload: &[u8],
     out: &mut Vec<u8>,
 ) {
+    tcp_frame_split_into(t, seq, ack, flags, SplitPayload::contiguous(payload), out);
+}
+
+/// A logical payload expressed as a literal head followed by a run of one
+/// fill byte: `head ∥ [fill; fill_len]`.
+///
+/// The enterprise generator's large objects (HTTP bodies, NFS reads, SMB
+/// writes, TLS application data) are a short protocol head followed by a
+/// constant filler. Materialising that filler just to checksum and copy it
+/// dominated `gen_synth`; the split form lets the frame writers compute the
+/// fill's ones-complement contribution in O(1) and emit it with a single
+/// `resize` (memset) instead of a build-sum-copy triple pass.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitPayload<'a> {
+    /// Literal leading bytes.
+    pub head: &'a [u8],
+    /// Byte value repeated after the head.
+    pub fill: u8,
+    /// Number of fill bytes.
+    pub fill_len: usize,
+}
+
+impl<'a> SplitPayload<'a> {
+    /// A fully-literal payload (no fill run).
+    pub fn contiguous(head: &'a [u8]) -> SplitPayload<'a> {
+        SplitPayload { head, fill: 0, fill_len: 0 }
+    }
+
+    /// Logical payload length.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.fill_len
+    }
+
+    /// True when the logical payload has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// [`word_sum`] of the logical byte sequence. An odd-length head pairs
+    /// its last byte with the first fill byte, so the straddling word is
+    /// accounted for explicitly; the rest of the run is a closed form.
+    fn sum(&self) -> u32 {
+        let mut s = word_sum(self.head);
+        let mut n = self.fill_len;
+        if self.head.len() % 2 == 1 && n > 0 {
+            // word_sum(head) already added `last << 8`; the concatenated
+            // word is `last << 8 | fill`, so only the low byte is missing.
+            s += self.fill as u32;
+            n -= 1;
+        }
+        let word = ((self.fill as u32) << 8) | self.fill as u32;
+        s += (n / 2) as u32 * word;
+        if n % 2 == 1 {
+            s += (self.fill as u32) << 8;
+        }
+        s
+    }
+
+    /// Append the logical bytes to `out` (head copy + one memset).
+    fn write_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.head);
+        out.resize(out.len() + self.fill_len, self.fill);
+    }
+}
+
+/// Append one TCP frame with a split payload to `out`; byte-identical to
+/// [`tcp_frame_into`] over the concatenated payload.
+pub fn tcp_frame_split_into(
+    t: &TcpTemplate,
+    seq: u32,
+    ack: u32,
+    flags: tcp::Flags,
+    payload: SplitPayload<'_>,
+    out: &mut Vec<u8>,
+) {
     let mut hdr = t.hdr;
     let total = (TCP_HDR_LEN - 14 + payload.len()) as u16;
     let ident = ip_ident(seq, t.src_port);
@@ -287,10 +362,34 @@ pub fn tcp_frame_into(
         + (ack >> 16)
         + (ack & 0xFFFF)
         + flags.0 as u32
-        + word_sum(payload);
+        + payload.sum();
     crate::put_be16(&mut hdr, 50, fold_sum(sum));
     out.extend_from_slice(&hdr);
-    out.extend_from_slice(payload);
+    payload.write_into(out);
+}
+
+/// Append one UDP frame with a split payload to `out`; byte-identical to
+/// [`udp_frame_into`] over the concatenated payload.
+pub fn udp_frame_split_into(t: &UdpTemplate, payload: SplitPayload<'_>, out: &mut Vec<u8>) {
+    let mut hdr = t.hdr;
+    let total = (UDP_HDR_LEN - 14 + payload.len()) as u16;
+    let dg_len = (UDP_HDR_LEN - NET_HDR_LEN + payload.len()) as u16;
+    let ident = ip_ident(payload.len() as u32, t.src_port);
+    crate::put_be16(&mut hdr, 16, total);
+    crate::put_be16(&mut hdr, 18, ident);
+    crate::put_be16(
+        &mut hdr,
+        24,
+        fold_sum(t.ip_static + total as u32 + ident as u32),
+    );
+    crate::put_be16(&mut hdr, 38, dg_len);
+    // The datagram length enters the sum twice: once in the pseudo-header,
+    // once as the UDP length field itself.
+    let ck = fold_sum(t.udp_static + 2 * dg_len as u32 + payload.sum());
+    // Per RFC 768 a computed checksum of zero is transmitted as all-ones.
+    crate::put_be16(&mut hdr, 40, if ck == 0 { 0xFFFF } else { ck });
+    out.extend_from_slice(&hdr);
+    payload.write_into(out);
 }
 
 /// Per-session UDP frame template (see [`TcpTemplate`]).
@@ -335,25 +434,7 @@ impl UdpTemplate {
 /// Append one UDP frame built from `t` to `out`; byte-identical to
 /// [`udp_frame`] for the same payload.
 pub fn udp_frame_into(t: &UdpTemplate, payload: &[u8], out: &mut Vec<u8>) {
-    let mut hdr = t.hdr;
-    let total = (UDP_HDR_LEN - 14 + payload.len()) as u16;
-    let dg_len = (UDP_HDR_LEN - NET_HDR_LEN + payload.len()) as u16;
-    let ident = ip_ident(payload.len() as u32, t.src_port);
-    crate::put_be16(&mut hdr, 16, total);
-    crate::put_be16(&mut hdr, 18, ident);
-    crate::put_be16(
-        &mut hdr,
-        24,
-        fold_sum(t.ip_static + total as u32 + ident as u32),
-    );
-    crate::put_be16(&mut hdr, 38, dg_len);
-    // The datagram length enters the sum twice: once in the pseudo-header,
-    // once as the UDP length field itself.
-    let ck = fold_sum(t.udp_static + 2 * dg_len as u32 + word_sum(payload));
-    // Per RFC 768 a computed checksum of zero is transmitted as all-ones.
-    crate::put_be16(&mut hdr, 40, if ck == 0 { 0xFFFF } else { ck });
-    out.extend_from_slice(&hdr);
-    out.extend_from_slice(payload);
+    udp_frame_split_into(t, SplitPayload::contiguous(payload), out);
 }
 
 /// Append one ICMP frame to `out`; byte-identical to [`icmp_frame`].
@@ -600,6 +681,64 @@ mod tests {
             let mut got = Vec::new();
             raw_ip_frame_into(sm, dm, si, di, proto, &payload, &mut got);
             assert_eq!(got, legacy, "raw ip mismatch (proto {proto})");
+        }
+    }
+
+    #[test]
+    fn split_payload_matches_concatenated_form() {
+        // Every head-parity × fill-parity combination, plus carry-heavy
+        // fills, must checksum and serialise exactly like the materialised
+        // concatenation.
+        let mut x = X(0x5EED_0F00_1234_ABCD);
+        let tspec = TcpFrameSpec {
+            src_mac: ethernet::MacAddr::from_host_id(3),
+            dst_mac: ethernet::MacAddr::from_host_id(4),
+            src_ip: ipv4::Addr::new(10, 1, 2, 3),
+            dst_ip: ipv4::Addr::new(192, 168, 9, 7),
+            src_port: 40123,
+            dst_port: 80,
+            seq: 0,
+            ack: 0,
+            flags: tcp::Flags::NONE,
+            window: 8192,
+            ttl: 64,
+        };
+        let uspec = UdpFrameSpec {
+            src_mac: tspec.src_mac,
+            dst_mac: tspec.dst_mac,
+            src_ip: tspec.src_ip,
+            dst_ip: tspec.dst_ip,
+            src_port: 2049,
+            dst_port: 997,
+            ttl: 64,
+        };
+        let tt = TcpTemplate::new(&tspec);
+        let ut = UdpTemplate::new(&uspec);
+        let heads: [&[u8]; 5] = [b"", b"X", b"HTTP/1.1 200 OK\r\n", b"ab", b"odd"];
+        let fills = [0u8, b'x', 0xFF, 0x4E];
+        let fill_lens = [0usize, 1, 2, 3, 57, 536, 1400];
+        for head in heads {
+            for &fill in &fills {
+                for &fill_len in &fill_lens {
+                    let split = SplitPayload { head, fill, fill_len };
+                    let mut concat = head.to_vec();
+                    concat.resize(head.len() + fill_len, fill);
+                    let seq = x.next_u64() as u32;
+                    let ack = x.next_u64() as u32;
+
+                    let mut want = Vec::new();
+                    tcp_frame_into(&tt, seq, ack, tcp::Flags::ACK, &concat, &mut want);
+                    let mut got = Vec::new();
+                    tcp_frame_split_into(&tt, seq, ack, tcp::Flags::ACK, split, &mut got);
+                    assert_eq!(got, want, "tcp split mismatch head={head:?} fill={fill} n={fill_len}");
+
+                    let mut want = Vec::new();
+                    udp_frame_into(&ut, &concat, &mut want);
+                    let mut got = Vec::new();
+                    udp_frame_split_into(&ut, split, &mut got);
+                    assert_eq!(got, want, "udp split mismatch head={head:?} fill={fill} n={fill_len}");
+                }
+            }
         }
     }
 

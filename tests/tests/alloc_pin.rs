@@ -16,10 +16,12 @@
 // Test assertions may abort.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use ent_core::{Monitor, MonitorConfig};
 use ent_flow::{
     shard_of_key, shard_of_packet, shard_of_pair, ConnSummary, ConnTable, Endpoint, FlowHandler,
     FlowKey, Proto, TableConfig,
 };
+use ent_pcap::TraceMeta;
 use ent_wire::{build, ethernet::MacAddr, ipv4::Addr, Packet, Timestamp};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -143,6 +145,69 @@ fn shard_steering_makes_zero_allocations() {
     drop(guard);
     assert!(acc < 3 * (1 + 2 + 4 + 8), "steering out of range");
     assert_eq!(allocs, 0, "shard steering allocated on the dispatch path");
+}
+
+/// The fused parse+ingest pass (Engine::ingest_dissected) in steady
+/// state: once the connection table, per-second bins and analyzer slab
+/// are warm, re-observing established flows must perform **zero** heap
+/// allocations per packet — frame dissection, layer tallying, stage-stat
+/// updates and flow ingest all run in place. A reintroduced per-packet
+/// allocation (owned frame copy, boxed analyzer state, a Vec in the lap
+/// accounting) shows up here as an O(packets) count.
+#[test]
+fn fused_parse_ingest_makes_zero_steady_state_allocations() {
+    let frames: Vec<Vec<u8>> = (0..32u16)
+        .map(|i| {
+            build::udp_frame(
+                &build::UdpFrameSpec {
+                    src_mac: MacAddr::from_host_id(7),
+                    dst_mac: MacAddr::from_host_id(8),
+                    src_ip: Addr::new(10, 0, 7, 3),
+                    dst_ip: Addr::new(10, 0, 8, 4),
+                    src_port: 2_048 + i,
+                    dst_port: 9_009,
+                    ttl: 64,
+                },
+                b"fused-pin",
+            )
+        })
+        .collect();
+    let meta = TraceMeta {
+        dataset: "pin".into(),
+        subnet: 0,
+        pass: 1,
+        duration: Timestamp::from_secs(300),
+        snaplen: 1_500,
+        link_capacity_bps: 100_000_000,
+    };
+    let mut mon = Monitor::new(meta, MonitorConfig::default(), 4_096);
+    // Warm pass: opens every flow, sizes the table/slab/bins once.
+    for (i, f) in frames.iter().enumerate() {
+        let reports = mon.observe(Timestamp::from_micros(i as u64), f, f.len() as u32);
+        assert!(reports.is_empty(), "warm pass must stay inside one epoch");
+    }
+
+    // Steady passes: same flows, later timestamps, same epoch. This walks
+    // the fused loop well past a LAP_STRIDE boundary so the sampled
+    // (clocked) packets are covered too.
+    let guard = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    ALLOCS.store(0, Relaxed);
+    COUNTING.store(true, Relaxed);
+    let mut quiet = true;
+    for rep in 1..=4u64 {
+        for (i, f) in frames.iter().enumerate() {
+            let ts = Timestamp::from_micros(rep * 1_000_000 + i as u64);
+            quiet &= mon.observe(ts, f, f.len() as u32).is_empty();
+        }
+    }
+    COUNTING.store(false, Relaxed);
+    let allocs = ALLOCS.load(Relaxed);
+    drop(guard);
+    assert!(quiet, "steady passes must stay inside one epoch");
+    assert_eq!(
+        allocs, 0,
+        "fused parse+ingest allocated on the per-packet path"
+    );
 }
 
 #[test]

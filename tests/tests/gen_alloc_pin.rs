@@ -18,7 +18,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use ent_gen::synth::{
-    emit_icmp_echo, emit_tcp, emit_udp, Exchange, Peer, TcpSessionSpec, UdpFlowSpec, UdpMessage,
+    emit_icmp_echo, emit_tcp, emit_udp, Exchange, Payload, Peer, TcpSessionSpec, UdpFlowSpec,
+    UdpMessage,
 };
 use ent_pcap::{Clip, PacketArena, Tap};
 use ent_wire::{ethernet::MacAddr, ipv4::Addr, Timestamp};
@@ -67,8 +68,8 @@ fn session_specs() -> (TcpSessionSpec, UdpFlowSpec) {
         peer(2, 9, 80),
         400,
         vec![
-            Exchange::client(vec![0x41; 300], 100),
-            Exchange::server(vec![0x42; 9_000], 2_000),
+            Exchange::client(Payload::fill(0x41, 300), 100),
+            Exchange::server(Payload::fill(0x42, 9_000), 2_000),
         ],
     );
     let udp = UdpFlowSpec {
@@ -79,12 +80,12 @@ fn session_specs() -> (TcpSessionSpec, UdpFlowSpec) {
         messages: vec![
             UdpMessage {
                 from_client: true,
-                payload: vec![0x43; 40],
+                payload: Payload::fill(0x43, 40),
                 gap_us: 0,
             },
             UdpMessage {
                 from_client: false,
-                payload: vec![0x44; 120],
+                payload: Payload::fill(0x44, 120),
                 gap_us: 10,
             },
         ],
